@@ -1,0 +1,20 @@
+"""Helpers shared by the benchmark modules."""
+
+import sys
+from pathlib import Path
+
+#: Make the library importable even when it has not been pip-installed.
+_SRC = Path(__file__).parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+#: Where every benchmark writes its human-readable rows/series.
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def write_result(name: str, text: str) -> Path:
+    """Persist one benchmark's output (a table or series) under ``benchmarks/results/``."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / name
+    path.write_text(text + "\n")
+    return path

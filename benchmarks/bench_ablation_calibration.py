@@ -1,0 +1,74 @@
+"""Calibration ablation (Section V-C discussion).
+
+The paper observes that the crowd's true accuracy was ≈ 0.86, that assuming
+``Pc = 1`` freezes early mistakes permanently, and that under-estimating the
+crowd slows convergence.  This benchmark fixes the workers' real accuracy at
+0.86 and sweeps the accuracy the system *assumes*, reporting final F1 and
+utility for each assumption.
+"""
+
+import pytest
+
+from repro.evaluation.experiment import ExperimentConfig, run_quality_experiment
+from repro.evaluation.reporting import format_table
+
+from _bench_utils import write_result
+
+TRUE_ACCURACY = 0.86
+ASSUMED = (0.6, 0.7, 0.86, 0.95, 1.0)
+BUDGET = 20
+K = 2
+
+_RESULTS = {}
+
+
+def _run(problems, assumed):
+    config = ExperimentConfig(
+        selector="greedy_prune_pre",
+        k=K,
+        budget_per_entity=BUDGET,
+        worker_accuracy=TRUE_ACCURACY,
+        assumed_accuracy=assumed,
+        use_difficulties=True,
+        seed=53,
+    )
+    return run_quality_experiment(problems, config)
+
+
+@pytest.mark.parametrize("assumed", ASSUMED, ids=[f"assumed{a}" for a in ASSUMED])
+def test_calibration_sweep(benchmark, book_problems, assumed):
+    """Benchmark one refinement run per assumed Pc value."""
+    result = benchmark.pedantic(
+        _run, args=(book_problems, assumed), rounds=1, iterations=1, warmup_rounds=0
+    )
+    _RESULTS[assumed] = result
+    assert result.final_point.cost > 0
+
+
+def test_calibration_report_and_shape(benchmark):
+    """Persist the sweep and assert that a well-calibrated Pc is best."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if len(_RESULTS) < len(ASSUMED):
+        pytest.skip("calibration benchmarks did not run")
+
+    rows = [
+        [assumed, result.final_point.f1, result.final_point.utility]
+        for assumed, result in sorted(_RESULTS.items())
+    ]
+    write_result(
+        "ablation_calibration.txt",
+        format_table(
+            ["assumed Pc (true 0.86)", "final F1", "final utility"],
+            rows,
+            float_format="{:.3f}",
+        ),
+    )
+
+    calibrated = _RESULTS[0.86].final_point
+    pessimistic = _RESULTS[0.6].final_point
+    blind = _RESULTS[1.0].final_point
+    # The calibrated assumption dominates a badly pessimistic one on F1.
+    assert calibrated.f1 >= pessimistic.f1 - 0.02
+    # Blind trust (Pc = 1) does not beat the calibrated assumption on F1:
+    # a single wrong worker answer becomes permanent.
+    assert calibrated.f1 >= blind.f1 - 0.02

@@ -1,0 +1,162 @@
+"""Section V-D — error analysis of the remaining wrong judgments.
+
+The paper manually inspects the residual errors and attributes them to two
+causes: (1) books with many statements get too little budget per statement,
+and (2) intrinsically confusing statements (re-ordered author lists, appended
+affiliations, misspellings) on which worker accuracy barely exceeds 0.5.
+
+This benchmark reproduces the analysis quantitatively on the synthetic corpus
+(where every statement's corruption kind is known): it runs the refinement
+with per-claim difficulties enabled and reports the residual error rate per
+statement kind and per book-size bucket.
+"""
+
+import pytest
+
+from repro.evaluation.experiment import ExperimentConfig, run_quality_experiment
+from repro.evaluation.metrics import classification_scores
+from repro.evaluation.reporting import format_table
+
+from _bench_utils import write_result
+
+BUDGET = 24
+K = 2
+ACCURACY = 0.85
+
+_STATE = {}
+
+
+def _refine(problems):
+    config = ExperimentConfig(
+        selector="greedy_prune_pre",
+        k=K,
+        budget_per_entity=BUDGET,
+        worker_accuracy=ACCURACY,
+        use_difficulties=True,
+        seed=43,
+    )
+    return run_quality_experiment(problems, config)
+
+
+def test_error_analysis_refinement(benchmark, book_problems):
+    """Benchmark the refinement run whose residual errors are analysed below."""
+    result = benchmark.pedantic(
+        _refine, args=(book_problems,), rounds=1, iterations=1, warmup_rounds=0
+    )
+    _STATE["result"] = result
+    assert result.final_point.f1 > result.initial_point.f1
+
+
+def test_error_analysis_report(benchmark, book_corpus, book_problems):
+    """Break residual errors down by statement kind and by book size."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if "result" not in _STATE:
+        pytest.skip("refinement benchmark did not run")
+
+    # Re-run the per-entity refinement to obtain final per-fact labels: the
+    # quality experiment tracks aggregate curves, so rebuild labels from a
+    # deterministic re-execution with the same configuration.
+    config = ExperimentConfig(
+        selector="greedy_prune_pre",
+        k=K,
+        budget_per_entity=BUDGET,
+        worker_accuracy=ACCURACY,
+        use_difficulties=True,
+        seed=43,
+    )
+    from repro.core.crowd import CrowdModel
+    from repro.core.merging import merge_answers
+    from repro.core.selection import get_selector
+    from repro.crowdsim.platform import SimulatedPlatform
+    from repro.crowdsim.worker import WorkerPool
+
+    crowd = CrowdModel(config.model_accuracy)
+    predicted = {}
+    entity_sizes = {}
+    for index, problem in enumerate(book_problems):
+        pool = WorkerPool.homogeneous(
+            size=25, accuracy=config.worker_accuracy, seed=config.seed * 7919 + index
+        )
+        platform = SimulatedPlatform(
+            ground_truth=problem.gold, workers=pool, difficulties=problem.difficulties
+        )
+        selector = get_selector(config.selector)
+        distribution = problem.prior
+        remaining = config.budget_per_entity
+        while remaining > 0:
+            k = min(config.k, remaining, distribution.num_facts)
+            selection = selector.select(distribution, crowd, k)
+            if not selection.task_ids:
+                break
+            answers = platform.collect(selection.task_ids)
+            distribution = merge_answers(distribution, answers, crowd)
+            remaining -= len(selection.task_ids)
+        labels = distribution.predicted_labels()
+        predicted.update(labels)
+        entity_sizes[problem.entity] = len(problem.facts)
+
+    # --- error rate per statement kind -------------------------------------------
+    kind_rows = []
+    kind_errors = {}
+    for kind in sorted(set(book_corpus.statement_kinds.values())):
+        claim_ids = [
+            claim_id
+            for claim_id, claim_kind in book_corpus.statement_kinds.items()
+            if claim_kind == kind and claim_id in predicted
+        ]
+        if not claim_ids:
+            continue
+        wrong = sum(
+            1 for claim_id in claim_ids
+            if predicted[claim_id] != book_corpus.gold[claim_id]
+        )
+        rate = wrong / len(claim_ids)
+        kind_errors[kind] = rate
+        kind_rows.append([kind, len(claim_ids), wrong, rate])
+
+    # --- error rate per book-size bucket -------------------------------------------
+    buckets = {"small (<=5 claims)": [], "large (>5 claims)": []}
+    for problem in book_problems:
+        bucket = "small (<=5 claims)" if len(problem.facts) <= 5 else "large (>5 claims)"
+        for fact_id in problem.prior.fact_ids:
+            if fact_id in predicted:
+                buckets[bucket].append(
+                    predicted[fact_id] != book_corpus.gold[fact_id]
+                )
+    size_rows = []
+    size_errors = {}
+    for bucket, errors in buckets.items():
+        if errors:
+            rate = sum(errors) / len(errors)
+            size_errors[bucket] = rate
+            size_rows.append([bucket, len(errors), sum(errors), rate])
+
+    scores = classification_scores(predicted, book_corpus.gold)
+    report = "\n\n".join(
+        [
+            f"Overall after refinement: F1={scores.f1:.3f} accuracy={scores.accuracy:.3f}",
+            "Residual error rate by statement kind:\n"
+            + format_table(["kind", "claims", "wrong", "error rate"], kind_rows),
+            "Residual error rate by book size:\n"
+            + format_table(["bucket", "claims", "wrong", "error rate"], size_rows),
+        ]
+    )
+    write_result("error_analysis.txt", report)
+
+    # Shape assertions mirroring Section V-D:
+    # confusing statement kinds (reordered / misspelled / organization) carry a
+    # higher residual error rate than clean canonical statements.
+    if "canonical" in kind_errors:
+        hard_kinds = [
+            kind_errors[kind]
+            for kind in ("reordered", "misspelled", "organization")
+            if kind in kind_errors
+        ]
+        if hard_kinds:
+            assert max(hard_kinds) >= kind_errors["canonical"]
+    # Books with many statements retain at least as many errors as small books.
+    if len(size_errors) == 2:
+        assert (
+            size_errors["large (>5 claims)"]
+            >= size_errors["small (<=5 claims)"] - 0.05
+        )

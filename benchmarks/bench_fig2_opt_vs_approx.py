@@ -1,0 +1,91 @@
+"""Figure 2 — OPT vs Approx vs Random quality curves (F1 and utility).
+
+The paper compares the exact selector, the greedy approximation and random
+selection on the 40 books with the fewest statements (so OPT stays feasible),
+with k = 2, a 10-task budget per book and crowd accuracies 0.7 / 0.8 / 0.9.
+Expected shape: Approx ≈ OPT on both metrics, both clearly above Random, and
+quality is not perfectly monotone because crowd answers can be wrong.
+
+We run the same protocol on the 15 smallest synthetic books and persist the
+six curves (three accuracies × {F1, utility}) to ``benchmarks/results/``.
+"""
+
+import pytest
+
+from repro.evaluation.experiment import ExperimentConfig, run_quality_experiment
+from repro.evaluation.reporting import format_series
+
+from _bench_utils import write_result
+
+K = 2
+BUDGET = 10
+ACCURACIES = (0.7, 0.8, 0.9)
+SELECTORS = ("opt", "greedy", "random")
+
+_CURVES = {}
+
+
+def _run(problems, selector, accuracy):
+    config = ExperimentConfig(
+        selector=selector,
+        k=K,
+        budget_per_entity=BUDGET,
+        worker_accuracy=accuracy,
+        use_difficulties=True,
+        seed=17,
+    )
+    return run_quality_experiment(problems, config)
+
+
+CASES = [(selector, accuracy) for accuracy in ACCURACIES for selector in SELECTORS]
+
+
+@pytest.mark.parametrize(
+    "selector,accuracy", CASES, ids=[f"{s}-Pc{a}" for s, a in CASES]
+)
+def test_quality_curve(benchmark, small_book_problems, selector, accuracy):
+    """Benchmark one full budgeted refinement run and record its curve."""
+    result = benchmark.pedantic(
+        _run, args=(small_book_problems, selector, accuracy),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    _CURVES[(selector, accuracy)] = result
+    assert result.final_point.cost > 0
+
+
+def test_fig2_report_and_shape(benchmark):
+    """Persist the Figure-2 series and assert the paper's qualitative claims."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if len(_CURVES) < len(CASES):
+        pytest.skip("curve benchmarks did not run")
+
+    lines = []
+    for accuracy in ACCURACIES:
+        lines.append(f"== Pc = {accuracy} ==")
+        for selector in SELECTORS:
+            result = _CURVES[(selector, accuracy)]
+            lines.append(
+                format_series(
+                    f"{selector} F1", list(zip(result.costs(), result.f1_series())), 3
+                )
+            )
+            lines.append(
+                format_series(
+                    f"{selector} utility",
+                    list(zip(result.costs(), result.utility_series())),
+                    2,
+                )
+            )
+    write_result("fig2_opt_vs_approx.txt", "\n".join(lines))
+
+    for accuracy in ACCURACIES:
+        opt = _CURVES[("opt", accuracy)]
+        greedy = _CURVES[("greedy", accuracy)]
+        random_sel = _CURVES[("random", accuracy)]
+        # Approx tracks OPT closely on both measurements.
+        assert abs(greedy.final_point.f1 - opt.final_point.f1) < 0.10
+        assert abs(greedy.final_point.utility - opt.final_point.utility) < 8.0
+        # The informed selectors beat random selection on utility.
+        assert greedy.final_point.utility > random_sel.final_point.utility
+        # Everyone improves on the machine-only prior.
+        assert greedy.final_point.utility > greedy.initial_point.utility

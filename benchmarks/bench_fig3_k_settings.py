@@ -1,0 +1,99 @@
+"""Figure 3 — effect of the per-round task count k on quality.
+
+The paper runs the greedy selector and the random baseline with k = 1..6 over
+the full book collection (budget 60 per book).  Expected shape:
+
+* for the greedy selector, smaller k reaches higher quality per unit budget
+  (each round re-targets the most informative facts given the answers so far);
+* for random selection the ordering reverses (larger k covers a wider range
+  of facts, which is all an uninformed selector can hope for);
+* all greedy settings beat all random settings.
+
+We reproduce the comparison with k ∈ {1, 2, 3, 6} at Pc = 0.8 on the synthetic
+corpus with a reduced per-book budget.
+"""
+
+import pytest
+
+from repro.evaluation.experiment import ExperimentConfig, run_quality_experiment
+from repro.evaluation.reporting import format_series, format_table
+
+from _bench_utils import write_result
+
+BUDGET = 30
+ACCURACY = 0.8
+K_VALUES = (1, 2, 3, 6)
+SELECTORS = ("greedy_prune_pre", "random")
+
+_RESULTS = {}
+
+
+def _run(problems, selector, k):
+    config = ExperimentConfig(
+        selector=selector,
+        k=k,
+        budget_per_entity=BUDGET,
+        worker_accuracy=ACCURACY,
+        use_difficulties=True,
+        seed=29,
+    )
+    return run_quality_experiment(problems, config)
+
+
+CASES = [(selector, k) for selector in SELECTORS for k in K_VALUES]
+
+
+@pytest.mark.parametrize("selector,k", CASES, ids=[f"{s}-k{k}" for s, k in CASES])
+def test_k_setting_curve(benchmark, book_problems, selector, k):
+    """Benchmark one (selector, k) refinement run over the whole corpus."""
+    result = benchmark.pedantic(
+        _run, args=(book_problems, selector, k), rounds=1, iterations=1, warmup_rounds=0
+    )
+    _RESULTS[(selector, k)] = result
+    assert result.final_point.cost > 0
+
+
+def test_fig3_report_and_shape(benchmark):
+    """Persist the Figure-3 series and check the k-ordering claims."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if len(_RESULTS) < len(CASES):
+        pytest.skip("curve benchmarks did not run")
+
+    lines = []
+    rows = []
+    for selector, k in CASES:
+        result = _RESULTS[(selector, k)]
+        lines.append(
+            format_series(
+                f"{selector} k={k} F1", list(zip(result.costs(), result.f1_series())), 3
+            )
+        )
+        lines.append(
+            format_series(
+                f"{selector} k={k} utility",
+                list(zip(result.costs(), result.utility_series())),
+                2,
+            )
+        )
+        rows.append(
+            [selector, k, result.final_point.f1, result.final_point.utility]
+        )
+    summary = format_table(
+        ["selector", "k", "final F1", "final utility"], rows, float_format="{:.3f}"
+    )
+    write_result("fig3_k_settings.txt", summary + "\n\n" + "\n".join(lines))
+
+    greedy_final = {k: _RESULTS[("greedy_prune_pre", k)].final_point for k in K_VALUES}
+    random_final = {k: _RESULTS[("random", k)].final_point for k in K_VALUES}
+
+    # Informed selection beats random selection for every k (utility).
+    for k in K_VALUES:
+        assert greedy_final[k].utility > random_final[k].utility
+
+    # Small k is at least as good as the largest k for the greedy selector.
+    assert greedy_final[1].utility >= greedy_final[6].utility - 2.0
+    assert greedy_final[1].f1 >= greedy_final[6].f1 - 0.03
+
+    # For random selection the trend reverses (or at worst flattens): the
+    # largest k should not be clearly worse than the smallest.
+    assert random_final[6].f1 >= random_final[1].f1 - 0.05

@@ -1,0 +1,97 @@
+"""Figure 4 — effect of the crowd accuracy Pc on quality.
+
+The paper sweeps Pc ∈ {0.7, 0.8, 0.9} for the greedy selector and the random
+baseline.  Expected shape: higher Pc yields higher utility (approaching the
+0 upper bound), Pc = 0.8 and Pc = 0.9 reach comparable F1, and the greedy
+selector dominates random selection at every accuracy.
+
+The workers' real accuracy is swept together with the assumed accuracy, as in
+the paper's main experiment (the calibration ablation lives in
+``bench_ablation_calibration.py``).
+"""
+
+import pytest
+
+from repro.evaluation.experiment import ExperimentConfig, run_quality_experiment
+from repro.evaluation.reporting import format_series, format_table
+
+from _bench_utils import write_result
+
+BUDGET = 30
+K = 3
+ACCURACIES = (0.7, 0.8, 0.9)
+SELECTORS = ("greedy_prune_pre", "random")
+
+_RESULTS = {}
+
+
+def _run(problems, selector, accuracy):
+    config = ExperimentConfig(
+        selector=selector,
+        k=K,
+        budget_per_entity=BUDGET,
+        worker_accuracy=accuracy,
+        use_difficulties=True,
+        seed=31,
+    )
+    return run_quality_experiment(problems, config)
+
+
+CASES = [(selector, accuracy) for selector in SELECTORS for accuracy in ACCURACIES]
+
+
+@pytest.mark.parametrize(
+    "selector,accuracy", CASES, ids=[f"{s}-Pc{a}" for s, a in CASES]
+)
+def test_pc_setting_curve(benchmark, book_problems, selector, accuracy):
+    """Benchmark one (selector, Pc) refinement run over the whole corpus."""
+    result = benchmark.pedantic(
+        _run, args=(book_problems, selector, accuracy),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    _RESULTS[(selector, accuracy)] = result
+    assert result.final_point.cost > 0
+
+
+def test_fig4_report_and_shape(benchmark):
+    """Persist the Figure-4 series and check the Pc-ordering claims."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if len(_RESULTS) < len(CASES):
+        pytest.skip("curve benchmarks did not run")
+
+    lines = []
+    rows = []
+    for selector, accuracy in CASES:
+        result = _RESULTS[(selector, accuracy)]
+        lines.append(
+            format_series(
+                f"{selector} Pc={accuracy} F1",
+                list(zip(result.costs(), result.f1_series())),
+                3,
+            )
+        )
+        lines.append(
+            format_series(
+                f"{selector} Pc={accuracy} utility",
+                list(zip(result.costs(), result.utility_series())),
+                2,
+            )
+        )
+        rows.append(
+            [selector, accuracy, result.final_point.f1, result.final_point.utility]
+        )
+    summary = format_table(
+        ["selector", "Pc", "final F1", "final utility"], rows, float_format="{:.3f}"
+    )
+    write_result("fig4_pc_settings.txt", summary + "\n\n" + "\n".join(lines))
+
+    greedy = {a: _RESULTS[("greedy_prune_pre", a)].final_point for a in ACCURACIES}
+    random_final = {a: _RESULTS[("random", a)].final_point for a in ACCURACIES}
+
+    # Higher crowd accuracy gives higher final utility for the informed selector.
+    assert greedy[0.9].utility > greedy[0.8].utility > greedy[0.7].utility
+    # Pc = 0.8 and Pc = 0.9 reach comparable F1 (the paper's observation).
+    assert abs(greedy[0.9].f1 - greedy[0.8].f1) < 0.12
+    # Greedy dominates random at every accuracy (utility).
+    for accuracy in ACCURACIES:
+        assert greedy[accuracy].utility > random_final[accuracy].utility

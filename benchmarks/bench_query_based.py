@@ -1,0 +1,117 @@
+"""Section IV — query-based CrowdFusion.
+
+The paper presents query-based selection analytically (no dedicated figure):
+when only a subset of facts matters, selecting tasks that maximise
+``Q(I | T) = H(T) − H(I, T)`` concentrates the budget on the facts of
+interest and their correlated neighbours.  This benchmark quantifies that on
+the flight corpus: for each flight we designate one claim as the fact of
+interest and compare (a) standard CrowdFusion and (b) query-based
+CrowdFusion under the same small budget, measuring the entropy remaining on
+the facts of interest and the time per selection.
+"""
+
+import pytest
+
+from repro.core.crowd import CrowdModel
+from repro.core.engine import CrowdFusionEngine
+from repro.core.query import Query
+from repro.core.selection import QueryGreedySelector, get_selector
+from repro.correlation.builder import JointDistributionBuilder
+from repro.correlation.rules import MutualExclusionRule
+from repro.crowdsim.platform import SimulatedPlatform
+from repro.crowdsim.worker import WorkerPool
+from repro.datasets.flights import FlightCorpusConfig, generate_flight_corpus
+from repro.evaluation.reporting import format_table
+from repro.fusion.majority import MajorityVote
+
+from _bench_utils import write_result
+
+BUDGET = 3
+ACCURACY = 0.85
+
+_RESULTS = {}
+
+
+def _build_cases():
+    corpus = generate_flight_corpus(
+        FlightCorpusConfig(num_flights=20, num_sources=12, seed=71)
+    )
+    fusion = MajorityVote().run(corpus.database)
+    cases = []
+    for flight in corpus.flights:
+        claims = corpus.claims_for_flight(flight.flight_id)
+        if len(claims) < 3:
+            continue
+        marginals = {
+            claim.claim_id: min(0.9, max(0.1, fusion.confidence(claim.claim_id)))
+            for claim in claims
+        }
+        prior = JointDistributionBuilder(
+            marginals,
+            [MutualExclusionRule([c.claim_id for c in claims], strength=0.95)],
+        ).build()
+        gold = {claim.claim_id: corpus.gold[claim.claim_id] for claim in claims}
+        # The fact of interest: the least supported claim (hardest to settle
+        # from the machine prior alone).
+        interest = min(claims, key=lambda claim: claim.support).claim_id
+        cases.append((flight.flight_id, prior, gold, Query.of([interest])))
+    return cases
+
+
+CASES = _build_cases()
+
+
+def _run_mode(mode):
+    crowd = CrowdModel(ACCURACY)
+    remaining_entropy = 0.0
+    for index, (flight_id, prior, gold, query) in enumerate(CASES):
+        platform = SimulatedPlatform(
+            ground_truth=gold,
+            workers=WorkerPool.homogeneous(15, ACCURACY, seed=1000 + index),
+        )
+        if mode == "query":
+            selector = QueryGreedySelector(query)
+        else:
+            selector = get_selector("greedy_prune_pre")
+        engine = CrowdFusionEngine(selector, crowd, budget=BUDGET, tasks_per_round=1)
+        outcome = engine.run(prior, platform)
+        remaining_entropy += outcome.final_distribution.marginalize(
+            query.fact_ids
+        ).entropy()
+    return remaining_entropy
+
+
+@pytest.mark.parametrize("mode", ["standard", "query"])
+def test_query_based_refinement(benchmark, mode):
+    """Benchmark a full pass over all flights for one selection mode."""
+    remaining = benchmark.pedantic(
+        _run_mode, args=(mode,), rounds=1, iterations=1, warmup_rounds=0
+    )
+    _RESULTS[mode] = remaining
+    assert remaining >= 0.0
+
+
+def test_query_report_and_shape(benchmark):
+    """Query-based selection leaves no more FOI entropy than standard selection."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if len(_RESULTS) < 2:
+        pytest.skip("mode benchmarks did not run")
+
+    prior_entropy = sum(
+        prior.marginalize(query.fact_ids).entropy()
+        for _flight, prior, _gold, query in CASES
+    )
+    rows = [
+        ["prior (no crowd)", prior_entropy],
+        ["standard CrowdFusion", _RESULTS["standard"]],
+        ["query-based CrowdFusion", _RESULTS["query"]],
+    ]
+    write_result(
+        "query_based.txt",
+        format_table(
+            ["strategy", "total entropy remaining on facts of interest"], rows
+        ),
+    )
+
+    assert _RESULTS["query"] <= _RESULTS["standard"] + 1e-6
+    assert _RESULTS["query"] < prior_entropy

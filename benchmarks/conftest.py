@@ -1,0 +1,63 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Each benchmark module regenerates one table or figure of the paper on a
+scaled-down workload (the paper used 100 books, a 60-task budget per book and
+a 10-node cluster; we use a few dozen synthetic books and a laptop).  Every
+module writes the series/rows it produces to ``benchmarks/results/`` so the
+numbers are inspectable after the run, and asserts the qualitative shape the
+paper reports.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+_HERE = Path(__file__).parent
+if str(_HERE) not in sys.path:
+    sys.path.insert(0, str(_HERE))
+
+from repro.datasets.book import BookCorpusConfig, generate_book_corpus  # noqa: E402
+from repro.evaluation.experiment import build_problems  # noqa: E402
+from repro.fusion.crh import ModifiedCRH  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def book_corpus():
+    """The evaluation corpus: synthetic stand-in for the paper's 100-book dataset."""
+    return generate_book_corpus(
+        BookCorpusConfig(num_books=40, num_sources=18, seed=2017)
+    )
+
+
+@pytest.fixture(scope="session")
+def book_problems(book_corpus):
+    """Per-book refinement problems initialised with the modified CRH framework."""
+    return build_problems(
+        book_corpus.database,
+        book_corpus.gold,
+        ModifiedCRH(),
+        difficulties=book_corpus.difficulties,
+        max_facts_per_entity=10,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_book_problems(book_corpus):
+    """The Figure-2 subset: books with the fewest statements (OPT stays feasible)."""
+    sizes = {
+        entity: len(book_corpus.claims_for_book(entity))
+        for entity in book_corpus.database.entities()
+    }
+    smallest = sorted(sizes, key=sizes.get)[:15]
+    return build_problems(
+        book_corpus.database,
+        book_corpus.gold,
+        ModifiedCRH(),
+        difficulties=book_corpus.difficulties,
+        max_facts_per_entity=6,
+        entities=smallest,
+    )

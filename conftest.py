@@ -1,0 +1,13 @@
+"""Test-session path setup.
+
+Ensures ``src/`` is importable even when the package has not been installed
+(e.g. in offline environments where ``pip install -e .`` cannot bootstrap its
+build dependencies).
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

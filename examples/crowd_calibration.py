@@ -1,0 +1,85 @@
+"""Estimating crowd accuracy with a qualification pre-test (Section V-C).
+
+The paper observes that the real crowd's accuracy was about 0.86 and that
+mis-estimating ``Pc`` hurts: underestimating slows convergence, overstating it
+(``Pc = 1``) freezes early mistakes forever.  This example estimates ``Pc``
+from a gold-labelled pre-test on a simulated worker pool, then compares
+refinement quality when the system assumes the estimated value, a pessimistic
+value and a perfect crowd.
+
+Run with:  python examples/crowd_calibration.py
+"""
+
+from repro.crowdsim import QualificationTest, SimulatedPlatform, WorkerPool
+from repro.datasets import BookCorpusConfig, generate_book_corpus
+from repro.evaluation import (
+    ExperimentConfig,
+    build_problems,
+    format_table,
+    run_quality_experiment,
+)
+from repro.fusion import ModifiedCRH
+
+TRUE_WORKER_ACCURACY = 0.86
+
+
+def main() -> None:
+    corpus = generate_book_corpus(
+        BookCorpusConfig(num_books=25, num_sources=16, seed=37)
+    )
+
+    # ---- qualification pre-test on 20 gold-labelled statements -----------------
+    pool = WorkerPool.heterogeneous(
+        40, mean_accuracy=TRUE_WORKER_ACCURACY, spread=0.05, seed=53
+    )
+    platform = SimulatedPlatform(ground_truth=corpus.gold, workers=pool)
+    sample = dict(list(corpus.gold.items())[:20])
+    estimate = QualificationTest(sample, repetitions=5).run(platform)
+    print(
+        f"Pre-test on {estimate.sample_size} tasks: estimated Pc = "
+        f"{estimate.estimated_accuracy:.3f} "
+        f"(95% interval [{estimate.interval_low:.3f}, {estimate.interval_high:.3f}]; "
+        f"true pool mean {pool.mean_accuracy():.3f})"
+    )
+
+    # ---- refinement quality under different assumed Pc values -------------------
+    problems = build_problems(
+        corpus.database, corpus.gold, ModifiedCRH(),
+        difficulties=corpus.difficulties, max_facts_per_entity=8,
+    )
+    assumptions = {
+        "estimated Pc": round(estimate.estimated_accuracy, 3),
+        "pessimistic Pc=0.6": 0.6,
+        "blind trust Pc=1.0": 1.0,
+    }
+    rows = []
+    for label, assumed in assumptions.items():
+        config = ExperimentConfig(
+            selector="greedy_prune_pre",
+            k=2,
+            budget_per_entity=14,
+            worker_accuracy=TRUE_WORKER_ACCURACY,
+            assumed_accuracy=assumed,
+            seed=61,
+        )
+        result = run_quality_experiment(problems, config)
+        rows.append(
+            [label, assumed, result.final_point.f1, result.final_point.utility]
+        )
+
+    print("\nRefinement quality after 14 tasks/book (workers really at Pc=0.86):")
+    print(
+        format_table(
+            ["assumption", "assumed Pc", "final F1", "final utility"],
+            rows,
+            float_format="{:.3f}",
+        )
+    )
+    print(
+        "\nTakeaway (matches Section V-C): a well-estimated Pc dominates both "
+        "a pessimistic estimate and blind trust in the crowd."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""CrowdFusion reproduction: crowdsourced refinement of data-fusion results.
+
+This package reproduces "CrowdFusion: A Crowdsourced Approach on Data Fusion
+Refinement" (Chen, Chen & Zhang, ICDE 2017).  The public API is re-exported
+here; see the README for a quickstart and DESIGN.md for the module map.
+"""
+
+from repro.core import (
+    Answer,
+    AnswerSet,
+    Assignment,
+    CrowdFusionEngine,
+    CrowdModel,
+    EngineResult,
+    Fact,
+    FactSet,
+    JointDistribution,
+    Query,
+    RoundRecord,
+    crowd_entropy,
+    merge_answers,
+    pws_quality,
+    utility_gain,
+)
+from repro.core.selection import available_selectors, get_selector
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Answer",
+    "AnswerSet",
+    "Assignment",
+    "CrowdFusionEngine",
+    "CrowdModel",
+    "EngineResult",
+    "Fact",
+    "FactSet",
+    "JointDistribution",
+    "Query",
+    "RoundRecord",
+    "available_selectors",
+    "crowd_entropy",
+    "get_selector",
+    "merge_answers",
+    "pws_quality",
+    "utility_gain",
+    "__version__",
+]

@@ -1,0 +1,237 @@
+"""Command-line interface for the CrowdFusion reproduction.
+
+Four subcommands cover the common workflows without writing any Python:
+
+* ``crowdfusion quickstart`` — the paper's running example end to end;
+* ``crowdfusion fusion`` — compare the machine-only fusion initialisers on a
+  synthetic Book corpus;
+* ``crowdfusion experiment`` — run a budgeted crowd-refinement experiment and
+  print the quality-vs-cost curve;
+* ``crowdfusion timing`` — measure one-round selection times (Table V style).
+
+Every command is deterministic given ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.core import CrowdFusionEngine, CrowdModel, pws_quality
+from repro.core.selection import available_selectors, get_selector
+from repro.crowdsim import SimulatedPlatform, WorkerPool
+from repro.datasets import (
+    BookCorpusConfig,
+    generate_book_corpus,
+    running_example_distribution,
+    running_example_facts,
+)
+from repro.evaluation import (
+    ExperimentConfig,
+    allocate_budget,
+    build_problems,
+    format_series,
+    format_table,
+    measure_selection_times,
+    run_quality_experiment,
+)
+from repro.fusion import BayesianVote, MajorityVote, ModifiedCRH, TruthFinder
+from repro.fusion.pipeline import accuracy_against_gold
+
+_FUSION_METHODS = {
+    "majority": MajorityVote,
+    "crh": ModifiedCRH,
+    "truthfinder": TruthFinder,
+    "bayesian": BayesianVote,
+}
+
+
+def _add_corpus_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--books", type=int, default=30, help="number of synthetic books")
+    parser.add_argument("--sources", type=int, default=16, help="number of synthetic sources")
+    parser.add_argument("--seed", type=int, default=7, help="corpus / experiment RNG seed")
+
+
+def _make_corpus(args: argparse.Namespace):
+    return generate_book_corpus(
+        BookCorpusConfig(
+            num_books=args.books,
+            num_sources=args.sources,
+            max_sources_per_book=min(12, args.sources),
+            seed=args.seed,
+        )
+    )
+
+
+def _cmd_quickstart(args: argparse.Namespace) -> int:
+    facts = running_example_facts()
+    prior = running_example_distribution()
+    crowd = CrowdModel(args.pc)
+    print("Facts (Table I):")
+    rows = [[fact.fact_id, fact.describe(), prior.marginal(fact.fact_id)] for fact in facts]
+    print(format_table(["id", "statement", "P(true)"], rows, float_format="{:.2f}"))
+    selection = get_selector("greedy_prune_pre").select(prior, crowd, k=2)
+    print(f"\nBest 2 tasks: {selection.task_ids}  H(T) = {selection.objective:.3f}")
+
+    gold = {"f1": True, "f2": True, "f3": True, "f4": False}
+    platform = SimulatedPlatform(
+        ground_truth=gold, workers=WorkerPool.homogeneous(10, args.pc, seed=args.seed)
+    )
+    engine = CrowdFusionEngine(
+        get_selector("greedy_prune_pre"), crowd, budget=args.budget, tasks_per_round=2
+    )
+    result = engine.run(prior, platform)
+    print(
+        f"Utility {pws_quality(prior):.3f} -> {result.final_utility:.3f} "
+        f"after {result.total_cost} tasks; labels {result.predicted_labels()}"
+    )
+    return 0
+
+
+def _cmd_fusion(args: argparse.Namespace) -> int:
+    corpus = _make_corpus(args)
+    print(
+        f"Corpus: {len(corpus.books)} books, {len(corpus.database)} claims, "
+        f"raw correctness {corpus.raw_correctness():.3f}"
+    )
+    rows = []
+    for name, factory in _FUSION_METHODS.items():
+        result = factory().run(corpus.database)
+        rows.append(
+            [name, accuracy_against_gold(result, corpus.gold), result.iterations]
+        )
+    print(format_table(["method", "accuracy vs gold", "iterations"], rows,
+                       float_format="{:.3f}"))
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    corpus = _make_corpus(args)
+    problems = build_problems(
+        corpus.database,
+        corpus.gold,
+        _FUSION_METHODS[args.fusion](),
+        difficulties=corpus.difficulties,
+        max_facts_per_entity=args.max_facts,
+    )
+    config = ExperimentConfig(
+        selector=args.selector,
+        k=args.k,
+        budget_per_entity=args.budget,
+        worker_accuracy=args.pc,
+        assumed_accuracy=args.assumed_pc,
+        use_difficulties=True,
+        seed=args.seed,
+    )
+    budgets = None
+    if args.allocation != "fixed":
+        total = args.budget * len(problems)
+        budgets = allocate_budget(problems, total, strategy=args.allocation)
+    result = run_quality_experiment(problems, config, budgets=budgets)
+    print(
+        f"Selector {args.selector}, k={args.k}, budget {args.budget}/book, "
+        f"Pc={args.pc} (assumed {config.model_accuracy}), allocation {args.allocation}"
+    )
+    rows = [
+        ["initial", result.initial_point.cost, result.initial_point.f1,
+         result.initial_point.utility],
+        ["final", result.final_point.cost, result.final_point.f1,
+         result.final_point.utility],
+    ]
+    print(format_table(["stage", "cost", "F1", "utility"], rows, float_format="{:.3f}"))
+    if args.curve:
+        print(format_series("F1", list(zip(result.costs(), result.f1_series())), 3))
+        print(format_series("utility", list(zip(result.costs(), result.utility_series())), 2))
+    return 0
+
+
+def _cmd_timing(args: argparse.Namespace) -> int:
+    corpus = _make_corpus(args)
+    problems = build_problems(
+        corpus.database, corpus.gold, MajorityVote(), max_facts_per_entity=args.max_facts
+    )
+    distributions = [problem.prior for problem in problems[: args.entities]]
+    rows = measure_selection_times(
+        distributions,
+        selectors=args.selectors,
+        ks=args.k,
+        accuracy=args.pc,
+        skip={"opt": args.opt_cap},
+    )
+    print(
+        format_table(
+            ["selector", "k", "mean seconds", "runs"],
+            [[row.selector, row.k, row.mean_seconds, row.runs] for row in rows],
+            float_format="{:.5f}",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="crowdfusion",
+        description="CrowdFusion (ICDE 2017) reproduction command-line interface",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    quickstart = subparsers.add_parser("quickstart", help="run the paper's running example")
+    quickstart.add_argument("--pc", type=float, default=0.8, help="crowd accuracy")
+    quickstart.add_argument("--budget", type=int, default=6, help="task budget")
+    quickstart.add_argument("--seed", type=int, default=6, help="worker RNG seed")
+    quickstart.set_defaults(handler=_cmd_quickstart)
+
+    fusion = subparsers.add_parser("fusion", help="compare machine-only fusion methods")
+    _add_corpus_arguments(fusion)
+    fusion.set_defaults(handler=_cmd_fusion)
+
+    experiment = subparsers.add_parser("experiment", help="run a crowd-refinement experiment")
+    _add_corpus_arguments(experiment)
+    experiment.add_argument(
+        "--selector", default="greedy_prune_pre", choices=available_selectors(),
+        help="task-selection algorithm",
+    )
+    experiment.add_argument("--fusion", default="crh", choices=sorted(_FUSION_METHODS),
+                            help="machine-only initialiser")
+    experiment.add_argument("--k", type=int, default=2, help="tasks per round")
+    experiment.add_argument("--budget", type=int, default=20, help="tasks per book")
+    experiment.add_argument("--pc", type=float, default=0.85, help="true worker accuracy")
+    experiment.add_argument("--assumed-pc", type=float, default=None,
+                            help="accuracy assumed by the system (defaults to --pc)")
+    experiment.add_argument("--max-facts", type=int, default=10,
+                            help="cap on facts per book")
+    experiment.add_argument(
+        "--allocation", default="fixed", choices=["fixed", "uniform", "proportional", "entropy"],
+        help="how the global budget is distributed across books",
+    )
+    experiment.add_argument("--curve", action="store_true", help="print the full quality curve")
+    experiment.set_defaults(handler=_cmd_experiment)
+
+    timing = subparsers.add_parser("timing", help="measure one-round selection times")
+    _add_corpus_arguments(timing)
+    timing.add_argument("--selectors", nargs="+", default=["greedy", "greedy_prune_pre"],
+                        help="selectors to time")
+    timing.add_argument("--k", nargs="+", type=int, default=[1, 2, 3],
+                        help="round sizes to sweep")
+    timing.add_argument("--pc", type=float, default=0.8, help="crowd accuracy")
+    timing.add_argument("--entities", type=int, default=5,
+                        help="number of books to average over")
+    timing.add_argument("--max-facts", type=int, default=12, help="cap on facts per book")
+    timing.add_argument("--opt-cap", type=int, default=2,
+                        help="largest k at which the brute-force selector is timed")
+    timing.set_defaults(handler=_cmd_timing)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

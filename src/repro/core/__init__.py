@@ -1,0 +1,39 @@
+"""Core CrowdFusion model: facts, joint distributions, crowd model, selection.
+
+This subpackage implements the paper's primary contribution:
+
+* the probabilistic data model (facts + joint output distribution),
+* the PWS-quality utility function,
+* the noisy-crowd answer model and Bayesian answer merging,
+* the task-selection algorithms (OPT, greedy, pruning, preprocessing,
+  random, query-based), and
+* the multi-round budgeted refinement engine.
+"""
+
+from repro.core.answers import Answer, AnswerSet
+from repro.core.assignment import Assignment
+from repro.core.crowd import CrowdModel
+from repro.core.distribution import JointDistribution
+from repro.core.engine import CrowdFusionEngine, EngineResult, RoundRecord
+from repro.core.facts import Fact, FactSet
+from repro.core.merging import merge_answers
+from repro.core.query import Query
+from repro.core.utility import crowd_entropy, pws_quality, utility_gain
+
+__all__ = [
+    "Answer",
+    "AnswerSet",
+    "Assignment",
+    "CrowdModel",
+    "CrowdFusionEngine",
+    "EngineResult",
+    "Fact",
+    "FactSet",
+    "JointDistribution",
+    "Query",
+    "RoundRecord",
+    "crowd_entropy",
+    "merge_answers",
+    "pws_quality",
+    "utility_gain",
+]

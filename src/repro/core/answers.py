@@ -1,0 +1,144 @@
+"""Crowd answer records.
+
+An :class:`Answer` is one worker judgment of one fact; an :class:`AnswerSet`
+collects the judgments gathered for one selection round (one task set) and is
+what gets merged back into the joint distribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Sequence, Tuple
+
+from repro.exceptions import InvalidFactError
+
+
+@dataclass(frozen=True)
+class Answer:
+    """A single crowd judgment on one fact.
+
+    Parameters
+    ----------
+    fact_id:
+        The fact that was asked.
+    judgment:
+        The crowd's true/false verdict.
+    worker_id:
+        Optional identifier of the worker (or aggregated worker group).
+    confidence:
+        Optional self-reported or platform-estimated confidence in ``[0, 1]``.
+    """
+
+    fact_id: str
+    judgment: bool
+    worker_id: Optional[str] = None
+    confidence: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.fact_id:
+            raise InvalidFactError("answer must reference a non-empty fact id")
+        if self.confidence is not None and not 0.0 <= self.confidence <= 1.0:
+            raise InvalidFactError(
+                f"confidence must be in [0, 1], got {self.confidence}"
+            )
+
+
+class AnswerSet:
+    """The collected answers for one round's task set.
+
+    Behaves like an immutable mapping from fact id to boolean judgment, while
+    also retaining the underlying :class:`Answer` records for provenance.
+    """
+
+    def __init__(self, answers: Iterable[Answer]):
+        self._answers: Tuple[Answer, ...] = tuple(answers)
+        if not self._answers:
+            raise InvalidFactError("an AnswerSet must contain at least one answer")
+        judgments: Dict[str, bool] = {}
+        for answer in self._answers:
+            if answer.fact_id in judgments:
+                raise InvalidFactError(
+                    f"duplicate answer for fact {answer.fact_id!r}; aggregate per-fact "
+                    "answers before building an AnswerSet"
+                )
+            judgments[answer.fact_id] = answer.judgment
+        self._judgments = judgments
+
+    @classmethod
+    def from_mapping(
+        cls, judgments: Mapping[str, bool], worker_id: Optional[str] = None
+    ) -> "AnswerSet":
+        """Build an answer set directly from a ``fact_id -> bool`` mapping."""
+        return cls(
+            Answer(fact_id=fact_id, judgment=judgment, worker_id=worker_id)
+            for fact_id, judgment in judgments.items()
+        )
+
+    # -- mapping protocol -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._answers)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._judgments)
+
+    def __contains__(self, fact_id: object) -> bool:
+        return fact_id in self._judgments
+
+    def __getitem__(self, fact_id: str) -> bool:
+        try:
+            return self._judgments[fact_id]
+        except KeyError:
+            raise InvalidFactError(f"no answer recorded for fact {fact_id!r}") from None
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AnswerSet):
+            return NotImplemented
+        return self._judgments == other._judgments
+
+    def __repr__(self) -> str:
+        verdicts = ", ".join(
+            f"{fact_id}={'T' if judgment else 'F'}"
+            for fact_id, judgment in self._judgments.items()
+        )
+        return f"AnswerSet({verdicts})"
+
+    # -- accessors -------------------------------------------------------------------
+
+    @property
+    def fact_ids(self) -> Tuple[str, ...]:
+        """Fact ids covered by this answer set, in answer order."""
+        return tuple(answer.fact_id for answer in self._answers)
+
+    @property
+    def answers(self) -> Tuple[Answer, ...]:
+        """The underlying answer records."""
+        return self._answers
+
+    def judgments(self) -> Dict[str, bool]:
+        """Return a copy of the ``fact_id -> judgment`` mapping."""
+        return dict(self._judgments)
+
+    def agreement_with(self, truth: Mapping[str, bool]) -> Tuple[int, int]:
+        """Count ``(#Same, #Diff)`` of this answer set against a truth assignment.
+
+        Only the facts present in this answer set are counted, mirroring the
+        ``#Same`` / ``#Diff`` definition of Equation 2.
+        """
+        same = 0
+        diff = 0
+        for fact_id, judgment in self._judgments.items():
+            if fact_id not in truth:
+                raise InvalidFactError(
+                    f"truth assignment is missing a value for fact {fact_id!r}"
+                )
+            if truth[fact_id] == judgment:
+                same += 1
+            else:
+                diff += 1
+        return same, diff
+
+    def restricted_to(self, fact_ids: Sequence[str]) -> "AnswerSet":
+        """Return the answers for the subset ``fact_ids`` only."""
+        selected = [answer for answer in self._answers if answer.fact_id in set(fact_ids)]
+        return AnswerSet(selected)

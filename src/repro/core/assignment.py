@@ -1,0 +1,130 @@
+"""Truth assignments ("outputs" in the paper) and bitmask helpers.
+
+The paper represents an *output* ``o_i`` as a complete true/false judgment
+over all facts (Table II).  We encode an assignment compactly as an integer
+bitmask: bit ``j`` is set iff the fact at position ``j`` is judged true.
+:class:`Assignment` is a thin value object wrapping a bitmask together with
+the number of facts, and provides conversions to and from tuples and
+per-fact dictionaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Sequence, Tuple
+
+from repro.exceptions import InvalidFactError
+
+
+def mask_from_bools(values: Sequence[bool]) -> int:
+    """Pack a sequence of booleans (position 0 = least significant bit) into a bitmask."""
+    mask = 0
+    for position, value in enumerate(values):
+        if value:
+            mask |= 1 << position
+    return mask
+
+
+def bools_from_mask(mask: int, width: int) -> Tuple[bool, ...]:
+    """Unpack a bitmask into a tuple of ``width`` booleans."""
+    return tuple(bool(mask >> position & 1) for position in range(width))
+
+
+def hamming_agreement(mask_a: int, mask_b: int, positions: Iterable[int]) -> Tuple[int, int]:
+    """Count agreeing and disagreeing bits between two masks over ``positions``.
+
+    Returns ``(num_same, num_diff)`` — the ``#Same`` and ``#Diff`` quantities
+    of Equation 2 in the paper, restricted to the selected task positions.
+    """
+    same = 0
+    diff = 0
+    for position in positions:
+        if (mask_a >> position & 1) == (mask_b >> position & 1):
+            same += 1
+        else:
+            diff += 1
+    return same, diff
+
+
+def project_mask(mask: int, positions: Sequence[int]) -> int:
+    """Project ``mask`` onto ``positions``, producing a compact sub-mask.
+
+    Bit ``i`` of the result is the value of ``mask`` at ``positions[i]``.  This
+    is how a full output is restricted to a task set or a facts-of-interest set.
+    """
+    sub = 0
+    for i, position in enumerate(positions):
+        if mask >> position & 1:
+            sub |= 1 << i
+    return sub
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """A complete truth assignment over an ordered fact set.
+
+    Parameters
+    ----------
+    mask:
+        Bitmask encoding; bit ``j`` corresponds to the fact at position ``j``.
+    width:
+        Number of facts covered by this assignment.
+    """
+
+    mask: int
+    width: int
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise InvalidFactError("assignment width must be positive")
+        if not 0 <= self.mask < (1 << self.width):
+            raise InvalidFactError(
+                f"mask {self.mask} out of range for width {self.width}"
+            )
+
+    @classmethod
+    def from_bools(cls, values: Sequence[bool]) -> "Assignment":
+        """Build an assignment from an ordered sequence of truth values."""
+        return cls(mask=mask_from_bools(values), width=len(values))
+
+    @classmethod
+    def from_dict(cls, values: Dict[str, bool], fact_ids: Sequence[str]) -> "Assignment":
+        """Build an assignment from a ``fact_id -> bool`` mapping.
+
+        ``fact_ids`` supplies the positional order; every fact id must be present
+        in ``values``.
+        """
+        try:
+            ordered = [values[fact_id] for fact_id in fact_ids]
+        except KeyError as exc:
+            raise InvalidFactError(f"missing judgment for fact {exc.args[0]!r}") from None
+        return cls.from_bools(ordered)
+
+    def value(self, position: int) -> bool:
+        """Return the truth value at ``position``."""
+        if not 0 <= position < self.width:
+            raise InvalidFactError(f"position {position} out of range")
+        return bool(self.mask >> position & 1)
+
+    def to_bools(self) -> Tuple[bool, ...]:
+        """Return the assignment as a tuple of booleans in positional order."""
+        return bools_from_mask(self.mask, self.width)
+
+    def to_dict(self, fact_ids: Sequence[str]) -> Dict[str, bool]:
+        """Return the assignment as a ``fact_id -> bool`` mapping."""
+        if len(fact_ids) != self.width:
+            raise InvalidFactError(
+                f"expected {self.width} fact ids, got {len(fact_ids)}"
+            )
+        return dict(zip(fact_ids, self.to_bools()))
+
+    def project(self, positions: Sequence[int]) -> "Assignment":
+        """Restrict the assignment to a subset of positions."""
+        return Assignment(mask=project_mask(self.mask, positions), width=len(positions))
+
+    def agreement(self, other: "Assignment", positions: Iterable[int]) -> Tuple[int, int]:
+        """Return ``(#Same, #Diff)`` against another assignment over ``positions``."""
+        return hamming_agreement(self.mask, other.mask, positions)
+
+    def __str__(self) -> str:
+        return "".join("T" if bit else "F" for bit in self.to_bools())

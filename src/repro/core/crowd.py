@@ -1,0 +1,157 @@
+"""The noisy-crowd answer model (Section II-B of the paper).
+
+A crowd is characterised by a single accuracy ``Pc ∈ [0.5, 1]``: every task
+("is fact *f* true?") is answered correctly with probability ``Pc``,
+independently of all other tasks.  Given the joint output distribution this
+induces a distribution over *answer sets* (Equation 2), whose entropy
+``H(T)`` is exactly what the task-selection algorithms maximise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from repro.core.assignment import project_mask
+from repro.core.distribution import JointDistribution, entropy_of
+from repro.exceptions import InvalidCrowdModelError, SelectionError
+
+
+@dataclass(frozen=True)
+class CrowdModel:
+    """Crowd answer model with a shared worker accuracy ``Pc``.
+
+    Parameters
+    ----------
+    accuracy:
+        Probability that a worker's answer to any single task is correct.
+        Must lie in ``[0.5, 1.0]`` (Definition 2).
+    """
+
+    accuracy: float
+
+    def __post_init__(self) -> None:
+        if not 0.5 <= self.accuracy <= 1.0:
+            raise InvalidCrowdModelError(
+                f"crowd accuracy must be in [0.5, 1.0], got {self.accuracy}"
+            )
+
+    @property
+    def error_rate(self) -> float:
+        """Probability that a single answer is wrong (``1 − Pc``)."""
+        return 1.0 - self.accuracy
+
+    def answer_likelihood(self, num_same: int, num_diff: int) -> float:
+        """Likelihood ``P(Ans | o) = Pc^#Same · (1 − Pc)^#Diff`` of an answer set.
+
+        ``num_same`` and ``num_diff`` count the selected facts whose crowd
+        judgment agrees / disagrees with the candidate output ``o``.
+        """
+        if num_same < 0 or num_diff < 0:
+            raise InvalidCrowdModelError("agreement counts must be non-negative")
+        return (self.accuracy ** num_same) * (self.error_rate ** num_diff)
+
+    # -- answer-set distributions (Equation 2) --------------------------------------
+
+    def answer_distribution(
+        self, distribution: JointDistribution, task_ids: Sequence[str]
+    ) -> JointDistribution:
+        """Distribution over crowd answer sets for the tasks ``task_ids``.
+
+        Implements Equation 2: for every possible answer vector ``a`` over the
+        selected facts,
+
+        ``P(a) = Σ_o P(o) · Pc^#Same(a, o) · (1 − Pc)^#Diff(a, o)``.
+
+        The result is returned as a :class:`JointDistribution` whose "facts"
+        are the selected task ids and whose assignments are answer vectors.
+        """
+        if not task_ids:
+            raise SelectionError("task set must contain at least one fact")
+        if len(set(task_ids)) != len(task_ids):
+            raise SelectionError("task set contains duplicate fact ids")
+        positions = distribution.positions(task_ids)
+        k = len(positions)
+
+        # Likelihood of an answer vector given an output depends only on the
+        # output's projection onto the task positions, so aggregate those first.
+        projected: Dict[int, float] = {}
+        for mask, probability in distribution.items():
+            sub = project_mask(mask, positions)
+            projected[sub] = projected.get(sub, 0.0) + probability
+
+        accuracy = self.accuracy
+        error = self.error_rate
+        answer_probs: Dict[int, float] = {}
+        for answer_mask in range(1 << k):
+            total = 0.0
+            for output_sub, probability in projected.items():
+                diff = bin(answer_mask ^ output_sub).count("1")
+                same = k - diff
+                total += probability * (accuracy ** same) * (error ** diff)
+            if total > 0.0:
+                answer_probs[answer_mask] = total
+        return JointDistribution(task_ids, answer_probs, normalise=True)
+
+    def task_entropy(
+        self, distribution: JointDistribution, task_ids: Sequence[str]
+    ) -> float:
+        """Entropy ``H(T)`` of the answer-set distribution for ``task_ids``.
+
+        This is the objective of the task-selection problem (Equation 4).
+        """
+        return self.answer_distribution(distribution, task_ids).entropy()
+
+    def full_answer_joint(self, distribution: JointDistribution) -> JointDistribution:
+        """Answer joint distribution over *all* facts (the paper's preprocessing).
+
+        This is Table IV of the running example: the distribution of the
+        crowd's answers if every fact were asked.  Marginalising it over any
+        task set yields that task set's answer distribution, which is what
+        Algorithm 2 exploits.
+        """
+        return self.answer_distribution(distribution, distribution.fact_ids)
+
+    # -- joint fact/answer distributions (needed by query-based selection) ----------
+
+    def joint_fact_answer_entropy(
+        self,
+        distribution: JointDistribution,
+        interest_ids: Sequence[str],
+        task_ids: Sequence[str],
+    ) -> float:
+        """Joint entropy ``H(I, T)`` of facts-of-interest values and crowd answers.
+
+        Used by query-based CrowdFusion (Section IV), where the utility after
+        asking is ``Q(I | T) = H(T) − H(I, T)``.  If ``task_ids`` is empty the
+        result is simply ``H(I)``.
+        """
+        interest_positions = distribution.positions(interest_ids)
+        if not task_ids:
+            return distribution.marginalize(interest_ids).entropy()
+        task_positions = distribution.positions(task_ids)
+        k = len(task_positions)
+        accuracy = self.accuracy
+        error = self.error_rate
+
+        # Group outputs by their joint projection onto (interest, tasks): the
+        # answer likelihood depends only on the task projection, and the
+        # interest projection identifies the joint cell.
+        grouped: Dict[tuple, float] = {}
+        for mask, probability in distribution.items():
+            interest_sub = project_mask(mask, interest_positions)
+            task_sub = project_mask(mask, task_positions)
+            key = (interest_sub, task_sub)
+            grouped[key] = grouped.get(key, 0.0) + probability
+
+        joint: Dict[tuple, float] = {}
+        for (interest_sub, task_sub), probability in grouped.items():
+            for answer_mask in range(1 << k):
+                diff = bin(answer_mask ^ task_sub).count("1")
+                same = k - diff
+                mass = probability * (accuracy ** same) * (error ** diff)
+                if mass <= 0.0:
+                    continue
+                key = (interest_sub, answer_mask)
+                joint[key] = joint.get(key, 0.0) + mass
+        return entropy_of(joint.values())

@@ -1,0 +1,211 @@
+"""The multi-round CrowdFusion refinement engine (Figure 1 of the paper).
+
+One *round* is a select → publish → collect → merge cycle: a task set of at
+most ``k`` facts is chosen by the configured selector, pushed to a crowd
+(real platform or simulator), the received answers are merged into the joint
+output distribution by Bayes' rule, and the loop repeats while budget
+remains.  The engine is agnostic to where the answers come from: anything
+that maps a tuple of fact ids to an :class:`~repro.core.answers.AnswerSet`
+will do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Protocol, Sequence, Tuple
+
+from repro.core.answers import AnswerSet
+from repro.core.crowd import CrowdModel
+from repro.core.distribution import JointDistribution
+from repro.core.merging import merge_answers
+from repro.core.selection.base import SelectionResult, TaskSelector
+from repro.core.utility import pws_quality
+from repro.exceptions import BudgetError
+
+
+class AnswerProvider(Protocol):
+    """Anything able to answer a batch of "is this fact true?" tasks.
+
+    Both :class:`repro.crowdsim.platform.SimulatedPlatform` and plain
+    functions satisfy this protocol.
+    """
+
+    def collect(self, task_ids: Sequence[str]) -> AnswerSet:  # pragma: no cover - protocol
+        """Return one aggregated crowd judgment per requested fact."""
+        ...
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """Everything that happened in one select–collect–merge round."""
+
+    round_index: int
+    task_ids: Tuple[str, ...]
+    answers: AnswerSet
+    utility_before: float
+    utility_after: float
+    selection_objective: float
+    selection_seconds: float
+    cumulative_cost: int
+
+    @property
+    def utility_gain(self) -> float:
+        """Realised utility improvement of this round (may be negative)."""
+        return self.utility_after - self.utility_before
+
+
+@dataclass
+class EngineResult:
+    """Final state and full history of one CrowdFusion run."""
+
+    initial_distribution: JointDistribution
+    final_distribution: JointDistribution
+    rounds: List[RoundRecord] = field(default_factory=list)
+
+    @property
+    def total_cost(self) -> int:
+        """Total number of tasks asked over all rounds."""
+        return sum(len(record.task_ids) for record in self.rounds)
+
+    @property
+    def final_utility(self) -> float:
+        """PWS-quality of the final distribution."""
+        return pws_quality(self.final_distribution)
+
+    @property
+    def initial_utility(self) -> float:
+        """PWS-quality of the prior distribution."""
+        return pws_quality(self.initial_distribution)
+
+    def predicted_labels(self, threshold: float = 0.5) -> Dict[str, bool]:
+        """Final per-fact true/false decisions."""
+        return self.final_distribution.predicted_labels(threshold)
+
+    def utility_curve(self) -> List[Tuple[int, float]]:
+        """``(cumulative cost, utility)`` points, starting from the prior."""
+        curve = [(0, self.initial_utility)]
+        curve.extend(
+            (record.cumulative_cost, record.utility_after) for record in self.rounds
+        )
+        return curve
+
+
+class CrowdFusionEngine:
+    """Budgeted, multi-round crowdsourced refinement of a fusion result.
+
+    Parameters
+    ----------
+    selector:
+        Task-selection strategy (any :class:`TaskSelector`).
+    crowd:
+        Crowd accuracy model used both for selection and for Bayesian merging.
+    budget:
+        Total number of tasks that may be asked (``B`` in the paper).
+    tasks_per_round:
+        Maximum number of tasks per round (``k``); the last round may be
+        smaller if the remaining budget is smaller.
+    reselect_asked_facts:
+        Whether facts asked in earlier rounds may be selected again.  The
+        paper allows re-asking (the posterior keeps them uncertain if the
+        crowd disagreed with the prior), which is the default.
+    """
+
+    def __init__(
+        self,
+        selector: TaskSelector,
+        crowd: CrowdModel,
+        budget: int,
+        tasks_per_round: int,
+        reselect_asked_facts: bool = True,
+    ):
+        if budget <= 0:
+            raise BudgetError(f"budget must be positive, got {budget}")
+        if tasks_per_round <= 0:
+            raise BudgetError(f"tasks_per_round must be positive, got {tasks_per_round}")
+        self._selector = selector
+        self._crowd = crowd
+        self._budget = budget
+        self._tasks_per_round = tasks_per_round
+        self._reselect = reselect_asked_facts
+
+    @property
+    def budget(self) -> int:
+        """Total task budget ``B``."""
+        return self._budget
+
+    @property
+    def tasks_per_round(self) -> int:
+        """Per-round task cap ``k``."""
+        return self._tasks_per_round
+
+    def run(
+        self,
+        distribution: JointDistribution,
+        answer_provider: "AnswerProvider | Callable[[Sequence[str]], AnswerSet]",
+        round_callback: Optional[Callable[[RoundRecord, JointDistribution], None]] = None,
+    ) -> EngineResult:
+        """Execute rounds until the budget is exhausted or nothing remains to ask.
+
+        Parameters
+        ----------
+        distribution:
+            Prior joint output distribution (output of a machine-only fusion
+            method, or a uniform / independent prior).
+        answer_provider:
+            Object with a ``collect(task_ids)`` method, or a plain callable
+            taking the task ids and returning an :class:`AnswerSet`.
+        round_callback:
+            Optional hook invoked after each round with the round record and
+            the updated distribution (used by the experiment runner to track
+            quality curves).
+        """
+        collect = getattr(answer_provider, "collect", None)
+        if collect is None:
+            collect = answer_provider
+
+        result = EngineResult(
+            initial_distribution=distribution, final_distribution=distribution
+        )
+        current = distribution
+        asked: set = set()
+        remaining_budget = self._budget
+        round_index = 0
+
+        while remaining_budget > 0:
+            k = min(self._tasks_per_round, remaining_budget, current.num_facts)
+            exclude: Tuple[str, ...] = ()
+            if not self._reselect:
+                exclude = tuple(asked)
+                if len(exclude) >= current.num_facts:
+                    break
+            selection: SelectionResult = self._selector.select(
+                current, self._crowd, k, exclude=exclude
+            )
+            if not selection.task_ids:
+                # No task offers positive expected gain: stop early.
+                break
+
+            answers = collect(selection.task_ids)
+            utility_before = pws_quality(current)
+            current = merge_answers(current, answers, self._crowd)
+            utility_after = pws_quality(current)
+
+            remaining_budget -= len(selection.task_ids)
+            asked.update(selection.task_ids)
+            round_index += 1
+            record = RoundRecord(
+                round_index=round_index,
+                task_ids=selection.task_ids,
+                answers=answers,
+                utility_before=utility_before,
+                utility_after=utility_after,
+                selection_objective=selection.objective,
+                selection_seconds=selection.stats.elapsed_seconds,
+                cumulative_cost=self._budget - remaining_budget,
+            )
+            result.rounds.append(record)
+            if round_callback is not None:
+                round_callback(record, current)
+
+        result.final_distribution = current
+        return result

@@ -1,0 +1,190 @@
+"""Fact triples and ordered fact sets.
+
+A *fact* in CrowdFusion is a ``{subject, predicate, object}`` triple whose
+ground-truth value is either true or false (Section II-A of the paper).  The
+:class:`FactSet` is an ordered, id-addressable collection of facts; the order
+defines the bit positions used by :class:`repro.core.distribution.JointDistribution`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.exceptions import InvalidFactError
+
+
+@dataclass(frozen=True)
+class Fact:
+    """A single binary fact about a real-world entity.
+
+    Parameters
+    ----------
+    fact_id:
+        Unique identifier within a :class:`FactSet` (e.g. ``"f1"``).
+    subject:
+        The entity the fact is about (e.g. ``"Hong Kong"``).
+    predicate:
+        The attribute name (e.g. ``"Continent"``).
+    obj:
+        The claimed value (e.g. ``"Asia"``).
+    prior:
+        Optional marginal prior probability that the fact is true, as produced
+        by a machine-only fusion method.  ``None`` means "unknown".
+    metadata:
+        Free-form provenance information (source names, entity keys, ...).
+    """
+
+    fact_id: str
+    subject: str
+    predicate: str
+    obj: str
+    prior: Optional[float] = None
+    metadata: Tuple[Tuple[str, str], ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.fact_id:
+            raise InvalidFactError("fact_id must be a non-empty string")
+        if self.prior is not None and not 0.0 <= self.prior <= 1.0:
+            raise InvalidFactError(
+                f"prior for fact {self.fact_id!r} must be in [0, 1], got {self.prior}"
+            )
+
+    @property
+    def triple(self) -> Tuple[str, str, str]:
+        """Return the ``(subject, predicate, object)`` triple."""
+        return (self.subject, self.predicate, self.obj)
+
+    def describe(self) -> str:
+        """Return a one-line human-readable statement of the fact."""
+        return f"{self.subject} | {self.predicate} | {self.obj}"
+
+
+class FactSet:
+    """An ordered collection of :class:`Fact` objects with unique ids.
+
+    The ordering is significant: position ``i`` of a fact determines which bit
+    of an assignment bitmask refers to it.  Iteration yields facts in order.
+    """
+
+    def __init__(self, facts: Iterable[Fact]):
+        self._facts: List[Fact] = list(facts)
+        if not self._facts:
+            raise InvalidFactError("a FactSet must contain at least one fact")
+        self._index: Dict[str, int] = {}
+        for position, fact in enumerate(self._facts):
+            if fact.fact_id in self._index:
+                raise InvalidFactError(f"duplicate fact id {fact.fact_id!r}")
+            self._index[fact.fact_id] = position
+
+    # -- basic container protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._facts)
+
+    def __iter__(self) -> Iterator[Fact]:
+        return iter(self._facts)
+
+    def __contains__(self, fact_id: object) -> bool:
+        return fact_id in self._index
+
+    def __getitem__(self, fact_id: str) -> Fact:
+        try:
+            return self._facts[self._index[fact_id]]
+        except KeyError:
+            raise InvalidFactError(f"unknown fact id {fact_id!r}") from None
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FactSet):
+            return NotImplemented
+        return self._facts == other._facts
+
+    def __repr__(self) -> str:
+        return f"FactSet({[f.fact_id for f in self._facts]!r})"
+
+    # -- accessors ----------------------------------------------------------------
+
+    @property
+    def fact_ids(self) -> Tuple[str, ...]:
+        """Return fact ids in positional order."""
+        return tuple(fact.fact_id for fact in self._facts)
+
+    def position(self, fact_id: str) -> int:
+        """Return the bit position of ``fact_id``.
+
+        Raises :class:`repro.exceptions.InvalidFactError` for unknown ids.
+        """
+        try:
+            return self._index[fact_id]
+        except KeyError:
+            raise InvalidFactError(f"unknown fact id {fact_id!r}") from None
+
+    def positions(self, fact_ids: Sequence[str]) -> Tuple[int, ...]:
+        """Return bit positions for a sequence of fact ids, preserving order."""
+        return tuple(self.position(fact_id) for fact_id in fact_ids)
+
+    def facts(self) -> Tuple[Fact, ...]:
+        """Return the facts in positional order."""
+        return tuple(self._facts)
+
+    def priors(self) -> Dict[str, Optional[float]]:
+        """Return the map of fact id to prior probability (``None`` if unset)."""
+        return {fact.fact_id: fact.prior for fact in self._facts}
+
+    def subset(self, fact_ids: Sequence[str]) -> "FactSet":
+        """Return a new :class:`FactSet` containing only ``fact_ids``, in the given order."""
+        return FactSet(self[fact_id] for fact_id in fact_ids)
+
+    def with_priors(self, priors: Dict[str, float]) -> "FactSet":
+        """Return a copy of this fact set with priors replaced from ``priors``.
+
+        Facts not mentioned in ``priors`` keep their existing prior.
+        """
+        updated = []
+        for fact in self._facts:
+            prior = priors.get(fact.fact_id, fact.prior)
+            updated.append(
+                Fact(
+                    fact_id=fact.fact_id,
+                    subject=fact.subject,
+                    predicate=fact.predicate,
+                    obj=fact.obj,
+                    prior=prior,
+                    metadata=fact.metadata,
+                )
+            )
+        return FactSet(updated)
+
+    @classmethod
+    def from_triples(
+        cls,
+        triples: Sequence[Tuple[str, str, str]],
+        priors: Optional[Sequence[float]] = None,
+        prefix: str = "f",
+    ) -> "FactSet":
+        """Build a fact set from raw triples, generating ids ``f1, f2, ...``.
+
+        Parameters
+        ----------
+        triples:
+            Sequence of ``(subject, predicate, object)`` tuples.
+        priors:
+            Optional per-fact prior probabilities, aligned with ``triples``.
+        prefix:
+            Prefix used when generating fact ids.
+        """
+        if priors is not None and len(priors) != len(triples):
+            raise InvalidFactError("priors must align one-to-one with triples")
+        facts = []
+        for i, (subject, predicate, obj) in enumerate(triples, start=1):
+            prior = priors[i - 1] if priors is not None else None
+            facts.append(
+                Fact(
+                    fact_id=f"{prefix}{i}",
+                    subject=subject,
+                    predicate=predicate,
+                    obj=obj,
+                    prior=prior,
+                )
+            )
+        return cls(facts)

@@ -1,0 +1,86 @@
+"""Bayesian merging of crowd answers into the joint output distribution.
+
+Section III-A of the paper: after receiving an answer set ``Ans`` for the
+selected tasks, every output ``o`` is rescored as
+
+``P(o | Ans) = P(o) · P(Ans | o) / P(Ans)``
+
+with ``P(Ans | o) = Pc^#Same · (1 − Pc)^#Diff`` counted over the selected
+facts only (Equation 3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.answers import AnswerSet
+from repro.core.crowd import CrowdModel
+from repro.core.distribution import JointDistribution
+from repro.exceptions import SelectionError
+
+
+def answer_likelihoods(
+    distribution: JointDistribution, answers: AnswerSet, crowd: CrowdModel
+) -> Dict[int, float]:
+    """Per-output likelihood ``P(Ans | o)`` for every output in the support.
+
+    The returned mapping is keyed by assignment bitmask and can be fed to
+    :meth:`JointDistribution.reweight`.
+    """
+    pairs = []
+    for fact_id, judgment in answers.judgments().items():
+        pairs.append((distribution.position(fact_id), judgment))
+    if not pairs:
+        raise SelectionError("cannot merge an empty answer set")
+
+    likelihoods: Dict[int, float] = {}
+    for mask, _probability in distribution.items():
+        same = 0
+        diff = 0
+        for position, judgment in pairs:
+            if bool(mask >> position & 1) == judgment:
+                same += 1
+            else:
+                diff += 1
+        likelihoods[mask] = crowd.answer_likelihood(same, diff)
+    return likelihoods
+
+
+def answer_probability(
+    distribution: JointDistribution, answers: AnswerSet, crowd: CrowdModel
+) -> float:
+    """Marginal probability ``P(Ans)`` of receiving this exact answer set (Equation 2)."""
+    likelihoods = answer_likelihoods(distribution, answers, crowd)
+    return sum(
+        probability * likelihoods[mask] for mask, probability in distribution.items()
+    )
+
+
+def merge_answers(
+    distribution: JointDistribution, answers: AnswerSet, crowd: CrowdModel
+) -> JointDistribution:
+    """Posterior joint distribution after observing ``answers`` (Equation 3).
+
+    The update multiplies every output's probability by its answer likelihood
+    and renormalises; outputs that conflict with the crowd lose mass, outputs
+    that agree gain mass — exactly the running-example update in Section III-A.
+    """
+    likelihoods = answer_likelihoods(distribution, answers, crowd)
+    return distribution.reweight(likelihoods)
+
+
+def merge_answer_sequence(
+    distribution: JointDistribution,
+    answer_sets: "list[AnswerSet]",
+    crowd: CrowdModel,
+) -> JointDistribution:
+    """Fold a sequence of answer sets into the distribution, one Bayes step each.
+
+    Because worker errors are independent across tasks and across rounds, the
+    sequential update equals the joint update; this helper mirrors how the
+    multi-round engine applies one round's answers at a time.
+    """
+    current = distribution
+    for answers in answer_sets:
+        current = merge_answers(current, answers, crowd)
+    return current

@@ -1,0 +1,55 @@
+"""Facts-of-interest queries for query-based CrowdFusion (Section IV)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.core.distribution import JointDistribution
+from repro.exceptions import QueryError
+
+
+@dataclass(frozen=True)
+class Query:
+    """A user query naming the facts whose truth values actually matter.
+
+    Parameters
+    ----------
+    fact_ids:
+        The facts of interest (FOI).  Must be non-empty and duplicate-free.
+    name:
+        Optional human-readable label (used in reports and examples).
+    """
+
+    fact_ids: Tuple[str, ...]
+    name: str = "query"
+
+    def __post_init__(self) -> None:
+        if not self.fact_ids:
+            raise QueryError("a query must name at least one fact of interest")
+        if len(set(self.fact_ids)) != len(self.fact_ids):
+            raise QueryError("query facts of interest must be unique")
+
+    @classmethod
+    def of(cls, fact_ids: Sequence[str], name: str = "query") -> "Query":
+        """Convenience constructor accepting any sequence of fact ids."""
+        return cls(fact_ids=tuple(fact_ids), name=name)
+
+    def validate_against(self, distribution: JointDistribution) -> None:
+        """Raise :class:`QueryError` if any FOI is absent from ``distribution``."""
+        known = set(distribution.fact_ids)
+        missing = [fact_id for fact_id in self.fact_ids if fact_id not in known]
+        if missing:
+            raise QueryError(f"query references unknown facts: {missing}")
+
+    def interest_distribution(self, distribution: JointDistribution) -> JointDistribution:
+        """Return the joint distribution marginalised onto the facts of interest."""
+        self.validate_against(distribution)
+        return distribution.marginalize(self.fact_ids)
+
+    def utility(self, distribution: JointDistribution) -> float:
+        """Query-based PWS-quality ``Q(I) = −H(I)``."""
+        return -self.interest_distribution(distribution).entropy()
+
+    def __len__(self) -> int:
+        return len(self.fact_ids)

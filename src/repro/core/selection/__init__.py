@@ -1,0 +1,46 @@
+"""Task-selection algorithms for CrowdFusion.
+
+All selectors implement the :class:`repro.core.selection.base.TaskSelector`
+interface and maximise the answer-set entropy ``H(T)`` (Equation 4), which is
+equivalent to maximising the expected utility gain of one crowdsourcing round.
+
+Available selectors (Section III & IV of the paper):
+
+* :class:`BruteForceSelector` — the exact "OPT" baseline.
+* :class:`GreedySelector` — Algorithm 1, the ``(1 − 1/e)`` approximation.
+* :class:`PruningGreedySelector` — Algorithm 1 plus the Theorem-3 pruning rule.
+* :class:`PreprocessingGreedySelector` — Algorithm 1 plus the answer-joint
+  preprocessing and incremental partition refinement (Algorithm 2).
+* :class:`PrunedPreprocessingGreedySelector` — both accelerations.
+* :class:`RandomSelector` — the random baseline used in the evaluation.
+* :class:`QueryGreedySelector` — query-based CrowdFusion (Section IV).
+"""
+
+from repro.core.selection.base import SelectionResult, SelectionStats, TaskSelector
+from repro.core.selection.brute_force import BruteForceSelector
+from repro.core.selection.fact_entropy import FactEntropySelector
+from repro.core.selection.greedy import GreedySelector
+from repro.core.selection.preprocessing import (
+    PreprocessingGreedySelector,
+    PrunedPreprocessingGreedySelector,
+)
+from repro.core.selection.pruning import PruningGreedySelector
+from repro.core.selection.query_greedy import QueryGreedySelector
+from repro.core.selection.random_selector import RandomSelector
+from repro.core.selection.registry import available_selectors, get_selector
+
+__all__ = [
+    "BruteForceSelector",
+    "FactEntropySelector",
+    "GreedySelector",
+    "PreprocessingGreedySelector",
+    "PrunedPreprocessingGreedySelector",
+    "PruningGreedySelector",
+    "QueryGreedySelector",
+    "RandomSelector",
+    "SelectionResult",
+    "SelectionStats",
+    "TaskSelector",
+    "available_selectors",
+    "get_selector",
+]

@@ -1,0 +1,153 @@
+"""Common interface for task-selection algorithms."""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+from repro.core.crowd import CrowdModel
+from repro.core.distribution import JointDistribution
+from repro.exceptions import SelectionError
+
+#: Objective improvements smaller than this are treated as ties; the earliest
+#: candidate wins.  Keeping one shared tolerance makes every greedy variant
+#: break ties identically regardless of its numerical evaluation path.
+TIE_TOLERANCE = 1e-12
+
+
+@dataclass
+class SelectionStats:
+    """Bookkeeping produced by one call to :meth:`TaskSelector.select`.
+
+    Attributes
+    ----------
+    candidate_evaluations:
+        Number of candidate task sets whose objective was actually computed.
+    pruned_candidates:
+        Number of candidate evaluations *skipped* because the fact was already
+        in the pruned set (work saved by Theorem 3).
+    pruned_facts:
+        Number of distinct facts the pruning rule permanently eliminated.
+    elapsed_seconds:
+        Wall-clock time spent inside the selector.
+    iterations:
+        Number of greedy iterations performed (0 for non-iterative selectors).
+    """
+
+    candidate_evaluations: int = 0
+    pruned_candidates: int = 0
+    pruned_facts: int = 0
+    elapsed_seconds: float = 0.0
+    iterations: int = 0
+
+
+@dataclass(frozen=True)
+class SelectionResult:
+    """The outcome of one task-selection call.
+
+    Attributes
+    ----------
+    task_ids:
+        The selected fact ids, in selection order.
+    objective:
+        The achieved objective value — the answer-set entropy ``H(T)`` for the
+        standard problem, or the query-based utility for FOI selection.
+    stats:
+        Performance counters for the selection run.
+    """
+
+    task_ids: Tuple[str, ...]
+    objective: float
+    stats: SelectionStats = field(default_factory=SelectionStats)
+
+    def __len__(self) -> int:
+        return len(self.task_ids)
+
+
+class TaskSelector(abc.ABC):
+    """Abstract task selector: pick ``k`` facts to ask the crowd.
+
+    Concrete selectors only implement :meth:`_select`; the public
+    :meth:`select` method performs argument validation and timing so that
+    every implementation reports comparable statistics.
+    """
+
+    #: Short machine-readable identifier used by the registry and benchmarks.
+    name: str = "abstract"
+
+    def select(
+        self,
+        distribution: JointDistribution,
+        crowd: CrowdModel,
+        k: int,
+        exclude: Sequence[str] = (),
+    ) -> SelectionResult:
+        """Select up to ``k`` facts (tasks) to ask the crowd.
+
+        Parameters
+        ----------
+        distribution:
+            The current joint output distribution over the fact set.
+        crowd:
+            Crowd accuracy model used to evaluate answer-set entropies.
+        k:
+            Maximum number of tasks to select this round.  Selectors may
+            return fewer tasks (``K* < k``) if no further gain is possible.
+        exclude:
+            Fact ids that must not be selected (e.g. already resolved facts).
+        """
+        if k <= 0:
+            raise SelectionError(f"k must be positive, got {k}")
+        excluded = set(exclude)
+        unknown = excluded.difference(distribution.fact_ids)
+        if unknown:
+            raise SelectionError(f"cannot exclude unknown facts: {sorted(unknown)}")
+        candidates = [
+            fact_id for fact_id in distribution.fact_ids if fact_id not in excluded
+        ]
+        if not candidates:
+            raise SelectionError("no candidate facts remain after exclusion")
+        k = min(k, len(candidates))
+
+        started = time.perf_counter()
+        result = self._select(distribution, crowd, k, candidates)
+        result.stats.elapsed_seconds = time.perf_counter() - started
+        return result
+
+    @abc.abstractmethod
+    def _select(
+        self,
+        distribution: JointDistribution,
+        crowd: CrowdModel,
+        k: int,
+        candidates: Sequence[str],
+    ) -> SelectionResult:
+        """Selector-specific implementation; ``candidates`` is already filtered."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+def best_single_task(
+    distribution: JointDistribution,
+    crowd: CrowdModel,
+    candidates: Sequence[str],
+    selected: Sequence[str],
+) -> Optional[Tuple[str, float]]:
+    """Return the candidate maximising ``H(T ∪ {f})`` and that entropy.
+
+    Shared helper for greedy-style selectors; returns ``None`` when
+    ``candidates`` is empty.
+    """
+    best_id: Optional[str] = None
+    best_entropy = float("-inf")
+    for fact_id in candidates:
+        entropy = crowd.task_entropy(distribution, list(selected) + [fact_id])
+        if entropy > best_entropy + TIE_TOLERANCE:
+            best_entropy = entropy
+            best_id = fact_id
+    if best_id is None:
+        return None
+    return best_id, best_entropy

@@ -1,0 +1,61 @@
+"""Utility (PWS-quality) and entropy helpers.
+
+The paper measures the quality of a fact set as the negative Shannon entropy
+of its joint output distribution (Definition 1), i.e. the PWS-quality of
+Cheng et al.  Lower entropy means more confident, hence higher utility.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.distribution import JointDistribution
+from repro.exceptions import InvalidCrowdModelError
+
+
+def pws_quality(distribution: JointDistribution) -> float:
+    """PWS-quality ``Q(F) = -H(F)`` of a joint distribution (Definition 1)."""
+    return -distribution.entropy()
+
+
+def crowd_entropy(accuracy: float) -> float:
+    """Per-task crowd entropy ``H(Crowd)`` (Definition 2, Equation 1).
+
+    ``accuracy`` is the worker correctness probability ``Pc ∈ [0.5, 1]``.
+    ``Pc = 1`` gives zero entropy (a perfectly reliable crowd).
+    """
+    if not 0.5 <= accuracy <= 1.0:
+        raise InvalidCrowdModelError(
+            f"crowd accuracy must be in [0.5, 1.0], got {accuracy}"
+        )
+    if accuracy in (0.0, 1.0):
+        return 0.0
+    wrong = 1.0 - accuracy
+    return -accuracy * math.log2(accuracy) - wrong * math.log2(wrong)
+
+
+def utility_gain(prior: JointDistribution, posterior: JointDistribution) -> float:
+    """Realised utility improvement ``ΔQ = Q(posterior) − Q(prior)``.
+
+    This is the *observed* gain after merging a concrete answer set; the
+    selection algorithms maximise its expectation instead.
+    """
+    return pws_quality(posterior) - pws_quality(prior)
+
+
+def expected_posterior_entropy(
+    task_entropy: float, num_tasks: int, accuracy: float, prior_entropy: float
+) -> float:
+    """Expected posterior entropy ``H(F | T)`` implied by the paper's identity.
+
+    Section III-B shows ``H(F) − H(F|T) = H(T) − H(T|F)`` with
+    ``H(T|F) = k · H(Crowd)``.  Rearranging gives the expected entropy of the
+    fact set after observing the answers to ``num_tasks`` tasks whose answer
+    distribution has entropy ``task_entropy``.
+    """
+    return prior_entropy - (task_entropy - num_tasks * crowd_entropy(accuracy))
+
+
+def expected_utility_gain(task_entropy: float, num_tasks: int, accuracy: float) -> float:
+    """Expected utility gain ``ΔQ = H(T) − k·H(Crowd)`` of asking a task set."""
+    return task_entropy - num_tasks * crowd_entropy(accuracy)

@@ -1,0 +1,27 @@
+"""Building correlated joint distributions over facts.
+
+The paper's input is a joint distribution over all facts, which encodes the
+correlations the task-selection algorithms exploit (the "Obama married at 31 /
+married in 1992 / born in 1961" example).  This subpackage builds such
+distributions from per-fact marginals plus declarative correlation rules, or
+from a small discrete Bayesian network.
+"""
+
+from repro.correlation.bayesnet import BayesianNetwork, BinaryNode
+from repro.correlation.builder import JointDistributionBuilder
+from repro.correlation.rules import (
+    CorrelationRule,
+    ImplicationRule,
+    MutualExclusionRule,
+    PositiveCorrelationRule,
+)
+
+__all__ = [
+    "BayesianNetwork",
+    "BinaryNode",
+    "CorrelationRule",
+    "ImplicationRule",
+    "JointDistributionBuilder",
+    "MutualExclusionRule",
+    "PositiveCorrelationRule",
+]

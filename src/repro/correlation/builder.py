@@ -1,0 +1,190 @@
+"""Construct correlated joint distributions from marginals and rules.
+
+The builder starts from the independent product of the per-fact marginals and
+multiplies in the compatibility factor of every correlation rule, then
+renormalises.  To keep the result laptop-scale for larger fact sets it works
+per *component* (facts connected through shared rules) and prunes the support
+to the most probable assignments when combining components — the paper's
+algorithms only ever see the resulting sparse output table, which is exactly
+the ``{Oid, P}`` input format used in its NP-hardness construction.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.distribution import JointDistribution
+from repro.correlation.rules import CorrelationRule
+from repro.exceptions import InvalidDistributionError
+
+#: Components larger than this are refused outright (2^22 assignments).
+_EXHAUSTIVE_LIMIT = 22
+
+
+class JointDistributionBuilder:
+    """Build a :class:`JointDistribution` from marginals plus correlation rules.
+
+    Parameters
+    ----------
+    marginals:
+        Mapping from fact id to its prior probability of being true; the
+        iteration order fixes the fact order of the resulting distribution.
+    rules:
+        Correlation rules over subsets of those facts.
+    max_support:
+        Upper bound on the number of assignments kept when combining
+        independent components; the least probable assignments are dropped
+        and the distribution is renormalised.  ``None`` disables pruning.
+    """
+
+    def __init__(
+        self,
+        marginals: Mapping[str, float],
+        rules: Iterable[CorrelationRule] = (),
+        max_support: Optional[int] = 4096,
+    ):
+        if not marginals:
+            raise InvalidDistributionError("at least one fact marginal is required")
+        self._marginals: Dict[str, float] = dict(marginals)
+        self._rules: List[CorrelationRule] = list(rules)
+        for rule in self._rules:
+            unknown = [f for f in rule.fact_ids if f not in self._marginals]
+            if unknown:
+                raise InvalidDistributionError(
+                    f"rule {rule!r} references facts without marginals: {unknown}"
+                )
+        if max_support is not None and max_support <= 0:
+            raise InvalidDistributionError(
+                f"max_support must be positive or None, got {max_support}"
+            )
+        self._max_support = max_support
+
+    # -- public API ---------------------------------------------------------------------
+
+    def build(self) -> JointDistribution:
+        """Build the correlated joint distribution over all facts."""
+        fact_ids = tuple(self._marginals)
+        components = self._components(fact_ids)
+        partial: Optional[Dict[Tuple[str, ...], Dict[int, float]]] = None
+
+        combined_ids: Tuple[str, ...] = ()
+        combined: Dict[int, float] = {0: 1.0}
+        for component in components:
+            component_dist = self._build_component(component)
+            combined = self._product(combined, len(combined_ids), component_dist)
+            combined_ids = combined_ids + component
+            combined = self._prune(combined)
+        del partial  # single-pass combination; kept name for readability of the loop
+
+        # Re-order bits to match the caller-supplied fact order.
+        reordered = self._reorder(combined, combined_ids, fact_ids)
+        return JointDistribution(fact_ids, reordered, normalise=True)
+
+    # -- internals -----------------------------------------------------------------------
+
+    def _components(self, fact_ids: Sequence[str]) -> List[Tuple[str, ...]]:
+        """Group facts into connected components induced by shared rules."""
+        parent: Dict[str, str] = {fact_id: fact_id for fact_id in fact_ids}
+
+        def find(fact_id: str) -> str:
+            while parent[fact_id] != fact_id:
+                parent[fact_id] = parent[parent[fact_id]]
+                fact_id = parent[fact_id]
+            return fact_id
+
+        def union(a: str, b: str) -> None:
+            root_a, root_b = find(a), find(b)
+            if root_a != root_b:
+                parent[root_b] = root_a
+
+        for rule in self._rules:
+            first = rule.fact_ids[0]
+            for other in rule.fact_ids[1:]:
+                union(first, other)
+
+        grouped: Dict[str, List[str]] = {}
+        for fact_id in fact_ids:
+            grouped.setdefault(find(fact_id), []).append(fact_id)
+        # Preserve the original fact order inside and across components.
+        components = sorted(grouped.values(), key=lambda group: fact_ids.index(group[0]))
+        return [tuple(group) for group in components]
+
+    def _build_component(self, fact_ids: Tuple[str, ...]) -> Dict[int, float]:
+        """Exhaustively weight all assignments of one correlated component."""
+        n = len(fact_ids)
+        if n > _EXHAUSTIVE_LIMIT:
+            raise InvalidDistributionError(
+                f"correlated component {list(fact_ids)} has {n} facts; "
+                f"components above {_EXHAUSTIVE_LIMIT} facts are not supported — "
+                "split the rules or reduce the fact set"
+            )
+        relevant_rules = [
+            rule for rule in self._rules if all(f in fact_ids for f in rule.fact_ids)
+        ]
+        marginals = [self._marginals[fact_id] for fact_id in fact_ids]
+        probs: Dict[int, float] = {}
+        for mask in range(1 << n):
+            weight = 1.0
+            for position, p_true in enumerate(marginals):
+                weight *= p_true if mask >> position & 1 else (1.0 - p_true)
+            if weight <= 0.0:
+                continue
+            if relevant_rules:
+                assignment = {
+                    fact_id: bool(mask >> position & 1)
+                    for position, fact_id in enumerate(fact_ids)
+                }
+                for rule in relevant_rules:
+                    weight *= rule.factor(assignment)
+                    if weight <= 0.0:
+                        break
+            if weight > 0.0:
+                probs[mask] = weight
+        if not probs:
+            raise InvalidDistributionError(
+                f"rules over {list(fact_ids)} eliminate every assignment"
+            )
+        total = sum(probs.values())
+        return {mask: p / total for mask, p in probs.items()}
+
+    @staticmethod
+    def _product(
+        left: Dict[int, float], left_width: int, right: Dict[int, float]
+    ) -> Dict[int, float]:
+        """Product distribution of two independent blocks (right bits appended above left)."""
+        if left_width == 0:
+            return dict(right)
+        combined: Dict[int, float] = {}
+        for right_mask, right_prob in right.items():
+            shifted = right_mask << left_width
+            for left_mask, left_prob in left.items():
+                combined[shifted | left_mask] = left_prob * right_prob
+        return combined
+
+    def _prune(self, probs: Dict[int, float]) -> Dict[int, float]:
+        """Keep only the ``max_support`` most probable assignments (renormalised)."""
+        if self._max_support is None or len(probs) <= self._max_support:
+            return probs
+        kept = heapq.nlargest(self._max_support, probs.items(), key=lambda item: item[1])
+        total = sum(probability for _mask, probability in kept)
+        return {mask: probability / total for mask, probability in kept}
+
+    @staticmethod
+    def _reorder(
+        probs: Dict[int, float],
+        current_order: Tuple[str, ...],
+        target_order: Tuple[str, ...],
+    ) -> Dict[int, float]:
+        """Permute assignment bits from ``current_order`` to ``target_order``."""
+        if current_order == target_order:
+            return probs
+        position_map = [current_order.index(fact_id) for fact_id in target_order]
+        reordered: Dict[int, float] = {}
+        for mask, probability in probs.items():
+            new_mask = 0
+            for target_position, source_position in enumerate(position_map):
+                if mask >> source_position & 1:
+                    new_mask |= 1 << target_position
+            reordered[new_mask] = reordered.get(new_mask, 0.0) + probability
+        return reordered

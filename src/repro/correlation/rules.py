@@ -1,0 +1,132 @@
+"""Declarative correlation rules between binary facts.
+
+A rule contributes a multiplicative *compatibility factor* in ``(0, 1]`` to
+every truth assignment: assignments that satisfy the rule keep factor 1.0,
+assignments that violate it are down-weighted by the rule's strength.  The
+:class:`repro.correlation.builder.JointDistributionBuilder` multiplies these
+factors into the independent product of the marginals and renormalises,
+yielding a correlated joint distribution.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Mapping, Sequence, Tuple
+
+from repro.exceptions import InvalidFactError
+
+
+class CorrelationRule(abc.ABC):
+    """Base class: a soft constraint over a small set of facts."""
+
+    def __init__(self, fact_ids: Sequence[str], strength: float):
+        if not fact_ids:
+            raise InvalidFactError("a correlation rule must reference at least one fact")
+        if len(set(fact_ids)) != len(fact_ids):
+            raise InvalidFactError("a correlation rule cannot repeat a fact id")
+        if not 0.0 <= strength <= 1.0:
+            raise InvalidFactError(
+                f"rule strength must be in [0, 1], got {strength}"
+            )
+        self._fact_ids: Tuple[str, ...] = tuple(fact_ids)
+        self._strength = strength
+
+    @property
+    def fact_ids(self) -> Tuple[str, ...]:
+        """The facts this rule constrains."""
+        return self._fact_ids
+
+    @property
+    def strength(self) -> float:
+        """How strongly violations are penalised (1.0 = hard constraint)."""
+        return self._strength
+
+    @property
+    def violation_factor(self) -> float:
+        """Multiplier applied to violating assignments: ``1 − strength``.
+
+        A strength of 1.0 makes the rule hard (violations get zero mass);
+        strength 0.0 makes it a no-op.
+        """
+        return 1.0 - self._strength
+
+    def factor(self, assignment: Mapping[str, bool]) -> float:
+        """Compatibility factor of one truth assignment (restricted to the rule's facts)."""
+        missing = [fact_id for fact_id in self._fact_ids if fact_id not in assignment]
+        if missing:
+            raise InvalidFactError(f"assignment is missing facts {missing} required by the rule")
+        return 1.0 if self._satisfied(assignment) else self.violation_factor
+
+    @abc.abstractmethod
+    def _satisfied(self, assignment: Mapping[str, bool]) -> bool:
+        """Whether the assignment satisfies the rule."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({list(self._fact_ids)!r}, strength={self._strength})"
+
+
+class MutualExclusionRule(CorrelationRule):
+    """At most ``max_true`` of the referenced facts may be true.
+
+    This models conflicting claims about the same single-valued attribute —
+    e.g. "Hong Kong is in Asia" vs "Hong Kong is in Europe" in the running
+    example, or two different author lists that cannot both be exactly right
+    when the attribute admits a single truth.
+    """
+
+    def __init__(self, fact_ids: Sequence[str], strength: float = 0.95, max_true: int = 1):
+        super().__init__(fact_ids, strength)
+        if max_true < 0:
+            raise InvalidFactError(f"max_true must be non-negative, got {max_true}")
+        self._max_true = max_true
+
+    @property
+    def max_true(self) -> int:
+        """Maximum number of facts allowed to be simultaneously true."""
+        return self._max_true
+
+    def _satisfied(self, assignment: Mapping[str, bool]) -> bool:
+        return sum(1 for fact_id in self.fact_ids if assignment[fact_id]) <= self._max_true
+
+
+class ImplicationRule(CorrelationRule):
+    """If the antecedent fact is true then the consequent fact should be true.
+
+    Captures inference relationships such as "married at 31" ∧ "born in 1961"
+    ⇒ "married in 1992".
+    """
+
+    def __init__(self, antecedent: str, consequent: str, strength: float = 0.9):
+        super().__init__((antecedent, consequent), strength)
+        self._antecedent = antecedent
+        self._consequent = consequent
+
+    @property
+    def antecedent(self) -> str:
+        """The implying fact."""
+        return self._antecedent
+
+    @property
+    def consequent(self) -> str:
+        """The implied fact."""
+        return self._consequent
+
+    def _satisfied(self, assignment: Mapping[str, bool]) -> bool:
+        return (not assignment[self._antecedent]) or assignment[self._consequent]
+
+
+class PositiveCorrelationRule(CorrelationRule):
+    """The referenced facts tend to share the same truth value.
+
+    Useful for statements that are reformattings of one another (different
+    orderings of the same author list): either all are correct or none is.
+    """
+
+    def __init__(self, fact_ids: Sequence[str], strength: float = 0.8):
+        if len(fact_ids) < 2:
+            raise InvalidFactError("a positive correlation needs at least two facts")
+        super().__init__(fact_ids, strength)
+
+    def _satisfied(self, assignment: Mapping[str, bool]) -> bool:
+        values = {assignment[fact_id] for fact_id in self.fact_ids}
+        return len(values) == 1

@@ -1,0 +1,25 @@
+"""Simulated crowdsourcing platform — the reproduction's stand-in for gMission.
+
+The paper evaluates CrowdFusion on the gMission platform with anonymous
+workers whose measured accuracy is ≈ 0.86.  The paper's *model* of those
+workers is exactly a Bernoulli channel with accuracy ``Pc`` shared across
+tasks; this subpackage implements that model as a deterministic, seedable
+simulator with the same publish/collect API a real platform client exposes,
+plus per-worker accuracies, per-claim difficulty (for the error-analysis
+experiments) and a qualification pre-test for estimating ``Pc``.
+"""
+
+from repro.crowdsim.platform import SimulatedPlatform
+from repro.crowdsim.qualification import QualificationTest, estimate_accuracy
+from repro.crowdsim.task import Task, TaskBatch
+from repro.crowdsim.worker import Worker, WorkerPool
+
+__all__ = [
+    "QualificationTest",
+    "SimulatedPlatform",
+    "Task",
+    "TaskBatch",
+    "Worker",
+    "WorkerPool",
+    "estimate_accuracy",
+]

@@ -1,0 +1,172 @@
+"""The simulated crowdsourcing platform (gMission stand-in).
+
+The platform exposes the same two-step API a real microtask platform client
+would: :meth:`SimulatedPlatform.publish` posts a batch of tasks and returns a
+batch id, :meth:`SimulatedPlatform.collect_batch` retrieves the aggregated
+answers.  For convenience (and for the :class:`repro.core.engine.CrowdFusionEngine`
+protocol) :meth:`collect` does both in one call.
+
+Answers are generated from gold labels through the worker pool's Bernoulli
+error model, so an experiment with a fixed seed is exactly reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.answers import Answer, AnswerSet
+from repro.crowdsim.task import Task, TaskBatch
+from repro.crowdsim.worker import WorkerPool
+from repro.exceptions import PlatformError
+
+
+@dataclass(frozen=True)
+class PlatformStats:
+    """Usage counters for one platform instance."""
+
+    batches_published: int
+    tasks_published: int
+    answers_collected: int
+
+
+class SimulatedPlatform:
+    """Crowdsourcing platform simulator backed by gold labels and a worker pool.
+
+    Parameters
+    ----------
+    ground_truth:
+        Mapping from fact id to its gold true/false label.  Facts without a
+        gold label cannot be asked (the simulator has no way to answer them).
+    workers:
+        The worker pool generating the (noisy) answers.
+    difficulties:
+        Optional per-fact difficulty in ``[0, 0.5]`` modelling hard statements
+        (wrong order, misspelling, additional information — Section V-D).
+    answers_per_task:
+        Number of independent worker answers gathered per task; when greater
+        than one the platform aggregates them by majority vote (ties are
+        broken by the first answer), which is how real deployments trade
+        money for accuracy.
+    domains:
+        Optional mapping from fact id to a domain name used to look up
+        worker domain skills.
+    """
+
+    def __init__(
+        self,
+        ground_truth: Mapping[str, bool],
+        workers: WorkerPool,
+        difficulties: Optional[Mapping[str, float]] = None,
+        answers_per_task: int = 1,
+        domains: Optional[Mapping[str, str]] = None,
+    ):
+        if not ground_truth:
+            raise PlatformError("the platform needs at least one gold-labelled fact")
+        if answers_per_task <= 0:
+            raise PlatformError(
+                f"answers_per_task must be positive, got {answers_per_task}"
+            )
+        self._ground_truth = dict(ground_truth)
+        self._workers = workers
+        self._difficulties = dict(difficulties or {})
+        self._answers_per_task = answers_per_task
+        self._domains = dict(domains or {})
+        self._batches: Dict[int, TaskBatch] = {}
+        self._collected: Dict[int, AnswerSet] = {}
+        self._next_batch_id = 1
+        self._tasks_published = 0
+        self._answers_collected = 0
+
+    # -- two-step API -----------------------------------------------------------------
+
+    def publish(self, fact_ids: Sequence[str]) -> int:
+        """Publish one batch of tasks and return its batch id."""
+        if not fact_ids:
+            raise PlatformError("cannot publish an empty batch of tasks")
+        unknown = [fact_id for fact_id in fact_ids if fact_id not in self._ground_truth]
+        if unknown:
+            raise PlatformError(
+                f"cannot publish tasks for facts without gold labels: {unknown}"
+            )
+        tasks = tuple(
+            Task(
+                fact_id=fact_id,
+                question=f"Is the statement {fact_id!r} true?",
+                difficulty=self._difficulties.get(fact_id, 0.0),
+                ground_truth=self._ground_truth[fact_id],
+            )
+            for fact_id in fact_ids
+        )
+        batch = TaskBatch(batch_id=self._next_batch_id, tasks=tasks)
+        self._batches[batch.batch_id] = batch
+        self._next_batch_id += 1
+        self._tasks_published += len(tasks)
+        return batch.batch_id
+
+    def collect_batch(self, batch_id: int) -> AnswerSet:
+        """Collect (and cache) the aggregated answers for a published batch."""
+        if batch_id not in self._batches:
+            raise PlatformError(f"unknown batch id {batch_id}")
+        if batch_id in self._collected:
+            return self._collected[batch_id]
+        batch = self._batches[batch_id]
+        answers: List[Answer] = []
+        for task in batch:
+            judgment, worker_id, confidence = self._aggregate_answers(task)
+            answers.append(
+                Answer(
+                    fact_id=task.fact_id,
+                    judgment=judgment,
+                    worker_id=worker_id,
+                    confidence=confidence,
+                )
+            )
+        answer_set = AnswerSet(answers)
+        self._collected[batch_id] = answer_set
+        self._answers_collected += len(answers)
+        return answer_set
+
+    # -- one-step API (the engine's AnswerProvider protocol) ----------------------------
+
+    def collect(self, task_ids: Sequence[str]) -> AnswerSet:
+        """Publish a batch for ``task_ids`` and immediately collect its answers."""
+        batch_id = self.publish(task_ids)
+        return self.collect_batch(batch_id)
+
+    # -- internals -----------------------------------------------------------------------
+
+    def _aggregate_answers(self, task: Task) -> Tuple[bool, str, float]:
+        """Gather ``answers_per_task`` judgments and majority-vote them."""
+        truth = self._ground_truth[task.fact_id]
+        domain = self._domains.get(task.fact_id)
+        votes: List[bool] = []
+        worker_ids: List[str] = []
+        for _ in range(self._answers_per_task):
+            worker_id, judgment = self._workers.answer_task(task, truth, domain=domain)
+            votes.append(judgment)
+            worker_ids.append(worker_id)
+        positives = sum(votes)
+        negatives = len(votes) - positives
+        if positives == negatives:
+            judgment = votes[0]
+        else:
+            judgment = positives > negatives
+        confidence = max(positives, negatives) / len(votes)
+        label = worker_ids[0] if len(worker_ids) == 1 else f"vote({len(worker_ids)})"
+        return judgment, label, confidence
+
+    # -- inspection ------------------------------------------------------------------------
+
+    @property
+    def ground_truth(self) -> Dict[str, bool]:
+        """A copy of the gold labels the simulator answers from."""
+        return dict(self._ground_truth)
+
+    def stats(self) -> PlatformStats:
+        """Return usage counters (batches, tasks, answers)."""
+        return PlatformStats(
+            batches_published=len(self._batches),
+            tasks_published=self._tasks_published,
+            answers_collected=self._answers_collected,
+        )

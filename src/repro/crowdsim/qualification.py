@@ -1,0 +1,115 @@
+"""Qualification pre-tests for estimating crowd accuracy.
+
+Section V-C of the paper recommends estimating the crowd's reliability with a
+small set of sample tasks whose ground truth is known ("a pre-test with
+groundtruth"), and notes that under- or over-estimating ``Pc`` degrades the
+refinement.  :class:`QualificationTest` runs such a pre-test against a
+simulated platform and returns a point estimate plus a Wilson confidence
+interval, clipped into the model's legal range ``[0.5, 1.0]``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping, Sequence, Tuple
+
+from repro.crowdsim.platform import SimulatedPlatform
+from repro.exceptions import PlatformError
+
+
+def wilson_interval(successes: int, trials: int, z: float = 1.96) -> Tuple[float, float]:
+    """Wilson score interval for a Bernoulli proportion.
+
+    Returns ``(low, high)``; raises for zero trials.
+    """
+    if trials <= 0:
+        raise PlatformError("cannot compute an interval for zero trials")
+    if not 0 <= successes <= trials:
+        raise PlatformError("successes must lie between 0 and trials")
+    proportion = successes / trials
+    denominator = 1 + z * z / trials
+    centre = proportion + z * z / (2 * trials)
+    margin = z * math.sqrt(
+        (proportion * (1 - proportion) + z * z / (4 * trials)) / trials
+    )
+    return (centre - margin) / denominator, (centre + margin) / denominator
+
+
+def estimate_accuracy(
+    answers: Mapping[str, bool], gold: Mapping[str, bool]
+) -> float:
+    """Fraction of pre-test answers agreeing with gold, clipped to ``[0.5, 1.0]``.
+
+    Clipping mirrors the crowd-model constraint that ``Pc ≥ 0.5``: a crowd
+    measured below chance on a tiny sample is treated as an uninformative
+    crowd, not an adversarial one.
+    """
+    if not answers:
+        raise PlatformError("cannot estimate accuracy from zero answers")
+    missing = [fact_id for fact_id in answers if fact_id not in gold]
+    if missing:
+        raise PlatformError(f"pre-test answers reference unlabelled facts: {missing}")
+    correct = sum(1 for fact_id, judgment in answers.items() if gold[fact_id] == judgment)
+    return min(1.0, max(0.5, correct / len(answers)))
+
+
+@dataclass(frozen=True)
+class QualificationResult:
+    """Outcome of a qualification pre-test."""
+
+    estimated_accuracy: float
+    raw_accuracy: float
+    sample_size: int
+    interval_low: float
+    interval_high: float
+
+
+class QualificationTest:
+    """Run a gold-label pre-test against a platform to estimate ``Pc``.
+
+    Parameters
+    ----------
+    gold_facts:
+        Mapping from fact id to gold label for the sample tasks.  These should
+        be facts whose truth is certain (the "small set of sample tasks with
+        groundtruth" of Definition 2).
+    repetitions:
+        How many times each sample task is asked; more repetitions tighten the
+        estimate at a linear cost in tasks.
+    """
+
+    def __init__(self, gold_facts: Mapping[str, bool], repetitions: int = 1):
+        if not gold_facts:
+            raise PlatformError("a qualification test needs at least one gold fact")
+        if repetitions <= 0:
+            raise PlatformError(f"repetitions must be positive, got {repetitions}")
+        self._gold = dict(gold_facts)
+        self._repetitions = repetitions
+
+    @property
+    def sample_size(self) -> int:
+        """Total number of pre-test tasks that will be asked."""
+        return len(self._gold) * self._repetitions
+
+    def run(self, platform: SimulatedPlatform) -> QualificationResult:
+        """Ask the sample tasks and estimate the crowd accuracy."""
+        fact_ids: Sequence[str] = tuple(self._gold)
+        correct = 0
+        total = 0
+        for _ in range(self._repetitions):
+            answers = platform.collect(fact_ids)
+            for fact_id in fact_ids:
+                total += 1
+                if answers[fact_id] == self._gold[fact_id]:
+                    correct += 1
+        raw = correct / total
+        low, high = wilson_interval(correct, total)
+        estimate = min(1.0, max(0.5, raw))
+        return QualificationResult(
+            estimated_accuracy=estimate,
+            raw_accuracy=raw,
+            sample_size=total,
+            interval_low=low,
+            interval_high=high,
+        )

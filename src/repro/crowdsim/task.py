@@ -1,0 +1,86 @@
+"""Task records published to the (simulated) crowdsourcing platform."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Sequence, Tuple
+
+from repro.exceptions import PlatformError
+
+
+@dataclass(frozen=True)
+class Task:
+    """One true/false micro-task: "is this fact correct?".
+
+    Parameters
+    ----------
+    fact_id:
+        Identifier of the fact being judged.
+    question:
+        The human-readable question shown to workers.
+    difficulty:
+        Extra probability of error caused by the statement itself (wrong
+        author order, misspelling, extra information — Section V-D).  A
+        difficulty of ``d`` reduces the effective worker accuracy to
+        ``max(0.5, Pc − d)``.
+    ground_truth:
+        The gold label, known to the simulator but never shown to workers.
+    """
+
+    fact_id: str
+    question: str
+    difficulty: float = 0.0
+    ground_truth: Optional[bool] = None
+
+    def __post_init__(self) -> None:
+        if not self.fact_id:
+            raise PlatformError("a task must reference a non-empty fact id")
+        if not 0.0 <= self.difficulty <= 0.5:
+            raise PlatformError(
+                f"task difficulty must be in [0, 0.5], got {self.difficulty}"
+            )
+
+
+@dataclass(frozen=True)
+class TaskBatch:
+    """A batch of tasks published together in one CrowdFusion round."""
+
+    batch_id: int
+    tasks: Tuple[Task, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.tasks:
+            raise PlatformError("a task batch cannot be empty")
+        fact_ids = [task.fact_id for task in self.tasks]
+        if len(set(fact_ids)) != len(fact_ids):
+            raise PlatformError("a task batch cannot ask the same fact twice")
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    def __iter__(self) -> Iterator[Task]:
+        return iter(self.tasks)
+
+    @property
+    def fact_ids(self) -> Tuple[str, ...]:
+        """Fact ids asked in this batch, in publication order."""
+        return tuple(task.fact_id for task in self.tasks)
+
+    @classmethod
+    def from_fact_ids(
+        cls,
+        batch_id: int,
+        fact_ids: Sequence[str],
+        questions: Optional[Sequence[str]] = None,
+    ) -> "TaskBatch":
+        """Build a batch of bare tasks from fact ids (questions default to the id)."""
+        if questions is not None and len(questions) != len(fact_ids):
+            raise PlatformError("questions must align one-to-one with fact ids")
+        tasks = tuple(
+            Task(
+                fact_id=fact_id,
+                question=questions[i] if questions is not None else f"Is {fact_id} true?",
+            )
+            for i, fact_id in enumerate(fact_ids)
+        )
+        return cls(batch_id=batch_id, tasks=tasks)

@@ -1,0 +1,162 @@
+"""Simulated crowd workers.
+
+Workers follow the paper's error model (Definition 2): each task is answered
+correctly with probability ``Pc ≥ 0.5``, independently across tasks and
+workers.  The simulator additionally supports per-claim *difficulty* (hard
+statements such as reordered or misspelled author lists, Section V-D), which
+lowers the effective accuracy for that task only, and per-domain skills so
+that the "reliable only in some domains" motivation from the introduction can
+be exercised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.crowdsim.task import Task
+from repro.exceptions import InvalidCrowdModelError, PlatformError
+
+
+@dataclass
+class Worker:
+    """One simulated crowd worker.
+
+    Parameters
+    ----------
+    worker_id:
+        Stable identifier, e.g. ``"w17"``.
+    accuracy:
+        Base probability of answering a task correctly (``Pc``), in
+        ``[0.5, 1.0]``.
+    domain_skills:
+        Optional per-domain accuracy overrides (domain name → accuracy), used
+        when a task's fact id is tagged with a domain.
+    """
+
+    worker_id: str
+    accuracy: float
+    domain_skills: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not 0.5 <= self.accuracy <= 1.0:
+            raise InvalidCrowdModelError(
+                f"worker accuracy must be in [0.5, 1.0], got {self.accuracy}"
+            )
+        for domain, accuracy in self.domain_skills.items():
+            if not 0.5 <= accuracy <= 1.0:
+                raise InvalidCrowdModelError(
+                    f"domain skill for {domain!r} must be in [0.5, 1.0], got {accuracy}"
+                )
+
+    def effective_accuracy(self, task: Task, domain: Optional[str] = None) -> float:
+        """Accuracy applied to one task after difficulty and domain adjustment."""
+        base = self.domain_skills.get(domain, self.accuracy) if domain else self.accuracy
+        return max(0.5, base - task.difficulty)
+
+    def answer(
+        self,
+        task: Task,
+        ground_truth: bool,
+        rng: np.random.Generator,
+        domain: Optional[str] = None,
+    ) -> bool:
+        """Produce one (possibly wrong) judgment for ``task``."""
+        accuracy = self.effective_accuracy(task, domain)
+        if rng.random() < accuracy:
+            return ground_truth
+        return not ground_truth
+
+
+class WorkerPool:
+    """A pool of workers sharing (or varying around) a target accuracy.
+
+    The pool is the unit the platform draws workers from; answers to a batch
+    are assigned round-robin or at random, and the pool can report its true
+    mean accuracy (the quantity a qualification pre-test estimates).
+    """
+
+    def __init__(self, workers: Iterable[Worker], seed: Optional[int] = None):
+        self._workers: List[Worker] = list(workers)
+        if not self._workers:
+            raise PlatformError("a worker pool must contain at least one worker")
+        ids = [worker.worker_id for worker in self._workers]
+        if len(set(ids)) != len(ids):
+            raise PlatformError("worker ids in a pool must be unique")
+        self._rng = np.random.default_rng(seed)
+
+    @classmethod
+    def homogeneous(
+        cls, size: int, accuracy: float, seed: Optional[int] = None
+    ) -> "WorkerPool":
+        """Create ``size`` workers that all share exactly the same accuracy."""
+        if size <= 0:
+            raise PlatformError(f"pool size must be positive, got {size}")
+        workers = [Worker(worker_id=f"w{i}", accuracy=accuracy) for i in range(size)]
+        return cls(workers, seed=seed)
+
+    @classmethod
+    def heterogeneous(
+        cls,
+        size: int,
+        mean_accuracy: float,
+        spread: float = 0.05,
+        seed: Optional[int] = None,
+    ) -> "WorkerPool":
+        """Create workers with accuracies spread uniformly around a mean.
+
+        Accuracies are clipped to ``[0.5, 1.0]``; the paper estimates a single
+        shared ``Pc`` for such a pool via a qualification pre-test.
+        """
+        if size <= 0:
+            raise PlatformError(f"pool size must be positive, got {size}")
+        if spread < 0:
+            raise PlatformError(f"spread must be non-negative, got {spread}")
+        rng = np.random.default_rng(seed)
+        accuracies = np.clip(
+            rng.uniform(mean_accuracy - spread, mean_accuracy + spread, size=size),
+            0.5,
+            1.0,
+        )
+        workers = [
+            Worker(worker_id=f"w{i}", accuracy=float(accuracy))
+            for i, accuracy in enumerate(accuracies)
+        ]
+        return cls(workers, seed=None if seed is None else seed + 1)
+
+    # -- container protocol ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._workers)
+
+    def __iter__(self) -> Iterator[Worker]:
+        return iter(self._workers)
+
+    # -- behaviour ---------------------------------------------------------------------
+
+    @property
+    def workers(self) -> Sequence[Worker]:
+        """The workers in this pool."""
+        return tuple(self._workers)
+
+    def mean_accuracy(self) -> float:
+        """The pool's true mean base accuracy (unknown to the system in practice)."""
+        return float(np.mean([worker.accuracy for worker in self._workers]))
+
+    def draw(self) -> Worker:
+        """Draw one worker uniformly at random."""
+        index = int(self._rng.integers(0, len(self._workers)))
+        return self._workers[index]
+
+    def answer_task(
+        self, task: Task, ground_truth: bool, domain: Optional[str] = None
+    ) -> "tuple[str, bool]":
+        """Have a randomly drawn worker answer one task.
+
+        Returns ``(worker_id, judgment)``.
+        """
+        worker = self.draw()
+        judgment = worker.answer(task, ground_truth, self._rng, domain=domain)
+        return worker.worker_id, judgment

@@ -1,0 +1,41 @@
+"""Datasets: the paper's running example plus synthetic fusion corpora.
+
+The paper evaluates on the Book dataset (author-list claims collected from
+online bookstores) with manually labelled gold truth.  That corpus is not
+redistributable, so :mod:`repro.datasets.book` generates a synthetic corpus
+with the same schema, the same raw-correctness level (~50 %) and the same
+error taxonomy (wrong order, additional information, misspelling);
+:mod:`repro.datasets.flights` provides a second, single-truth domain.
+:mod:`repro.datasets.running_example` reproduces Tables I–IV exactly.
+"""
+
+from repro.datasets.book import Book, BookCorpus, BookCorpusConfig, generate_book_corpus
+from repro.datasets.corruption import (
+    add_organization,
+    misspell_name,
+    reorder_authors,
+    swap_author,
+)
+from repro.datasets.flights import FlightCorpus, FlightCorpusConfig, generate_flight_corpus
+from repro.datasets.running_example import (
+    running_example_answer_table,
+    running_example_distribution,
+    running_example_facts,
+)
+
+__all__ = [
+    "Book",
+    "BookCorpus",
+    "BookCorpusConfig",
+    "FlightCorpus",
+    "FlightCorpusConfig",
+    "add_organization",
+    "generate_book_corpus",
+    "generate_flight_corpus",
+    "misspell_name",
+    "reorder_authors",
+    "running_example_answer_table",
+    "running_example_distribution",
+    "running_example_facts",
+    "swap_author",
+]

@@ -1,0 +1,293 @@
+"""Synthetic Book corpus generator.
+
+The paper's evaluation uses the Book dataset (author lists for ~100 books
+claimed by many online bookstores, ~50 % of raw claims correct, gold labels
+assigned manually with order-insensitive matching).  That corpus cannot be
+redistributed, so this module generates a synthetic corpus with the same
+schema and the same statistical character:
+
+* each book has a true author list of one to four names;
+* sources have per-domain reliability (some are trustworthy for textbooks and
+  useless for non-textbooks, mirroring the eCampus.com anecdote);
+* correct statements may be re-orderings of the true list (gold-true, but
+  confusing for workers); incorrect statements are misspellings, appended
+  affiliations or swapped authors (gold-false, with varying difficulty);
+* the overall raw correctness is tuned to about one half.
+
+The generator is fully deterministic given the config's seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.datasets.corruption import (
+    add_organization,
+    format_author_list,
+    misspell_name,
+    reorder_authors,
+    same_author_list,
+    swap_author,
+)
+from repro.exceptions import DatasetError
+from repro.fusion.claims import ClaimDatabase
+
+_FIRST_NAMES = (
+    "Ada", "Alan", "Barbara", "Catherine", "David", "Donald", "Edsger", "Frances",
+    "Grace", "John", "Judea", "Kathy", "Leslie", "Margaret", "Michael", "Peter",
+    "Radia", "Rudy", "Sharon", "Shafi", "Tim", "Tyrone", "Barbara", "Whitfield",
+)
+_LAST_NAMES = (
+    "Adams", "Baxter", "Courage", "Dijkstra", "Diffie", "Goldwasser", "Hamilton",
+    "Hopper", "Knuth", "Lamport", "Liskov", "Loshin", "Lovelace", "McCarthy",
+    "Pearl", "Perlman", "Rivest", "Rucker", "Scollard", "Shannon", "Turing",
+    "Ullman", "Widom", "Zhang",
+)
+_TITLE_WORDS = (
+    "Introduction", "Principles", "Foundations", "Advanced", "Practical", "Modern",
+    "Essentials", "Handbook", "Guide", "Theory", "Systems", "Networks", "Databases",
+    "Algorithms", "Crowdsourcing", "Fusion", "Mining", "Learning", "Queries", "Web",
+)
+
+#: Crowd difficulty attached to each statement kind (Section V-D error taxonomy).
+_DIFFICULTY_BY_KIND = {
+    "canonical": 0.02,
+    "reordered": 0.25,
+    "misspelled": 0.30,
+    "organization": 0.25,
+    "swapped": 0.05,
+}
+
+
+@dataclass(frozen=True)
+class Book:
+    """One book with its gold author list."""
+
+    isbn: str
+    title: str
+    true_authors: Tuple[str, ...]
+    domain: str
+
+    def __post_init__(self) -> None:
+        if not self.true_authors:
+            raise DatasetError(f"book {self.isbn} must have at least one author")
+        if self.domain not in ("textbook", "non-textbook"):
+            raise DatasetError(f"unknown book domain {self.domain!r}")
+
+
+@dataclass(frozen=True)
+class BookCorpusConfig:
+    """Parameters controlling corpus generation.
+
+    Attributes mirror the evaluation setup of the paper: 100 books, many
+    sources, roughly half of the raw statements correct.
+    """
+
+    num_books: int = 100
+    num_sources: int = 20
+    min_sources_per_book: int = 4
+    max_sources_per_book: int = 12
+    textbook_fraction: float = 0.4
+    #: Probability that a reliable observation is emitted as a re-ordered
+    #: (still correct) variant rather than the canonical author list.
+    reorder_probability: float = 0.3
+    #: Mix of the incorrect-statement kinds (misspelled, organization, swapped).
+    error_mix: Tuple[float, float, float] = (0.35, 0.25, 0.40)
+    #: Source reliability ranges per domain: (low, high) probability that one
+    #: of its statements is correct.
+    textbook_reliability: Tuple[float, float] = (0.45, 0.85)
+    nontextbook_reliability: Tuple[float, float] = (0.25, 0.70)
+    #: Fraction of sources that are "domain specialists": reliable on
+    #: textbooks, unreliable on non-textbooks (the eCampus.com pattern).
+    specialist_fraction: float = 0.25
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.num_books <= 0 or self.num_sources <= 0:
+            raise DatasetError("num_books and num_sources must be positive")
+        if not 0 < self.min_sources_per_book <= self.max_sources_per_book:
+            raise DatasetError("invalid per-book source coverage range")
+        if self.max_sources_per_book > self.num_sources:
+            raise DatasetError("max_sources_per_book cannot exceed num_sources")
+        if abs(sum(self.error_mix) - 1.0) > 1e-9:
+            raise DatasetError("error_mix must sum to 1")
+        if not 0.0 <= self.textbook_fraction <= 1.0:
+            raise DatasetError("textbook_fraction must be in [0, 1]")
+
+
+@dataclass
+class BookCorpus:
+    """The generated corpus: books, claims, gold labels and difficulties."""
+
+    config: BookCorpusConfig
+    books: List[Book]
+    database: ClaimDatabase
+    gold: Dict[str, bool] = field(default_factory=dict)
+    difficulties: Dict[str, float] = field(default_factory=dict)
+    statement_kinds: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def domain_of(self) -> Dict[str, str]:
+        """Mapping from book ISBN (entity) to its domain."""
+        return {book.isbn: book.domain for book in self.books}
+
+    def book(self, isbn: str) -> Book:
+        """Look up one book by ISBN."""
+        for book in self.books:
+            if book.isbn == isbn:
+                return book
+        raise DatasetError(f"unknown ISBN {isbn!r}")
+
+    def claims_for_book(self, isbn: str):
+        """All distinct claims about one book's author list."""
+        return self.database.claims_for(isbn, "author_list")
+
+    def raw_correctness(self) -> float:
+        """Fraction of *observations* (source statements) that are gold-true.
+
+        The paper reports this is roughly 50 % for the real Book dataset.
+        """
+        correct = 0
+        total = 0
+        for claim in self.database.claims():
+            label = self.gold[claim.claim_id]
+            correct += claim.support if label else 0
+            total += claim.support
+        if total == 0:
+            raise DatasetError("corpus has no observations")
+        return correct / total
+
+    def books_with_min_claims(self, minimum: int) -> List[str]:
+        """ISBNs of books with at least ``minimum`` distinct claims (Table V uses > 20)."""
+        return [
+            book.isbn
+            for book in self.books
+            if len(self.claims_for_book(book.isbn)) >= minimum
+        ]
+
+
+def _generate_books(config: BookCorpusConfig, rng: np.random.Generator) -> List[Book]:
+    books: List[Book] = []
+    for index in range(config.num_books):
+        num_authors = int(rng.integers(1, 5))
+        authors = []
+        seen = set()
+        while len(authors) < num_authors:
+            name = (
+                f"{_FIRST_NAMES[int(rng.integers(0, len(_FIRST_NAMES)))]} "
+                f"{_LAST_NAMES[int(rng.integers(0, len(_LAST_NAMES)))]}"
+            )
+            if name not in seen:
+                seen.add(name)
+                authors.append(name)
+        title = " ".join(
+            _TITLE_WORDS[int(rng.integers(0, len(_TITLE_WORDS)))] for _ in range(3)
+        )
+        domain = "textbook" if rng.random() < config.textbook_fraction else "non-textbook"
+        isbn = f"978{index:010d}"
+        books.append(Book(isbn=isbn, title=title, true_authors=tuple(authors), domain=domain))
+    return books
+
+
+def _source_reliabilities(
+    config: BookCorpusConfig, rng: np.random.Generator
+) -> Dict[str, Dict[str, float]]:
+    """Per-source, per-domain probability of emitting a correct statement."""
+    reliabilities: Dict[str, Dict[str, float]] = {}
+    for index in range(config.num_sources):
+        source_id = f"s{index}"
+        if rng.random() < config.specialist_fraction:
+            # Textbook specialist: trustworthy for textbooks, unreliable otherwise.
+            textbook = rng.uniform(*config.textbook_reliability)
+            nontextbook = rng.uniform(0.0, 0.25)
+        else:
+            textbook = rng.uniform(*config.textbook_reliability)
+            nontextbook = rng.uniform(*config.nontextbook_reliability)
+        reliabilities[source_id] = {
+            "textbook": float(textbook),
+            "non-textbook": float(nontextbook),
+        }
+    return reliabilities
+
+
+def _wrong_statement(
+    book: Book,
+    config: BookCorpusConfig,
+    rng: np.random.Generator,
+    author_pool: Sequence[str],
+) -> Tuple[List[str], str]:
+    """Produce a gold-false author list and its corruption kind."""
+    roll = rng.random()
+    misspelled, organization, _swapped = config.error_mix
+    if roll < misspelled:
+        names = list(book.true_authors)
+        index = int(rng.integers(0, len(names)))
+        names[index] = misspell_name(names[index], rng)
+        # A misspelling might accidentally produce the original name; force a change.
+        if same_author_list(names, book.true_authors):
+            names[index] = names[index] + "x"
+        return names, "misspelled"
+    if roll < misspelled + organization:
+        return add_organization(book.true_authors, rng), "organization"
+    return swap_author(book.true_authors, author_pool, rng), "swapped"
+
+
+def generate_book_corpus(config: Optional[BookCorpusConfig] = None) -> BookCorpus:
+    """Generate a deterministic synthetic Book corpus from ``config``."""
+    cfg = config if config is not None else BookCorpusConfig()
+    rng = np.random.default_rng(cfg.seed)
+    books = _generate_books(cfg, rng)
+    reliabilities = _source_reliabilities(cfg, rng)
+    author_pool = [f"{first} {last}" for first in _FIRST_NAMES[:8] for last in _LAST_NAMES[:8]]
+
+    database = ClaimDatabase()
+    gold_by_value: Dict[Tuple[str, str], bool] = {}
+    difficulty_by_value: Dict[Tuple[str, str], float] = {}
+    kind_by_value: Dict[Tuple[str, str], str] = {}
+
+    source_ids = list(reliabilities)
+    for book in books:
+        coverage = int(rng.integers(cfg.min_sources_per_book, cfg.max_sources_per_book + 1))
+        chosen = rng.choice(len(source_ids), size=coverage, replace=False)
+        for source_index in chosen:
+            source_id = source_ids[int(source_index)]
+            reliability = reliabilities[source_id][book.domain]
+            if rng.random() < reliability:
+                if len(book.true_authors) > 1 and rng.random() < cfg.reorder_probability:
+                    authors = reorder_authors(book.true_authors, rng)
+                    kind = "reordered"
+                else:
+                    authors = list(book.true_authors)
+                    kind = "canonical"
+                label = True
+            else:
+                authors, kind = _wrong_statement(book, cfg, rng, author_pool)
+                label = same_author_list(authors, book.true_authors)
+            value = format_author_list(authors)
+            database.add_observation(source_id, book.isbn, "author_list", value)
+            key = (book.isbn, value)
+            if key not in gold_by_value:
+                gold_by_value[key] = label
+                difficulty_by_value[key] = _DIFFICULTY_BY_KIND[kind]
+                kind_by_value[key] = kind
+
+    gold: Dict[str, bool] = {}
+    difficulties: Dict[str, float] = {}
+    kinds: Dict[str, str] = {}
+    for claim in database.claims():
+        key = (claim.entity, claim.value)
+        gold[claim.claim_id] = gold_by_value[key]
+        difficulties[claim.claim_id] = difficulty_by_value[key]
+        kinds[claim.claim_id] = kind_by_value[key]
+
+    return BookCorpus(
+        config=cfg,
+        books=books,
+        database=database,
+        gold=gold,
+        difficulties=difficulties,
+        statement_kinds=kinds,
+    )

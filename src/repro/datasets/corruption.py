@@ -1,0 +1,130 @@
+"""Author-list corruptions matching the paper's error analysis (Section V-D).
+
+The paper identifies three statement types that confuse crowd workers even
+when the gold label is clear:
+
+* **wrong order** — the same authors listed in a different order (still a
+  correct author list, but workers often reject it);
+* **additional information** — an organisation or affiliation appended to a
+  name (gold-false, but >40 % of workers accepted it);
+* **misspelling** — a slightly misspelled name (gold-false, accepted by more
+  than half of the workers in the paper's study).
+
+These functions produce such variants deterministically from a seeded RNG so
+the Book corpus generator can plant them with known gold labels and elevated
+crowd difficulty.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import DatasetError
+
+_ORGANIZATIONS = (
+    "SAN JOSE STATE UNIVERSITY, USA",
+    "MIT PRESS",
+    "UNIVERSITY OF HONG KONG",
+    "OXFORD UNIVERSITY",
+    "STANFORD UNIVERSITY, USA",
+    "CARNEGIE MELLON UNIVERSITY",
+)
+
+
+def _require_authors(authors: Sequence[str]) -> List[str]:
+    if not authors:
+        raise DatasetError("an author list must contain at least one name")
+    return list(authors)
+
+
+def format_author_list(authors: Sequence[str]) -> str:
+    """Canonical rendering of an author list: names joined by '; '."""
+    return "; ".join(_require_authors(authors))
+
+
+def reorder_authors(
+    authors: Sequence[str], rng: Optional[np.random.Generator] = None
+) -> List[str]:
+    """Return the same authors in a different order (a *correct* variant).
+
+    For a single-author list the input is returned unchanged (no reordering
+    exists).
+    """
+    names = _require_authors(authors)
+    if len(names) == 1:
+        return names
+    generator = rng if rng is not None else np.random.default_rng()
+    for _ in range(10):
+        permutation = list(generator.permutation(len(names)))
+        reordered = [names[i] for i in permutation]
+        if reordered != names:
+            return reordered
+    # Deterministic fallback: rotate by one.
+    return names[1:] + names[:1]
+
+
+def misspell_name(name: str, rng: Optional[np.random.Generator] = None) -> str:
+    """Introduce a single-character corruption into a name (gold-false variant)."""
+    if not name:
+        raise DatasetError("cannot misspell an empty name")
+    generator = rng if rng is not None else np.random.default_rng()
+    letters = [index for index, char in enumerate(name) if char.isalpha()]
+    if not letters:
+        return name + "e"
+    position = int(generator.choice(letters))
+    char = name[position]
+    mode = int(generator.integers(0, 3))
+    if mode == 0 and len(name) > 3:
+        # Drop the character (e.g. "Peter" -> "Pter").
+        return name[:position] + name[position + 1 :]
+    if mode == 1:
+        # Duplicate the character (e.g. "Loshin" -> "Losshin").
+        return name[:position] + char + name[position:]
+    # Replace with a neighbouring letter (e.g. "Pete" -> "Petr" style slips).
+    replacement = "e" if char.lower() != "e" else "a"
+    replacement = replacement.upper() if char.isupper() else replacement
+    return name[:position] + replacement + name[position + 1 :]
+
+
+def add_organization(
+    authors: Sequence[str], rng: Optional[np.random.Generator] = None
+) -> List[str]:
+    """Append an organisation to one author (gold-false "additional information")."""
+    names = _require_authors(authors)
+    generator = rng if rng is not None else np.random.default_rng()
+    index = int(generator.integers(0, len(names)))
+    organization = _ORGANIZATIONS[int(generator.integers(0, len(_ORGANIZATIONS)))]
+    corrupted = list(names)
+    corrupted[index] = f"{corrupted[index]} ({organization})"
+    return corrupted
+
+
+def swap_author(
+    authors: Sequence[str],
+    replacement_pool: Sequence[str],
+    rng: Optional[np.random.Generator] = None,
+) -> List[str]:
+    """Replace one author with an unrelated name (a plainly wrong author list)."""
+    names = _require_authors(authors)
+    if not replacement_pool:
+        raise DatasetError("replacement_pool must not be empty")
+    generator = rng if rng is not None else np.random.default_rng()
+    candidates = [name for name in replacement_pool if name not in names]
+    if not candidates:
+        candidates = list(replacement_pool)
+    index = int(generator.integers(0, len(names)))
+    replacement = candidates[int(generator.integers(0, len(candidates)))]
+    corrupted = list(names)
+    corrupted[index] = replacement
+    return corrupted
+
+
+def same_author_list(statement_a: Sequence[str], statement_b: Sequence[str]) -> bool:
+    """Whether two author lists name exactly the same people (order-insensitive).
+
+    This is the gold-labelling rule from the paper: "different author list
+    order will not affect the judgment of whether the author list is correct".
+    """
+    return sorted(_require_authors(statement_a)) == sorted(_require_authors(statement_b))

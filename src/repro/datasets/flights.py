@@ -1,0 +1,161 @@
+"""Synthetic flight-departure corpus — a second, single-truth fusion domain.
+
+Flight schedules are a classic truth-discovery benchmark (one true departure
+time per flight, many noisy aggregator sites copying each other's errors).
+This corpus exercises the mutual-exclusion correlation rules and the
+query-based extension: a traveller usually cares about one or two flights,
+not the whole table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import DatasetError
+from repro.fusion.claims import ClaimDatabase
+
+_AIRLINES = ("CX", "UA", "BA", "SQ", "QF", "LH", "AF", "NH")
+_AIRPORTS = ("HKG", "SFO", "LHR", "SIN", "SYD", "FRA", "CDG", "NRT", "JFK", "PEK")
+
+
+@dataclass(frozen=True)
+class Flight:
+    """One flight with its true scheduled departure time (minutes from midnight)."""
+
+    flight_id: str
+    origin: str
+    destination: str
+    true_departure_minutes: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.true_departure_minutes < 24 * 60:
+            raise DatasetError("departure time must be within one day")
+
+    @property
+    def true_departure(self) -> str:
+        """The true departure time formatted as ``HH:MM``."""
+        return _format_minutes(self.true_departure_minutes)
+
+
+def _format_minutes(minutes: int) -> str:
+    return f"{minutes // 60:02d}:{minutes % 60:02d}"
+
+
+@dataclass(frozen=True)
+class FlightCorpusConfig:
+    """Parameters for the synthetic flight corpus."""
+
+    num_flights: int = 50
+    num_sources: int = 12
+    min_sources_per_flight: int = 3
+    max_sources_per_flight: int = 8
+    #: Range of per-source probabilities of reporting the correct time.
+    source_reliability: Tuple[float, float] = (0.4, 0.9)
+    #: Probability that an incorrect report copies another source's wrong time
+    #: instead of inventing a new one (error propagation between sources).
+    copy_probability: float = 0.5
+    seed: int = 11
+
+    def __post_init__(self) -> None:
+        if self.num_flights <= 0 or self.num_sources <= 0:
+            raise DatasetError("num_flights and num_sources must be positive")
+        if not 0 < self.min_sources_per_flight <= self.max_sources_per_flight:
+            raise DatasetError("invalid per-flight source coverage range")
+        if self.max_sources_per_flight > self.num_sources:
+            raise DatasetError("max_sources_per_flight cannot exceed num_sources")
+        if not 0.0 <= self.copy_probability <= 1.0:
+            raise DatasetError("copy_probability must be in [0, 1]")
+
+
+@dataclass
+class FlightCorpus:
+    """The generated corpus: flights, claim database and gold labels."""
+
+    config: FlightCorpusConfig
+    flights: List[Flight]
+    database: ClaimDatabase
+    gold: Dict[str, bool] = field(default_factory=dict)
+
+    def flight(self, flight_id: str) -> Flight:
+        """Look up one flight by id."""
+        for flight in self.flights:
+            if flight.flight_id == flight_id:
+                return flight
+        raise DatasetError(f"unknown flight {flight_id!r}")
+
+    def claims_for_flight(self, flight_id: str):
+        """All distinct departure-time claims for one flight."""
+        return self.database.claims_for(flight_id, "departure_time")
+
+    def raw_correctness(self) -> float:
+        """Fraction of source observations that report the true departure time."""
+        correct = 0
+        total = 0
+        for claim in self.database.claims():
+            label = self.gold[claim.claim_id]
+            correct += claim.support if label else 0
+            total += claim.support
+        if total == 0:
+            raise DatasetError("corpus has no observations")
+        return correct / total
+
+
+def generate_flight_corpus(config: Optional[FlightCorpusConfig] = None) -> FlightCorpus:
+    """Generate a deterministic synthetic flight corpus."""
+    cfg = config if config is not None else FlightCorpusConfig()
+    rng = np.random.default_rng(cfg.seed)
+
+    flights: List[Flight] = []
+    for index in range(cfg.num_flights):
+        airline = _AIRLINES[int(rng.integers(0, len(_AIRLINES)))]
+        number = int(rng.integers(100, 999))
+        origin, destination = rng.choice(len(_AIRPORTS), size=2, replace=False)
+        minutes = int(rng.integers(0, 24 * 12)) * 5
+        flights.append(
+            Flight(
+                flight_id=f"{airline}{number}-{index}",
+                origin=_AIRPORTS[int(origin)],
+                destination=_AIRPORTS[int(destination)],
+                true_departure_minutes=minutes,
+            )
+        )
+
+    reliabilities = {
+        f"s{i}": float(rng.uniform(*cfg.source_reliability)) for i in range(cfg.num_sources)
+    }
+    database = ClaimDatabase()
+    gold_by_value: Dict[Tuple[str, str], bool] = {}
+
+    source_ids = list(reliabilities)
+    for flight in flights:
+        coverage = int(
+            rng.integers(cfg.min_sources_per_flight, cfg.max_sources_per_flight + 1)
+        )
+        chosen = rng.choice(len(source_ids), size=coverage, replace=False)
+        wrong_times: List[int] = []
+        for source_index in chosen:
+            source_id = source_ids[int(source_index)]
+            if rng.random() < reliabilities[source_id]:
+                minutes = flight.true_departure_minutes
+            elif wrong_times and rng.random() < cfg.copy_probability:
+                # Copy an existing wrong value — the error-propagation pattern
+                # that makes naive majority voting fail.
+                minutes = wrong_times[int(rng.integers(0, len(wrong_times)))]
+            else:
+                offset = int(rng.choice([-60, -30, -15, 15, 30, 60, 120]))
+                minutes = (flight.true_departure_minutes + offset) % (24 * 60)
+                wrong_times.append(minutes)
+            value = _format_minutes(minutes)
+            database.add_observation(source_id, flight.flight_id, "departure_time", value)
+            gold_by_value[(flight.flight_id, value)] = (
+                minutes == flight.true_departure_minutes
+            )
+
+    gold: Dict[str, bool] = {}
+    for claim in database.claims():
+        gold[claim.claim_id] = gold_by_value[(claim.entity, claim.value)]
+
+    return FlightCorpus(config=cfg, flights=flights, database=database, gold=gold)

@@ -1,0 +1,59 @@
+"""The paper's running example (Tables I, II and IV).
+
+Four facts about Hong Kong with a hand-specified joint output distribution.
+Used throughout the tests to pin the implementation to the exact numbers
+printed in the paper, and by the quickstart example.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.core.crowd import CrowdModel
+from repro.core.distribution import JointDistribution
+from repro.core.facts import Fact, FactSet
+
+#: Table II — joint probability of each of the 16 outputs, keyed by the truth
+#: values of (f1, f2, f3, f4).
+_TABLE_II: Dict[Tuple[bool, bool, bool, bool], float] = {
+    (False, False, False, False): 0.03,
+    (False, False, False, True): 0.06,
+    (False, False, True, False): 0.07,
+    (False, False, True, True): 0.04,
+    (False, True, False, False): 0.09,
+    (False, True, False, True): 0.01,
+    (False, True, True, False): 0.11,
+    (False, True, True, True): 0.09,
+    (True, False, False, False): 0.04,
+    (True, False, False, True): 0.04,
+    (True, False, True, False): 0.04,
+    (True, False, True, True): 0.05,
+    (True, True, False, False): 0.06,
+    (True, True, False, True): 0.09,
+    (True, True, True, False): 0.07,
+    (True, True, True, True): 0.11,
+}
+
+
+def running_example_facts() -> FactSet:
+    """The four facts of Table I, with their marginal priors."""
+    return FactSet(
+        [
+            Fact("f1", "Hong Kong", "Continent", "Asia", prior=0.50),
+            Fact("f2", "Hong Kong", "Population", ">= 500,000", prior=0.63),
+            Fact("f3", "Hong Kong", "Major Ethnic Group", "Chinese", prior=0.58),
+            Fact("f4", "Hong Kong", "Continent", "Europe", prior=0.49),
+        ]
+    )
+
+
+def running_example_distribution() -> JointDistribution:
+    """The joint output distribution of Table II."""
+    fact_ids = ("f1", "f2", "f3", "f4")
+    return JointDistribution.from_assignments(fact_ids, dict(_TABLE_II))
+
+
+def running_example_answer_table(accuracy: float = 0.8) -> JointDistribution:
+    """The answer joint distribution of Table IV (all facts asked, ``Pc`` = 0.8)."""
+    crowd = CrowdModel(accuracy)
+    return crowd.full_answer_joint(running_example_distribution())

@@ -1,0 +1,41 @@
+"""Evaluation harness: metrics, experiment runners, timing and reporting.
+
+These modules regenerate the paper's evaluation artefacts: per-round quality
+curves (Figures 2–4), the selection-time comparison (Table V) and the error
+analysis (Section V-D).
+"""
+
+from repro.evaluation.allocation import allocate_budget, allocation_summary
+from repro.evaluation.experiment import (
+    EntityProblem,
+    ExperimentConfig,
+    ExperimentResult,
+    QualityPoint,
+    build_problems,
+    run_quality_experiment,
+)
+from repro.evaluation.metrics import (
+    ClassificationScores,
+    classification_scores,
+    total_utility,
+)
+from repro.evaluation.reporting import format_series, format_table
+from repro.evaluation.timing import TimingRow, measure_selection_times
+
+__all__ = [
+    "ClassificationScores",
+    "EntityProblem",
+    "allocate_budget",
+    "allocation_summary",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "QualityPoint",
+    "TimingRow",
+    "build_problems",
+    "classification_scores",
+    "format_series",
+    "format_table",
+    "measure_selection_times",
+    "run_quality_experiment",
+    "total_utility",
+]

@@ -1,0 +1,112 @@
+"""Budget allocation across entities (the paper's suggested extension).
+
+The error analysis (Section V-D) notes that books with many statements are
+judged worse because the fixed per-book budget is spread too thin, and that
+"if a proper strategy can be designed to distribute budgets among all subsets
+of facts, this can be solved".  This module implements that strategy space:
+given a *global* task budget and the per-entity prior distributions, allocate
+more tasks to the entities where the crowd can reduce more uncertainty.
+
+Three allocators are provided:
+
+* ``uniform`` — the paper's original setting (equal budget per entity);
+* ``proportional`` — budget proportional to the number of facts;
+* ``entropy`` — budget proportional to the prior entropy (uncertainty) of
+  each entity, which is the natural information-theoretic refinement.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.evaluation.experiment import EntityProblem
+from repro.exceptions import BudgetError
+
+#: Names accepted by :func:`allocate_budget`.
+STRATEGIES = ("uniform", "proportional", "entropy")
+
+
+def _largest_remainder(weights: List[float], total: int) -> List[int]:
+    """Apportion ``total`` integer units proportionally to ``weights``.
+
+    Uses the largest-remainder (Hamilton) method so the result always sums to
+    ``total`` exactly.
+    """
+    weight_sum = sum(weights)
+    if weight_sum <= 0:
+        # Degenerate case: nothing is uncertain; spread evenly.
+        weights = [1.0] * len(weights)
+        weight_sum = float(len(weights))
+    raw = [total * weight / weight_sum for weight in weights]
+    floors = [int(value) for value in raw]
+    shortfall = total - sum(floors)
+    remainders = sorted(
+        range(len(raw)), key=lambda index: raw[index] - floors[index], reverse=True
+    )
+    for index in remainders[:shortfall]:
+        floors[index] += 1
+    return floors
+
+
+def allocate_budget(
+    problems: Sequence[EntityProblem],
+    total_budget: int,
+    strategy: str = "entropy",
+    min_per_entity: int = 0,
+) -> Dict[str, int]:
+    """Distribute a global task budget over the entity problems.
+
+    Parameters
+    ----------
+    problems:
+        The per-entity refinement problems (entity id, facts, prior, gold).
+    total_budget:
+        Total number of crowd tasks available across all entities.
+    strategy:
+        ``"uniform"``, ``"proportional"`` (to fact count) or ``"entropy"``
+        (to prior entropy).
+    min_per_entity:
+        A floor given to every entity before the strategy distributes the
+        remainder; guards against starving small-but-uncertain entities.
+    """
+    if not problems:
+        raise BudgetError("cannot allocate a budget over zero entities")
+    if total_budget <= 0:
+        raise BudgetError(f"total_budget must be positive, got {total_budget}")
+    if strategy not in STRATEGIES:
+        raise BudgetError(f"unknown strategy {strategy!r}; expected one of {STRATEGIES}")
+    if min_per_entity < 0:
+        raise BudgetError(f"min_per_entity must be non-negative, got {min_per_entity}")
+    floor_total = min_per_entity * len(problems)
+    if floor_total > total_budget:
+        raise BudgetError(
+            f"min_per_entity={min_per_entity} over {len(problems)} entities exceeds "
+            f"the total budget of {total_budget}"
+        )
+
+    remainder = total_budget - floor_total
+    if strategy == "uniform":
+        weights = [1.0 for _ in problems]
+    elif strategy == "proportional":
+        weights = [float(len(problem.facts)) for problem in problems]
+    else:  # entropy
+        weights = [problem.prior.entropy() for problem in problems]
+
+    shares = _largest_remainder(weights, remainder)
+    return {
+        problem.entity: min_per_entity + share
+        for problem, share in zip(problems, shares)
+    }
+
+
+def allocation_summary(allocations: Dict[str, int]) -> Dict[str, float]:
+    """Summary statistics of an allocation (min / max / mean / total)."""
+    if not allocations:
+        raise BudgetError("empty allocation")
+    values = list(allocations.values())
+    return {
+        "total": float(sum(values)),
+        "min": float(min(values)),
+        "max": float(max(values)),
+        "mean": sum(values) / len(values),
+    }

@@ -1,0 +1,318 @@
+"""End-to-end quality experiments (Figures 2, 3 and 4 of the paper).
+
+The experiment runner mirrors the paper's setup: every entity (book) gets its
+own fact set, prior distribution (from a machine-only fusion method), a task
+budget ``B`` and a per-round task count ``k``; rounds are executed for all
+entities in lock-step and after every global pass the summed utility and the
+F1-score of the thresholded labels are recorded, producing the
+quality-vs-cost curves of the figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.crowd import CrowdModel
+from repro.core.distribution import JointDistribution
+from repro.core.facts import FactSet
+from repro.core.merging import merge_answers
+from repro.core.selection import TaskSelector, get_selector
+from repro.correlation.builder import JointDistributionBuilder
+from repro.correlation.rules import CorrelationRule
+from repro.crowdsim.platform import SimulatedPlatform
+from repro.crowdsim.worker import WorkerPool
+from repro.evaluation.metrics import classification_scores, total_utility
+from repro.exceptions import CrowdFusionError, DatasetError
+from repro.fusion.claims import ClaimDatabase
+from repro.fusion.pipeline import FusionMethod, claims_to_facts, fusion_prior
+
+
+@dataclass
+class EntityProblem:
+    """One independent refinement problem (one book / one flight)."""
+
+    entity: str
+    facts: FactSet
+    prior: JointDistribution
+    gold: Dict[str, bool]
+    difficulties: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        missing = [fact_id for fact_id in self.prior.fact_ids if fact_id not in self.gold]
+        if missing:
+            raise DatasetError(
+                f"entity {self.entity!r} is missing gold labels for {missing}"
+            )
+
+
+#: Signature of an optional correlation-rule factory: given the entity id and
+#: its fact ids, return the rules coupling them in the prior.
+RuleFactory = Callable[[str, Sequence[str]], Sequence[CorrelationRule]]
+
+
+def build_problems(
+    database: ClaimDatabase,
+    gold: Mapping[str, bool],
+    fusion_method: FusionMethod,
+    difficulties: Optional[Mapping[str, float]] = None,
+    clip: float = 0.05,
+    max_facts_per_entity: Optional[int] = 14,
+    rule_factory: Optional[RuleFactory] = None,
+    entities: Optional[Sequence[str]] = None,
+) -> List[EntityProblem]:
+    """Fuse a claim database and split it into per-entity refinement problems.
+
+    Parameters
+    ----------
+    database, gold:
+        The claim observations and gold labels (from a dataset generator).
+    fusion_method:
+        The machine-only initialiser (e.g. :class:`repro.fusion.ModifiedCRH`).
+    difficulties:
+        Optional per-claim crowd difficulty used by the simulated platform.
+    clip:
+        Marginal clipping applied to the fusion confidences.
+    max_facts_per_entity:
+        Entities with more claims keep only their most-supported claims; this
+        bounds the joint-distribution size (``None`` disables the cap).
+    rule_factory:
+        Optional factory producing correlation rules per entity; when omitted
+        the prior is the independent product of the fusion marginals.
+    entities:
+        Restrict the problems to these entities (default: all entities).
+    """
+    result = fusion_method.run(database)
+    difficulty_map = dict(difficulties or {})
+    wanted = list(entities) if entities is not None else list(database.entities())
+    problems: List[EntityProblem] = []
+
+    for entity in wanted:
+        claims = list(database.claims_for(entity))
+        if not claims:
+            continue
+        claims.sort(key=lambda claim: (-claim.support, claim.claim_id))
+        if max_facts_per_entity is not None:
+            claims = claims[:max_facts_per_entity]
+        facts = claims_to_facts(claims, result)
+        fact_ids = facts.fact_ids
+
+        if rule_factory is not None:
+            marginals = {
+                fact_id: min(1.0 - clip, max(clip, result.confidence(fact_id)))
+                for fact_id in fact_ids
+            }
+            rules = rule_factory(entity, fact_ids)
+            prior = JointDistributionBuilder(marginals, rules).build()
+        else:
+            prior = fusion_prior(result, claims, clip=clip, fact_ids=fact_ids)
+
+        entity_gold = {fact_id: bool(gold[fact_id]) for fact_id in fact_ids}
+        entity_difficulties = {
+            fact_id: difficulty_map.get(fact_id, 0.0) for fact_id in fact_ids
+        }
+        problems.append(
+            EntityProblem(
+                entity=entity,
+                facts=facts,
+                prior=prior,
+                gold=entity_gold,
+                difficulties=entity_difficulties,
+            )
+        )
+    if not problems:
+        raise DatasetError("no entity problems could be built from the database")
+    return problems
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Configuration of one quality experiment run.
+
+    Attributes
+    ----------
+    selector:
+        Canonical selector name or paper label (see the selection registry).
+    k:
+        Tasks per round per entity.
+    budget_per_entity:
+        Task budget ``B`` for every entity (the paper uses 60 per book).
+    worker_accuracy:
+        The *actual* accuracy of the simulated workers.
+    assumed_accuracy:
+        The ``Pc`` the system assumes for selection and merging; defaults to
+        ``worker_accuracy`` (the paper's Figure 4 varies this).
+    answers_per_task:
+        Independent worker answers aggregated per task by the platform.
+    use_difficulties:
+        Whether the per-claim difficulties affect the simulated workers.
+    seed:
+        Base RNG seed; each entity derives its own stream from it.
+    """
+
+    selector: str = "greedy_prune_pre"
+    k: int = 3
+    budget_per_entity: int = 60
+    worker_accuracy: float = 0.8
+    assumed_accuracy: Optional[float] = None
+    answers_per_task: int = 1
+    use_difficulties: bool = False
+    seed: int = 0
+
+    @property
+    def model_accuracy(self) -> float:
+        """The ``Pc`` used by selection and Bayesian merging."""
+        return (
+            self.assumed_accuracy
+            if self.assumed_accuracy is not None
+            else self.worker_accuracy
+        )
+
+
+@dataclass(frozen=True)
+class QualityPoint:
+    """One point of a quality-vs-cost curve."""
+
+    cost: int
+    utility: float
+    f1: float
+    precision: float
+    recall: float
+    accuracy: float
+
+
+@dataclass
+class ExperimentResult:
+    """Quality curve produced by one experiment run."""
+
+    config: ExperimentConfig
+    points: List[QualityPoint] = field(default_factory=list)
+
+    @property
+    def initial_point(self) -> QualityPoint:
+        """Quality before any crowdsourcing (cost 0)."""
+        return self.points[0]
+
+    @property
+    def final_point(self) -> QualityPoint:
+        """Quality after the whole budget has been spent."""
+        return self.points[-1]
+
+    def costs(self) -> List[int]:
+        """Cumulative cost axis of the curve."""
+        return [point.cost for point in self.points]
+
+    def f1_series(self) -> List[float]:
+        """F1 values aligned with :meth:`costs`."""
+        return [point.f1 for point in self.points]
+
+    def utility_series(self) -> List[float]:
+        """Summed-utility values aligned with :meth:`costs`."""
+        return [point.utility for point in self.points]
+
+
+@dataclass
+class _EntityState:
+    """Mutable per-entity state while an experiment is running."""
+
+    problem: EntityProblem
+    distribution: JointDistribution
+    platform: SimulatedPlatform
+    selector: TaskSelector
+    remaining_budget: int
+
+
+def _measure(
+    states: Sequence[_EntityState], cost: int
+) -> QualityPoint:
+    """Compute one curve point from the current per-entity distributions."""
+    predicted: Dict[str, bool] = {}
+    gold: Dict[str, bool] = {}
+    for state in states:
+        predicted.update(state.distribution.predicted_labels())
+        gold.update(state.problem.gold)
+    scores = classification_scores(predicted, gold)
+    utility = total_utility(state.distribution for state in states)
+    return QualityPoint(
+        cost=cost,
+        utility=utility,
+        f1=scores.f1,
+        precision=scores.precision,
+        recall=scores.recall,
+        accuracy=scores.accuracy,
+    )
+
+
+def run_quality_experiment(
+    problems: Sequence[EntityProblem],
+    config: ExperimentConfig,
+    budgets: Optional[Mapping[str, int]] = None,
+) -> ExperimentResult:
+    """Run the budgeted refinement over all entities and record the quality curve.
+
+    Rounds are interleaved across entities (every entity runs its ``r``-th
+    round before any entity runs round ``r + 1``), and a curve point is
+    recorded after each global pass — matching how the paper accumulates cost
+    over the whole book collection.
+
+    ``budgets`` optionally overrides the per-entity budget (keyed by entity
+    id); entities not listed fall back to ``config.budget_per_entity``.  This
+    is how the budget-allocation extension (``repro.evaluation.allocation``)
+    plugs in.
+    """
+    if not problems:
+        raise CrowdFusionError("cannot run an experiment without entity problems")
+    crowd = CrowdModel(config.model_accuracy)
+    budget_overrides = dict(budgets or {})
+
+    states: List[_EntityState] = []
+    for index, problem in enumerate(problems):
+        pool = WorkerPool.homogeneous(
+            size=25, accuracy=config.worker_accuracy, seed=config.seed * 7919 + index
+        )
+        platform = SimulatedPlatform(
+            ground_truth=problem.gold,
+            workers=pool,
+            difficulties=problem.difficulties if config.use_difficulties else None,
+            answers_per_task=config.answers_per_task,
+        )
+        selector = get_selector(
+            config.selector,
+            **({"seed": config.seed * 104729 + index} if config.selector in ("random", "Random") else {}),
+        )
+        states.append(
+            _EntityState(
+                problem=problem,
+                distribution=problem.prior,
+                platform=platform,
+                selector=selector,
+                remaining_budget=budget_overrides.get(
+                    problem.entity, config.budget_per_entity
+                ),
+            )
+        )
+
+    result = ExperimentResult(config=config)
+    total_cost = 0
+    result.points.append(_measure(states, total_cost))
+
+    while any(state.remaining_budget > 0 for state in states):
+        progressed = False
+        for state in states:
+            if state.remaining_budget <= 0:
+                continue
+            k = min(config.k, state.remaining_budget, state.distribution.num_facts)
+            selection = state.selector.select(state.distribution, crowd, k)
+            if not selection.task_ids:
+                state.remaining_budget = 0
+                continue
+            answers = state.platform.collect(selection.task_ids)
+            state.distribution = merge_answers(state.distribution, answers, crowd)
+            state.remaining_budget -= len(selection.task_ids)
+            total_cost += len(selection.task_ids)
+            progressed = True
+        if not progressed:
+            break
+        result.points.append(_measure(states, total_cost))
+
+    return result

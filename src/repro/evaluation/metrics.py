@@ -1,0 +1,94 @@
+"""Quality metrics: precision / recall / F1 and summed utility.
+
+The paper evaluates with two measurements (Section V-C): the utility (the
+PWS-quality the selection optimises, summed over all data instances) and the
+F1-score of the thresholded fact labels against the gold labels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.core.distribution import JointDistribution
+from repro.core.utility import pws_quality
+from repro.exceptions import CrowdFusionError
+
+
+@dataclass(frozen=True)
+class ClassificationScores:
+    """Precision, recall, F1 and accuracy of boolean predictions against gold."""
+
+    precision: float
+    recall: float
+    f1: float
+    accuracy: float
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+    true_negatives: int
+
+    @property
+    def support(self) -> int:
+        """Number of facts scored."""
+        return (
+            self.true_positives
+            + self.false_positives
+            + self.false_negatives
+            + self.true_negatives
+        )
+
+
+def classification_scores(
+    predicted: Mapping[str, bool], gold: Mapping[str, bool]
+) -> ClassificationScores:
+    """Score boolean predictions against gold labels.
+
+    Only facts present in *both* mappings are scored; raises if the overlap is
+    empty.  Precision/recall degenerate cases (no predicted positives, no gold
+    positives) are defined as 0.0, matching the usual convention.
+    """
+    shared = [fact_id for fact_id in predicted if fact_id in gold]
+    if not shared:
+        raise CrowdFusionError("no overlap between predictions and gold labels")
+
+    tp = fp = fn = tn = 0
+    for fact_id in shared:
+        prediction = predicted[fact_id]
+        truth = gold[fact_id]
+        if prediction and truth:
+            tp += 1
+        elif prediction and not truth:
+            fp += 1
+        elif not prediction and truth:
+            fn += 1
+        else:
+            tn += 1
+
+    precision = tp / (tp + fp) if (tp + fp) > 0 else 0.0
+    recall = tp / (tp + fn) if (tp + fn) > 0 else 0.0
+    f1 = (
+        2 * precision * recall / (precision + recall)
+        if (precision + recall) > 0
+        else 0.0
+    )
+    accuracy = (tp + tn) / len(shared)
+    return ClassificationScores(
+        precision=precision,
+        recall=recall,
+        f1=f1,
+        accuracy=accuracy,
+        true_positives=tp,
+        false_positives=fp,
+        false_negatives=fn,
+        true_negatives=tn,
+    )
+
+
+def total_utility(distributions: Iterable[JointDistribution]) -> float:
+    """Summed PWS-quality over a collection of per-entity distributions.
+
+    This is the paper's utility measurement: "we simply sum up the utility
+    scores of all data instances".
+    """
+    return sum(pws_quality(distribution) for distribution in distributions)

@@ -1,0 +1,61 @@
+"""Plain-text table and series formatting for benchmark output.
+
+The benchmark harnesses print the same rows and series the paper reports;
+these helpers keep that output aligned and readable without any plotting
+dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.exceptions import CrowdFusionError
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    float_format: str = "{:.4f}",
+) -> str:
+    """Render a fixed-width text table.
+
+    Floats are formatted with ``float_format``; everything else with ``str``.
+    """
+    if not headers:
+        raise CrowdFusionError("a table needs at least one column")
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        if len(row) != len(headers):
+            raise CrowdFusionError(
+                f"row {row!r} has {len(row)} cells, expected {len(headers)}"
+            )
+        rendered_rows.append(
+            [
+                float_format.format(cell) if isinstance(cell, float) else str(cell)
+                for cell in row
+            ]
+        )
+
+    widths = [len(header) for header in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[index]) for index, cell in enumerate(cells))
+
+    lines = [render(list(headers)), render(["-" * width for width in widths])]
+    lines.extend(render(row) for row in rendered_rows)
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str, points: Sequence[Tuple[float, float]], precision: int = 4
+) -> str:
+    """Render one named (x, y) series as a compact single line per point."""
+    if not points:
+        raise CrowdFusionError(f"series {name!r} has no points")
+    body = ", ".join(
+        f"({x:g}, {y:.{precision}f})" for x, y in points
+    )
+    return f"{name}: {body}"

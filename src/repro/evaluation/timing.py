@@ -1,0 +1,91 @@
+"""Selection-time measurement (Table V of the paper).
+
+Table V reports the average wall-clock time of *one selection round* for five
+algorithms (OPT, Approx., Approx.&Prune, Approx.&Pre., Approx.&Prune&Pre.)
+at ``k`` = 1…10, measured over the books with more than 20 facts.  The
+helpers here run the same measurement on any list of joint distributions.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.crowd import CrowdModel
+from repro.core.distribution import JointDistribution
+from repro.core.selection import get_selector
+from repro.exceptions import CrowdFusionError
+
+
+@dataclass(frozen=True)
+class TimingRow:
+    """One (selector, k) cell of the timing table."""
+
+    selector: str
+    k: int
+    mean_seconds: float
+    runs: int
+
+
+def measure_selection_times(
+    distributions: Sequence[JointDistribution],
+    selectors: Sequence[str],
+    ks: Sequence[int],
+    accuracy: float = 0.8,
+    repeats: int = 1,
+    skip: Optional[Dict[str, int]] = None,
+) -> List[TimingRow]:
+    """Measure the average one-round selection time per selector per ``k``.
+
+    Parameters
+    ----------
+    distributions:
+        The per-entity joint distributions selections run against (the paper
+        averages over books with more than 20 facts).
+    selectors:
+        Selector names or paper labels to time.
+    ks:
+        Round sizes to sweep.
+    accuracy:
+        Crowd accuracy assumed during selection.
+    repeats:
+        How many times each (selector, k, distribution) measurement is taken.
+    skip:
+        Optional per-selector maximum ``k``: larger ``k`` values are skipped
+        (the paper could not finish OPT beyond ``k`` = 3).
+    """
+    if not distributions:
+        raise CrowdFusionError("timing needs at least one distribution")
+    if repeats <= 0:
+        raise CrowdFusionError(f"repeats must be positive, got {repeats}")
+    crowd = CrowdModel(accuracy)
+    caps = dict(skip or {})
+    rows: List[TimingRow] = []
+
+    for name in selectors:
+        for k in ks:
+            cap = caps.get(name)
+            if cap is not None and k > cap:
+                continue
+            total = 0.0
+            runs = 0
+            for distribution in distributions:
+                for _ in range(repeats):
+                    selector = get_selector(name)
+                    started = time.perf_counter()
+                    selector.select(distribution, crowd, k)
+                    total += time.perf_counter() - started
+                    runs += 1
+            rows.append(
+                TimingRow(selector=name, k=k, mean_seconds=total / runs, runs=runs)
+            )
+    return rows
+
+
+def rows_as_table(rows: Sequence[TimingRow]) -> Dict[int, Dict[str, float]]:
+    """Pivot timing rows into ``{k: {selector: mean seconds}}`` (Table V layout)."""
+    table: Dict[int, Dict[str, float]] = {}
+    for row in rows:
+        table.setdefault(row.k, {})[row.selector] = row.mean_seconds
+    return table

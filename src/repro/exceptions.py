@@ -1,0 +1,60 @@
+"""Exception hierarchy for the CrowdFusion reproduction library.
+
+Every error raised intentionally by :mod:`repro` derives from
+:class:`CrowdFusionError`, so callers can catch a single base class when they
+want to distinguish library errors from programming errors.
+"""
+
+from __future__ import annotations
+
+
+class CrowdFusionError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class InvalidDistributionError(CrowdFusionError):
+    """A probability distribution is malformed.
+
+    Raised for negative probabilities, an empty support, or a total mass
+    that cannot be normalised (e.g. all zeros / NaN).
+    """
+
+
+class InvalidFactError(CrowdFusionError):
+    """A fact triple or fact set is malformed (duplicate ids, empty fields)."""
+
+
+class InvalidCrowdModelError(CrowdFusionError):
+    """Crowd accuracy is outside the supported range ``[0.5, 1.0]``."""
+
+
+class SelectionError(CrowdFusionError):
+    """Task selection was asked to do something impossible.
+
+    Examples: requesting more tasks than facts exist, an unknown selector
+    name, or selecting from an empty fact set.
+    """
+
+
+class BudgetError(CrowdFusionError):
+    """The engine was configured with a non-positive or exhausted budget."""
+
+
+class QueryError(CrowdFusionError):
+    """A query references facts of interest that are not in the fact set."""
+
+
+class FusionError(CrowdFusionError):
+    """A machine-only fusion method received inconsistent claim data."""
+
+
+class PlatformError(CrowdFusionError):
+    """The simulated crowdsourcing platform was used incorrectly.
+
+    Examples: collecting answers for a batch that was never published, or
+    publishing an empty batch of tasks.
+    """
+
+
+class DatasetError(CrowdFusionError):
+    """A dataset generator or loader received invalid parameters."""

@@ -1,0 +1,41 @@
+"""Machine-only data-fusion / truth-discovery methods.
+
+CrowdFusion refines the output of an existing fusion method; the paper
+initialises with a modified CRH framework.  This subpackage provides the
+claim/source data model and several classic fusion algorithms so the system
+is self-contained:
+
+* :class:`MajorityVote` — per data item, confidence proportional to support.
+* :class:`ModifiedCRH` — the paper's initialiser: top-50 % majority labelling
+  followed by CRH-style source-weight / truth iterations.
+* :class:`TruthFinder` — Yin et al.'s iterative confidence propagation.
+* :class:`BayesianVote` — ACCU-style Bayesian source-accuracy fusion.
+
+All methods consume a :class:`ClaimDatabase` and produce a
+:class:`FusionResult` mapping each claim to a confidence in ``[0, 1]``; the
+:mod:`repro.fusion.pipeline` module converts that into the prior joint
+distribution CrowdFusion starts from.
+"""
+
+from repro.fusion.accu import BayesianVote
+from repro.fusion.claims import Claim, ClaimDatabase, Source
+from repro.fusion.crh import ModifiedCRH
+from repro.fusion.majority import MajorityVote
+from repro.fusion.pipeline import FusionPipeline, FusionResult, fusion_prior
+from repro.fusion.source_quality import source_accuracy, source_error_rates
+from repro.fusion.truthfinder import TruthFinder
+
+__all__ = [
+    "BayesianVote",
+    "Claim",
+    "ClaimDatabase",
+    "FusionPipeline",
+    "FusionResult",
+    "MajorityVote",
+    "ModifiedCRH",
+    "Source",
+    "TruthFinder",
+    "fusion_prior",
+    "source_accuracy",
+    "source_error_rates",
+]

@@ -1,0 +1,41 @@
+"""Majority voting — the simplest fusion baseline.
+
+Each claim's confidence is the fraction of the sources *voting on its data
+item* that assert exactly this value.  Multiple claims per data item can be
+"winners" when support is tied, which suits the Book dataset where several
+formattings of the same author list are all correct.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.fusion.claims import ClaimDatabase
+from repro.fusion.pipeline import FusionResult
+from repro.exceptions import FusionError
+
+
+class MajorityVote:
+    """Confidence = per-data-item support fraction."""
+
+    name = "majority"
+
+    def run(self, database: ClaimDatabase) -> FusionResult:
+        """Score every claim in ``database``."""
+        claims = database.claims()
+        if not claims:
+            raise FusionError("cannot fuse an empty claim database")
+
+        votes_per_item: Dict[Tuple[str, str], int] = {}
+        for claim in claims:
+            item = claim.data_item
+            votes_per_item[item] = votes_per_item.get(item, 0) + claim.support
+
+        confidences = {}
+        for claim in claims:
+            total_votes = votes_per_item[claim.data_item]
+            confidences[claim.claim_id] = claim.support / total_votes if total_votes else 0.0
+        source_weights = {source.source_id: 1.0 for source in database.sources()}
+        return FusionResult(
+            method=self.name, confidences=confidences, source_weights=source_weights
+        )

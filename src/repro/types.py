@@ -1,0 +1,14 @@
+"""Shared typing aliases used across the CrowdFusion reproduction library."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence, Tuple
+
+#: A truth assignment over ``n`` facts, ordered by fact index.
+TruthVector = Tuple[bool, ...]
+
+#: Mapping from a fact identifier to a marginal probability of being true.
+MarginalMap = Mapping[str, float]
+
+#: A sequence of fact identifiers (e.g. a selected task set).
+FactIds = Sequence[str]

@@ -1,0 +1,69 @@
+"""Unit tests for the brute-force (OPT) selector."""
+
+import itertools
+
+import pytest
+
+from repro.core.crowd import CrowdModel
+from repro.core.distribution import JointDistribution
+from repro.core.selection import BruteForceSelector
+from repro.datasets.running_example import running_example_distribution
+
+
+@pytest.fixture
+def crowd():
+    return CrowdModel(0.8)
+
+
+class TestBruteForce:
+    def test_finds_global_optimum(self, crowd):
+        dist = running_example_distribution()
+        result = BruteForceSelector().select(dist, crowd, 2)
+        best = max(
+            crowd.task_entropy(dist, pair)
+            for pair in itertools.combinations(dist.fact_ids, 2)
+        )
+        assert result.objective == pytest.approx(best)
+
+    def test_running_example_best_pair(self, crowd):
+        dist = running_example_distribution()
+        result = BruteForceSelector().select(dist, crowd, 2)
+        assert set(result.task_ids) == {"f1", "f4"}
+
+    def test_k_equals_n_selects_everything(self, crowd):
+        dist = running_example_distribution()
+        result = BruteForceSelector().select(dist, crowd, 4)
+        assert set(result.task_ids) == set(dist.fact_ids)
+
+    def test_counts_candidate_evaluations(self, crowd):
+        dist = running_example_distribution()
+        result = BruteForceSelector().select(dist, crowd, 2)
+        assert result.stats.candidate_evaluations == 6  # C(4, 2)
+
+    def test_subset_guard_triggers(self, crowd):
+        dist = JointDistribution.independent({f"f{i}": 0.5 for i in range(12)})
+        selector = BruteForceSelector(max_subsets=10)
+        with pytest.raises(RuntimeError):
+            selector.select(dist, crowd, 5)
+
+    def test_never_worse_than_greedy(self, crowd):
+        from repro.core.selection import GreedySelector
+
+        dist = JointDistribution.from_assignments(
+            ("a", "b", "c"),
+            {
+                (False, False, False): 0.25,
+                (True, True, False): 0.25,
+                (False, True, True): 0.3,
+                (True, False, True): 0.2,
+            },
+        )
+        for k in (1, 2, 3):
+            opt = BruteForceSelector().select(dist, crowd, k).objective
+            greedy = GreedySelector().select(dist, crowd, k).objective
+            assert opt >= greedy - 1e-9
+
+    def test_exclusion_respected(self, crowd):
+        dist = running_example_distribution()
+        result = BruteForceSelector().select(dist, crowd, 2, exclude=["f1"])
+        assert "f1" not in result.task_ids

@@ -1,0 +1,66 @@
+"""Unit tests for the naive fact-entropy baseline (Section III-B discussion)."""
+
+import itertools
+
+import pytest
+
+from repro.core.crowd import CrowdModel
+from repro.core.distribution import JointDistribution
+from repro.core.selection import FactEntropySelector, GreedySelector, get_selector
+from repro.datasets.running_example import running_example_distribution
+
+
+class TestFactEntropySelector:
+    def test_registered_under_canonical_name(self):
+        assert isinstance(get_selector("fact_entropy"), FactEntropySelector)
+
+    def test_selects_most_uncertain_fact_first(self):
+        dist = JointDistribution.independent({"a": 0.95, "b": 0.5, "c": 0.8})
+        result = FactEntropySelector().select(dist, CrowdModel(0.7), 1)
+        assert result.task_ids == ("b",)
+
+    def test_greedily_maximises_fact_joint_entropy(self):
+        dist = running_example_distribution()
+        result = FactEntropySelector().select(dist, CrowdModel(0.8), 2)
+        # First pick is the single most uncertain fact (f1, exactly 1 bit).
+        assert result.task_ids[0] == "f1"
+        # Being greedy, the pair is within the (1 − 1/e) factor of the best pair.
+        best = max(
+            dist.marginalize(pair).entropy()
+            for pair in itertools.combinations(dist.fact_ids, 2)
+        )
+        achieved = dist.marginalize(result.task_ids).entropy()
+        assert achieved <= best + 1e-9
+        assert achieved >= (1 - 1 / 2.718281828) * best
+
+    def test_differs_from_answer_entropy_greedy_with_noisy_crowd(self):
+        """The paper's Table III point: the naive choice is not {f1, f4} at Pc = 0.8."""
+        dist = running_example_distribution()
+        crowd = CrowdModel(0.8)
+        naive = FactEntropySelector().select(dist, crowd, 2)
+        informed = GreedySelector().select(dist, crowd, 2)
+        assert set(naive.task_ids) != set(informed.task_ids)
+        # And the informed choice achieves a higher answer-set entropy.
+        assert informed.objective > naive.objective
+
+    def test_matches_greedy_for_perfect_crowd(self):
+        dist = running_example_distribution()
+        crowd = CrowdModel(1.0)
+        naive = FactEntropySelector().select(dist, crowd, 2)
+        informed = GreedySelector().select(dist, crowd, 2)
+        assert crowd.task_entropy(dist, naive.task_ids) == pytest.approx(
+            crowd.task_entropy(dist, informed.task_ids), abs=1e-9
+        )
+
+    def test_objective_reported_as_answer_entropy(self):
+        dist = running_example_distribution()
+        crowd = CrowdModel(0.8)
+        result = FactEntropySelector().select(dist, crowd, 2)
+        assert result.objective == pytest.approx(
+            crowd.task_entropy(dist, result.task_ids)
+        )
+
+    def test_stops_when_facts_are_certain(self):
+        dist = JointDistribution.independent({"a": 1.0, "b": 0.5})
+        result = FactEntropySelector().select(dist, CrowdModel(0.8), 2)
+        assert result.task_ids == ("b",)

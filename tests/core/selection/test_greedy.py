@@ -1,0 +1,109 @@
+"""Unit tests for the greedy approximation (Algorithm 1)."""
+
+import pytest
+
+from repro.core.crowd import CrowdModel
+from repro.core.distribution import JointDistribution
+from repro.core.selection import GreedySelector
+from repro.datasets.running_example import running_example_distribution
+from repro.exceptions import SelectionError
+
+
+@pytest.fixture
+def crowd():
+    return CrowdModel(0.8)
+
+
+class TestGreedyBasics:
+    def test_selects_requested_number_of_tasks(self, crowd):
+        dist = running_example_distribution()
+        result = GreedySelector().select(dist, crowd, 3)
+        assert len(result.task_ids) == 3
+        assert len(set(result.task_ids)) == 3
+
+    def test_k_larger_than_fact_count_is_capped(self, crowd):
+        dist = running_example_distribution()
+        result = GreedySelector().select(dist, crowd, 10)
+        assert len(result.task_ids) == 4
+
+    def test_invalid_k_rejected(self, crowd):
+        dist = running_example_distribution()
+        with pytest.raises(SelectionError):
+            GreedySelector().select(dist, crowd, 0)
+
+    def test_exclude_removes_candidates(self, crowd):
+        dist = running_example_distribution()
+        result = GreedySelector().select(dist, crowd, 2, exclude=["f1", "f4"])
+        assert set(result.task_ids).isdisjoint({"f1", "f4"})
+
+    def test_exclude_unknown_fact_rejected(self, crowd):
+        dist = running_example_distribution()
+        with pytest.raises(SelectionError):
+            GreedySelector().select(dist, crowd, 1, exclude=["zzz"])
+
+    def test_exclude_everything_rejected(self, crowd):
+        dist = JointDistribution.independent({"a": 0.5})
+        with pytest.raises(SelectionError):
+            GreedySelector().select(dist, crowd, 1, exclude=["a"])
+
+    def test_objective_equals_task_entropy_of_selection(self, crowd):
+        dist = running_example_distribution()
+        result = GreedySelector().select(dist, crowd, 2)
+        assert result.objective == pytest.approx(
+            crowd.task_entropy(dist, result.task_ids)
+        )
+
+    def test_stats_populated(self, crowd):
+        dist = running_example_distribution()
+        result = GreedySelector().select(dist, crowd, 2)
+        assert result.stats.iterations == 2
+        # First iteration scans 4 candidates, second scans 3.
+        assert result.stats.candidate_evaluations == 7
+        assert result.stats.elapsed_seconds >= 0.0
+
+
+class TestGreedyEarlyStop:
+    def test_stops_when_facts_are_certain(self, crowd):
+        """Theorem 2 corollary: certain facts offer zero gain and are skipped."""
+        dist = JointDistribution.independent({"a": 1.0, "b": 0.5, "c": 1.0})
+        result = GreedySelector().select(dist, crowd, 3)
+        assert result.task_ids == ("b",)
+
+    def test_positive_gain_while_uncertainty_remains(self, crowd):
+        """Theorem 2: with uncertain facts left, greedy keeps selecting."""
+        dist = JointDistribution.independent({"a": 0.6, "b": 0.7, "c": 0.8})
+        result = GreedySelector().select(dist, crowd, 3)
+        assert len(result.task_ids) == 3
+
+    def test_single_uncertain_fact_chosen_first(self, crowd):
+        dist = JointDistribution.independent({"a": 0.99, "b": 0.5, "c": 0.95})
+        result = GreedySelector().select(dist, crowd, 1)
+        assert result.task_ids == ("b",)
+
+
+class TestGreedyQuality:
+    def test_greedy_matches_opt_for_k1(self, crowd):
+        """For k = 1 greedy is exactly optimal (both pick the single best task)."""
+        from repro.core.selection import BruteForceSelector
+
+        dist = running_example_distribution()
+        greedy = GreedySelector().select(dist, crowd, 1)
+        opt = BruteForceSelector().select(dist, crowd, 1)
+        assert greedy.objective == pytest.approx(opt.objective)
+
+    def test_greedy_objective_monotone_in_k(self, crowd):
+        dist = running_example_distribution()
+        objectives = [
+            GreedySelector().select(dist, crowd, k).objective for k in range(1, 5)
+        ]
+        assert objectives == sorted(objectives)
+
+    def test_greedy_within_one_minus_one_over_e_of_opt(self, crowd):
+        """The (1 − 1/e) guarantee on the running example for every k."""
+        from repro.core.selection import BruteForceSelector
+
+        dist = running_example_distribution()
+        for k in range(1, 5):
+            greedy = GreedySelector().select(dist, crowd, k).objective
+            opt = BruteForceSelector().select(dist, crowd, k).objective
+            assert greedy >= (1 - 1 / 2.718281828) * opt - 1e-9

@@ -1,0 +1,89 @@
+"""Unit tests for the pruning greedy selector (Theorem 3)."""
+
+import pytest
+
+from repro.core.crowd import CrowdModel
+from repro.core.distribution import JointDistribution
+from repro.core.selection import GreedySelector, PruningGreedySelector
+from repro.datasets.running_example import running_example_distribution
+
+
+@pytest.fixture
+def crowd():
+    return CrowdModel(0.8)
+
+
+def correlated_distribution(num_facts=8, seed=5):
+    """A distribution with a mix of near-certain and uncertain facts.
+
+    Near-certain facts are exactly the ones the pruning rule should discard
+    early once a good candidate has been found.
+    """
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    marginals = {}
+    for index in range(num_facts):
+        if index % 2 == 0:
+            marginals[f"f{index}"] = float(rng.uniform(0.45, 0.55))
+        else:
+            marginals[f"f{index}"] = float(rng.uniform(0.9, 0.99))
+    return JointDistribution.independent(marginals)
+
+
+class TestPruningCorrectness:
+    def test_same_selection_as_plain_greedy_on_running_example(self, crowd):
+        dist = running_example_distribution()
+        for k in range(1, 5):
+            plain = GreedySelector().select(dist, crowd, k)
+            pruned = PruningGreedySelector().select(dist, crowd, k)
+            assert pruned.task_ids == plain.task_ids
+            assert pruned.objective == pytest.approx(plain.objective)
+
+    def test_same_selection_on_mixed_certainty_facts(self, crowd):
+        dist = correlated_distribution()
+        for k in (2, 3, 4):
+            plain = GreedySelector().select(dist, crowd, k)
+            pruned = PruningGreedySelector().select(dist, crowd, k)
+            assert pruned.task_ids == plain.task_ids
+            assert pruned.objective == pytest.approx(plain.objective)
+
+    def test_objective_equals_task_entropy(self, crowd):
+        dist = correlated_distribution()
+        result = PruningGreedySelector().select(dist, crowd, 3)
+        assert result.objective == pytest.approx(
+            crowd.task_entropy(dist, result.task_ids)
+        )
+
+
+class TestPruningEffect:
+    def test_pruning_never_costs_extra_evaluations(self, crowd):
+        dist = correlated_distribution(num_facts=10)
+        k = 4
+        plain = GreedySelector().select(dist, crowd, k)
+        pruned = PruningGreedySelector().select(dist, crowd, k)
+        total_considered = (
+            pruned.stats.candidate_evaluations + pruned.stats.pruned_candidates
+        )
+        assert total_considered == plain.stats.candidate_evaluations
+        assert pruned.stats.candidate_evaluations <= plain.stats.candidate_evaluations
+
+    def test_final_iteration_marks_uncompetitive_facts(self, crowd):
+        """With zero slack in the last iteration, strictly worse facts are marked pruned."""
+        dist = correlated_distribution(num_facts=10)
+        result = PruningGreedySelector().select(dist, crowd, 4)
+        assert result.stats.pruned_facts > 0
+
+    def test_pruned_facts_zero_when_all_candidates_tie(self, crowd):
+        # With every fact identically uncertain, no candidate is ever strictly
+        # worse than the best, so nothing gets marked.
+        dist = JointDistribution.independent({f"f{i}": 0.5 for i in range(4)})
+        result = PruningGreedySelector().select(dist, crowd, 2)
+        assert result.stats.pruned_facts == 0
+
+    def test_last_iteration_uses_zero_slack(self, crowd):
+        """With k = 1 the slack is zero, so strictly worse candidates are marked pruned."""
+        dist = correlated_distribution(num_facts=6)
+        result = PruningGreedySelector().select(dist, crowd, 1)
+        assert len(result.task_ids) == 1
+        assert result.stats.pruned_facts > 0

@@ -1,0 +1,103 @@
+"""Unit tests for query-based task selection (Section IV)."""
+
+import pytest
+
+from repro.core.crowd import CrowdModel
+from repro.core.distribution import JointDistribution
+from repro.core.query import Query
+from repro.core.selection import QueryGreedySelector
+from repro.datasets.running_example import running_example_distribution
+from repro.exceptions import QueryError
+
+
+@pytest.fixture
+def crowd():
+    return CrowdModel(0.8)
+
+
+def correlated_pair_distribution():
+    """Two strongly correlated facts plus one independent fact.
+
+    ``a`` and ``b`` almost always share a truth value; ``c`` is independent
+    and uncertain.  A query interested only in ``a`` should still consider
+    asking ``b`` (correlated evidence) but not waste effort on ``c``.
+    """
+    return JointDistribution.from_assignments(
+        ("a", "b", "c"),
+        {
+            (True, True, True): 0.23,
+            (True, True, False): 0.23,
+            (False, False, True): 0.22,
+            (False, False, False): 0.22,
+            (True, False, True): 0.025,
+            (False, True, True): 0.025,
+            (True, False, False): 0.025,
+            (False, True, False): 0.025,
+        },
+    )
+
+
+class TestQueryGreedy:
+    def test_selects_tasks_relevant_to_interest(self, crowd):
+        dist = correlated_pair_distribution()
+        selector = QueryGreedySelector(Query.of(["a"]))
+        result = selector.select(dist, crowd, 1)
+        # Both a and b are informative about a; the irrelevant fact c is not.
+        assert result.task_ids[0] in {"a", "b"}
+
+    def test_unknown_interest_fact_raises(self, crowd):
+        dist = correlated_pair_distribution()
+        selector = QueryGreedySelector(Query.of(["zzz"]))
+        with pytest.raises(QueryError):
+            selector.select(dist, crowd, 1)
+
+    def test_objective_is_query_utility(self, crowd):
+        dist = correlated_pair_distribution()
+        query = Query.of(["a"])
+        selector = QueryGreedySelector(query)
+        result = selector.select(dist, crowd, 1)
+        tasks = list(result.task_ids)
+        expected = crowd.task_entropy(dist, tasks) - crowd.joint_fact_answer_entropy(
+            dist, query.fact_ids, tasks
+        )
+        assert result.objective == pytest.approx(expected, abs=1e-9)
+
+    def test_utility_gain_non_negative_per_step(self, crowd):
+        """Submodular monotone objective: each selected task improves Q(I|T)."""
+        dist = correlated_pair_distribution()
+        query = Query.of(["a"])
+        selector = QueryGreedySelector(query)
+        no_tasks_utility = -dist.marginalize(query.fact_ids).entropy()
+        result = selector.select(dist, crowd, 2)
+        assert result.objective >= no_tasks_utility - 1e-9
+
+    def test_full_interest_set_matches_standard_greedy_choice(self, crowd):
+        """With I = F the query objective ranks task sets like H(T) − H(F, T)."""
+        from repro.core.selection import GreedySelector
+
+        dist = running_example_distribution()
+        query_result = QueryGreedySelector(Query.of(dist.fact_ids)).select(dist, crowd, 2)
+        plain_result = GreedySelector().select(dist, crowd, 2)
+        assert set(query_result.task_ids) == set(plain_result.task_ids)
+
+    def test_correlated_fact_helps_interest_fact(self, crowd):
+        """Asking a correlated non-interest fact must beat asking an unrelated one."""
+        dist = correlated_pair_distribution()
+        query = Query.of(["a"])
+        selector = QueryGreedySelector(query)
+        utility_with_b = selector._query_utility(dist, crowd, ["b"])
+        utility_with_c = selector._query_utility(dist, crowd, ["c"])
+        assert utility_with_b > utility_with_c
+
+    def test_query_property_accessor(self):
+        query = Query.of(["a", "b"])
+        assert QueryGreedySelector(query).query is query
+
+    def test_irrelevant_facts_do_not_fill_the_budget(self, crowd):
+        """Once the interest fact is pinned down, unrelated facts give ~no gain."""
+        dist = JointDistribution.independent({"a": 0.5, "c": 0.5, "d": 0.5})
+        selector = QueryGreedySelector(Query.of(["a"]))
+        result = selector.select(dist, crowd, 3)
+        # Only "a" itself can reduce H(I); independent facts are skipped, so
+        # the selector stops early instead of spending the full budget.
+        assert result.task_ids == ("a",)

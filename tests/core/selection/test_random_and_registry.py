@@ -1,0 +1,113 @@
+"""Unit tests for the random baseline and the selector registry."""
+
+import pytest
+
+from repro.core.crowd import CrowdModel
+from repro.core.selection import (
+    BruteForceSelector,
+    GreedySelector,
+    PreprocessingGreedySelector,
+    PrunedPreprocessingGreedySelector,
+    PruningGreedySelector,
+    RandomSelector,
+    available_selectors,
+    get_selector,
+)
+from repro.datasets.running_example import running_example_distribution
+from repro.exceptions import SelectionError
+
+
+@pytest.fixture
+def crowd():
+    return CrowdModel(0.8)
+
+
+class TestRandomSelector:
+    def test_selects_k_distinct_tasks(self, crowd):
+        dist = running_example_distribution()
+        result = RandomSelector(seed=1).select(dist, crowd, 3)
+        assert len(result.task_ids) == 3
+        assert len(set(result.task_ids)) == 3
+
+    def test_deterministic_given_seed(self, crowd):
+        dist = running_example_distribution()
+        first = RandomSelector(seed=42).select(dist, crowd, 2)
+        second = RandomSelector(seed=42).select(dist, crowd, 2)
+        assert first.task_ids == second.task_ids
+
+    def test_different_seeds_eventually_differ(self, crowd):
+        dist = running_example_distribution()
+        selections = {
+            RandomSelector(seed=seed).select(dist, crowd, 2).task_ids
+            for seed in range(10)
+        }
+        assert len(selections) > 1
+
+    def test_objective_is_entropy_of_chosen_set(self, crowd):
+        dist = running_example_distribution()
+        result = RandomSelector(seed=0).select(dist, crowd, 2)
+        assert result.objective == pytest.approx(
+            crowd.task_entropy(dist, result.task_ids)
+        )
+
+    def test_respects_exclusion(self, crowd):
+        dist = running_example_distribution()
+        result = RandomSelector(seed=3).select(dist, crowd, 2, exclude=["f1", "f2"])
+        assert set(result.task_ids) == {"f3", "f4"}
+
+    def test_never_better_than_opt(self, crowd):
+        dist = running_example_distribution()
+        opt = BruteForceSelector().select(dist, crowd, 2).objective
+        for seed in range(5):
+            random_objective = RandomSelector(seed=seed).select(dist, crowd, 2).objective
+            assert random_objective <= opt + 1e-9
+
+
+class TestRegistry:
+    def test_all_canonical_names_listed(self):
+        names = available_selectors()
+        assert set(names) == {
+            "opt",
+            "greedy",
+            "greedy_prune",
+            "greedy_pre",
+            "greedy_prune_pre",
+            "random",
+            "fact_entropy",
+        }
+
+    @pytest.mark.parametrize(
+        "name, cls",
+        [
+            ("opt", BruteForceSelector),
+            ("greedy", GreedySelector),
+            ("greedy_prune", PruningGreedySelector),
+            ("greedy_pre", PreprocessingGreedySelector),
+            ("greedy_prune_pre", PrunedPreprocessingGreedySelector),
+            ("random", RandomSelector),
+        ],
+    )
+    def test_canonical_names_resolve(self, name, cls):
+        assert isinstance(get_selector(name), cls)
+
+    @pytest.mark.parametrize(
+        "label, cls",
+        [
+            ("OPT", BruteForceSelector),
+            ("Approx.", GreedySelector),
+            ("Approx.&Prune", PruningGreedySelector),
+            ("Approx.&Pre.", PreprocessingGreedySelector),
+            ("Approx.&Prune&Pre.", PrunedPreprocessingGreedySelector),
+            ("Random", RandomSelector),
+        ],
+    )
+    def test_paper_labels_resolve(self, label, cls):
+        assert isinstance(get_selector(label), cls)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(SelectionError):
+            get_selector("simulated_annealing")
+
+    def test_kwargs_forwarded(self):
+        selector = get_selector("random", seed=7)
+        assert isinstance(selector, RandomSelector)

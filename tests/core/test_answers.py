@@ -1,0 +1,91 @@
+"""Unit tests for Answer and AnswerSet."""
+
+import pytest
+
+from repro.core.answers import Answer, AnswerSet
+from repro.exceptions import InvalidFactError
+
+
+class TestAnswer:
+    def test_basic_fields(self):
+        answer = Answer("f1", True, worker_id="w3", confidence=0.9)
+        assert answer.fact_id == "f1"
+        assert answer.judgment is True
+        assert answer.worker_id == "w3"
+
+    def test_empty_fact_id_rejected(self):
+        with pytest.raises(InvalidFactError):
+            Answer("", True)
+
+    def test_confidence_out_of_range_rejected(self):
+        with pytest.raises(InvalidFactError):
+            Answer("f1", True, confidence=1.2)
+
+    def test_optional_fields_default_to_none(self):
+        answer = Answer("f1", False)
+        assert answer.worker_id is None
+        assert answer.confidence is None
+
+
+class TestAnswerSet:
+    def test_mapping_interface(self):
+        answers = AnswerSet([Answer("f1", True), Answer("f2", False)])
+        assert len(answers) == 2
+        assert answers["f1"] is True
+        assert answers["f2"] is False
+        assert "f1" in answers
+        assert set(iter(answers)) == {"f1", "f2"}
+
+    def test_unknown_fact_lookup_raises(self):
+        answers = AnswerSet([Answer("f1", True)])
+        with pytest.raises(InvalidFactError):
+            answers["zzz"]
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidFactError):
+            AnswerSet([])
+
+    def test_duplicate_fact_rejected(self):
+        with pytest.raises(InvalidFactError):
+            AnswerSet([Answer("f1", True), Answer("f1", False)])
+
+    def test_from_mapping(self):
+        answers = AnswerSet.from_mapping({"a": True, "b": False}, worker_id="crowd")
+        assert answers["a"] is True
+        assert answers.answers[0].worker_id == "crowd"
+
+    def test_fact_ids_preserve_order(self):
+        answers = AnswerSet([Answer("b", True), Answer("a", False)])
+        assert answers.fact_ids == ("b", "a")
+
+    def test_judgments_returns_copy(self):
+        answers = AnswerSet.from_mapping({"a": True})
+        judgments = answers.judgments()
+        judgments["a"] = False
+        assert answers["a"] is True
+
+    def test_agreement_with_truth(self):
+        answers = AnswerSet.from_mapping({"a": True, "b": False, "c": True})
+        truth = {"a": True, "b": True, "c": False}
+        assert answers.agreement_with(truth) == (1, 2)
+
+    def test_agreement_missing_truth_raises(self):
+        answers = AnswerSet.from_mapping({"a": True})
+        with pytest.raises(InvalidFactError):
+            answers.agreement_with({})
+
+    def test_restricted_to_subset(self):
+        answers = AnswerSet.from_mapping({"a": True, "b": False, "c": True})
+        restricted = answers.restricted_to(["a", "c"])
+        assert set(restricted.fact_ids) == {"a", "c"}
+
+    def test_equality_by_judgments(self):
+        assert AnswerSet.from_mapping({"a": True}) == AnswerSet(
+            [Answer("a", True, worker_id="w1")]
+        )
+        assert AnswerSet.from_mapping({"a": True}) != AnswerSet.from_mapping({"a": False})
+
+    def test_repr_mentions_verdicts(self):
+        text = repr(AnswerSet.from_mapping({"a": True, "b": False}))
+        assert "a=T" in text
+        assert "b=F" in text

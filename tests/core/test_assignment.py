@@ -1,0 +1,95 @@
+"""Unit tests for Assignment and bitmask helpers."""
+
+import pytest
+
+from repro.core.assignment import (
+    Assignment,
+    bools_from_mask,
+    hamming_agreement,
+    mask_from_bools,
+    project_mask,
+)
+from repro.exceptions import InvalidFactError
+
+
+class TestMaskHelpers:
+    def test_mask_from_bools_roundtrip(self):
+        values = (True, False, True, True)
+        mask = mask_from_bools(values)
+        assert bools_from_mask(mask, 4) == values
+
+    def test_mask_from_bools_lsb_is_position_zero(self):
+        assert mask_from_bools([True, False]) == 1
+        assert mask_from_bools([False, True]) == 2
+
+    def test_bools_from_mask_width_pads_with_false(self):
+        assert bools_from_mask(1, 3) == (True, False, False)
+
+    def test_hamming_agreement_counts(self):
+        same, diff = hamming_agreement(0b1010, 0b1001, positions=[0, 1, 2, 3])
+        assert same == 2
+        assert diff == 2
+
+    def test_hamming_agreement_restricted_positions(self):
+        same, diff = hamming_agreement(0b1010, 0b1001, positions=[2, 3])
+        assert (same, diff) == (2, 0)
+
+    def test_project_mask_reorders_bits(self):
+        # positions [2, 0]: bit0 of result = bit2 of input, bit1 = bit0.
+        assert project_mask(0b101, [2, 0]) == 0b11
+        assert project_mask(0b100, [2, 0]) == 0b01
+
+
+class TestAssignment:
+    def test_from_bools_and_back(self):
+        assignment = Assignment.from_bools([True, False, True])
+        assert assignment.to_bools() == (True, False, True)
+        assert assignment.width == 3
+
+    def test_from_dict_respects_fact_order(self):
+        assignment = Assignment.from_dict({"a": True, "b": False}, ["b", "a"])
+        assert assignment.to_bools() == (False, True)
+
+    def test_from_dict_missing_fact_raises(self):
+        with pytest.raises(InvalidFactError):
+            Assignment.from_dict({"a": True}, ["a", "b"])
+
+    def test_value_accessor(self):
+        assignment = Assignment.from_bools([False, True])
+        assert assignment.value(0) is False
+        assert assignment.value(1) is True
+
+    def test_value_out_of_range(self):
+        assignment = Assignment.from_bools([True])
+        with pytest.raises(InvalidFactError):
+            assignment.value(5)
+
+    def test_to_dict(self):
+        assignment = Assignment.from_bools([True, False])
+        assert assignment.to_dict(["x", "y"]) == {"x": True, "y": False}
+
+    def test_to_dict_wrong_width(self):
+        assignment = Assignment.from_bools([True, False])
+        with pytest.raises(InvalidFactError):
+            assignment.to_dict(["only_one"])
+
+    def test_project(self):
+        assignment = Assignment.from_bools([True, False, True, True])
+        projected = assignment.project([3, 1])
+        assert projected.to_bools() == (True, False)
+
+    def test_agreement(self):
+        a = Assignment.from_bools([True, True, False])
+        b = Assignment.from_bools([True, False, False])
+        assert a.agreement(b, positions=[0, 1, 2]) == (2, 1)
+
+    def test_invalid_width(self):
+        with pytest.raises(InvalidFactError):
+            Assignment(mask=0, width=0)
+
+    def test_mask_out_of_range(self):
+        with pytest.raises(InvalidFactError):
+            Assignment(mask=4, width=2)
+
+    def test_str_rendering(self):
+        assert str(Assignment.from_bools([True, False])) == "TF"

@@ -1,0 +1,120 @@
+"""Unit tests for the CrowdModel answer distributions."""
+
+import pytest
+
+from repro.core.crowd import CrowdModel
+from repro.core.distribution import JointDistribution
+from repro.datasets.running_example import running_example_distribution
+from repro.exceptions import InvalidCrowdModelError, SelectionError
+
+
+class TestCrowdModelBasics:
+    def test_error_rate(self):
+        assert CrowdModel(0.8).error_rate == pytest.approx(0.2)
+
+    @pytest.mark.parametrize("bad", [0.49, 0.0, 1.1, -1.0])
+    def test_invalid_accuracy_rejected(self, bad):
+        with pytest.raises(InvalidCrowdModelError):
+            CrowdModel(bad)
+
+    def test_boundary_accuracies_allowed(self):
+        assert CrowdModel(0.5).accuracy == 0.5
+        assert CrowdModel(1.0).accuracy == 1.0
+
+    def test_answer_likelihood(self):
+        crowd = CrowdModel(0.8)
+        assert crowd.answer_likelihood(2, 1) == pytest.approx(0.8 ** 2 * 0.2)
+        assert crowd.answer_likelihood(0, 0) == pytest.approx(1.0)
+
+    def test_answer_likelihood_negative_counts_rejected(self):
+        with pytest.raises(InvalidCrowdModelError):
+            CrowdModel(0.8).answer_likelihood(-1, 0)
+
+
+class TestAnswerDistribution:
+    def test_single_fact_perfect_crowd(self):
+        dist = JointDistribution.independent({"a": 0.7})
+        crowd = CrowdModel(1.0)
+        answers = crowd.answer_distribution(dist, ["a"])
+        assert answers.probability((True,)) == pytest.approx(0.7)
+
+    def test_single_fact_noisy_crowd(self):
+        dist = JointDistribution.independent({"a": 0.7})
+        crowd = CrowdModel(0.8)
+        answers = crowd.answer_distribution(dist, ["a"])
+        # P(yes) = 0.7*0.8 + 0.3*0.2
+        assert answers.probability((True,)) == pytest.approx(0.62)
+
+    def test_answer_distribution_sums_to_one(self):
+        dist = running_example_distribution()
+        crowd = CrowdModel(0.8)
+        answers = crowd.answer_distribution(dist, ["f1", "f3"])
+        assert sum(p for _, p in answers.items()) == pytest.approx(1.0)
+
+    def test_uninformative_crowd_gives_uniform_answers(self):
+        dist = JointDistribution.independent({"a": 0.9, "b": 0.2})
+        crowd = CrowdModel(0.5)
+        answers = crowd.answer_distribution(dist, ["a", "b"])
+        for _, probability in answers.items():
+            assert probability == pytest.approx(0.25)
+
+    def test_empty_task_set_rejected(self):
+        dist = JointDistribution.independent({"a": 0.5})
+        with pytest.raises(SelectionError):
+            CrowdModel(0.8).answer_distribution(dist, [])
+
+    def test_duplicate_tasks_rejected(self):
+        dist = JointDistribution.independent({"a": 0.5, "b": 0.5})
+        with pytest.raises(SelectionError):
+            CrowdModel(0.8).answer_distribution(dist, ["a", "a"])
+
+    def test_task_entropy_matches_distribution_entropy(self):
+        dist = running_example_distribution()
+        crowd = CrowdModel(0.8)
+        tasks = ["f1", "f2"]
+        assert crowd.task_entropy(dist, tasks) == pytest.approx(
+            crowd.answer_distribution(dist, tasks).entropy()
+        )
+
+    def test_noise_increases_answer_entropy(self):
+        dist = JointDistribution.independent({"a": 0.9})
+        noisy = CrowdModel(0.7).task_entropy(dist, ["a"])
+        clean = CrowdModel(1.0).task_entropy(dist, ["a"])
+        assert noisy > clean
+
+    def test_full_answer_joint_covers_all_vectors(self):
+        dist = running_example_distribution()
+        table = CrowdModel(0.8).full_answer_joint(dist)
+        assert table.support_size == 16
+        assert sum(p for _, p in table.items()) == pytest.approx(1.0)
+
+
+class TestJointFactAnswerEntropy:
+    def test_empty_tasks_returns_interest_entropy(self):
+        dist = running_example_distribution()
+        crowd = CrowdModel(0.8)
+        value = crowd.joint_fact_answer_entropy(dist, ["f1", "f2"], [])
+        assert value == pytest.approx(dist.marginalize(["f1", "f2"]).entropy())
+
+    def test_joint_entropy_at_least_interest_entropy(self):
+        dist = running_example_distribution()
+        crowd = CrowdModel(0.8)
+        interest = ["f2", "f3"]
+        h_interest = dist.marginalize(interest).entropy()
+        h_joint = crowd.joint_fact_answer_entropy(dist, interest, ["f1"])
+        assert h_joint >= h_interest - 1e-9
+
+    def test_joint_entropy_at_least_task_entropy(self):
+        dist = running_example_distribution()
+        crowd = CrowdModel(0.8)
+        tasks = ["f1", "f4"]
+        h_tasks = crowd.task_entropy(dist, tasks)
+        h_joint = crowd.joint_fact_answer_entropy(dist, ["f2"], tasks)
+        assert h_joint >= h_tasks - 1e-9
+
+    def test_perfect_crowd_asking_interest_fact_gives_interest_entropy(self):
+        # With Pc=1 and T ⊆ I, H(I, T) = H(I) because answers are functions of I.
+        dist = running_example_distribution()
+        crowd = CrowdModel(1.0)
+        value = crowd.joint_fact_answer_entropy(dist, ["f1", "f2"], ["f1"])
+        assert value == pytest.approx(dist.marginalize(["f1", "f2"]).entropy())

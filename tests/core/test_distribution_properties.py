@@ -1,0 +1,126 @@
+"""Property-based tests (hypothesis) for JointDistribution invariants."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.distribution import JointDistribution
+
+
+@st.composite
+def distributions(draw, max_facts=4):
+    """Random sparse joint distributions over up to ``max_facts`` facts."""
+    n = draw(st.integers(min_value=1, max_value=max_facts))
+    fact_ids = tuple(f"f{i}" for i in range(n))
+    size = 1 << n
+    support = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=size - 1),
+            min_size=1,
+            max_size=size,
+            unique=True,
+        )
+    )
+    masses = draw(
+        st.lists(
+            st.floats(min_value=0.01, max_value=10.0, allow_nan=False),
+            min_size=len(support),
+            max_size=len(support),
+        )
+    )
+    return JointDistribution(fact_ids, dict(zip(support, masses)))
+
+
+@st.composite
+def marginal_maps(draw, max_facts=5):
+    n = draw(st.integers(min_value=1, max_value=max_facts))
+    values = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    return {f"f{i}": value for i, value in enumerate(values)}
+
+
+class TestDistributionInvariants:
+    @given(distributions())
+    @settings(max_examples=100, deadline=None)
+    def test_probabilities_sum_to_one(self, dist):
+        assert sum(p for _, p in dist.items()) == pytest.approx(1.0)
+
+    @given(distributions())
+    @settings(max_examples=100, deadline=None)
+    def test_entropy_bounds(self, dist):
+        entropy = dist.entropy()
+        assert -1e-9 <= entropy <= dist.num_facts + 1e-9
+
+    @given(distributions())
+    @settings(max_examples=100, deadline=None)
+    def test_marginals_in_unit_interval(self, dist):
+        for probability in dist.marginals().values():
+            assert -1e-9 <= probability <= 1.0 + 1e-9
+
+    @given(distributions())
+    @settings(max_examples=100, deadline=None)
+    def test_marginalize_onto_all_facts_is_identity(self, dist):
+        assert dist.marginalize(dist.fact_ids).allclose(dist)
+
+    @given(distributions())
+    @settings(max_examples=100, deadline=None)
+    def test_marginalizing_never_increases_entropy(self, dist):
+        single = dist.marginalize(dist.fact_ids[:1])
+        assert single.entropy() <= dist.entropy() + 1e-9
+
+    @given(distributions())
+    @settings(max_examples=100, deadline=None)
+    def test_marginal_matches_marginalized_distribution(self, dist):
+        fact_id = dist.fact_ids[0]
+        direct = dist.marginal(fact_id)
+        via_marginalize = dist.marginalize([fact_id]).probability((True,))
+        assert direct == pytest.approx(via_marginalize, abs=1e-9)
+
+    @given(distributions(), st.floats(min_value=0.1, max_value=10.0))
+    @settings(max_examples=60, deadline=None)
+    def test_uniform_reweight_is_noop(self, dist, factor):
+        weights = {mask: factor for mask, _ in dist.items()}
+        assert dist.reweight(weights).allclose(dist, tolerance=1e-9)
+
+
+class TestIndependentConstruction:
+    @given(marginal_maps())
+    @settings(max_examples=100, deadline=None)
+    def test_independent_recovers_marginals(self, marginals):
+        dist = JointDistribution.independent(marginals)
+        recovered = dist.marginals()
+        for fact_id, p_true in marginals.items():
+            assert recovered[fact_id] == pytest.approx(p_true, abs=1e-9)
+
+    @given(marginal_maps())
+    @settings(max_examples=100, deadline=None)
+    def test_independent_entropy_is_sum_of_fact_entropies(self, marginals):
+        dist = JointDistribution.independent(marginals)
+        expected = 0.0
+        for p in marginals.values():
+            if 0.0 < p < 1.0:
+                expected += -p * math.log2(p) - (1 - p) * math.log2(1 - p)
+        assert dist.entropy() == pytest.approx(expected, abs=1e-9)
+
+    @given(marginal_maps(max_facts=4))
+    @settings(max_examples=60, deadline=None)
+    def test_conditioning_is_consistent_with_bayes(self, marginals):
+        dist = JointDistribution.independent(marginals)
+        fact_id = next(iter(marginals))
+        p_true = dist.marginal(fact_id)
+        if 0.0 < p_true < 1.0 and len(marginals) > 1:
+            conditioned = dist.condition({fact_id: True})
+            # In an independent distribution, conditioning on one fact leaves
+            # the other marginals unchanged.
+            for other in dist.fact_ids:
+                if other != fact_id:
+                    assert conditioned.marginal(other) == pytest.approx(
+                        dist.marginal(other), abs=1e-9
+                    )

@@ -1,0 +1,155 @@
+"""Unit tests for the multi-round CrowdFusionEngine."""
+
+import pytest
+
+from repro.core.answers import AnswerSet
+from repro.core.crowd import CrowdModel
+from repro.core.distribution import JointDistribution
+from repro.core.engine import CrowdFusionEngine
+from repro.core.selection import get_selector
+from repro.crowdsim.platform import SimulatedPlatform
+from repro.crowdsim.worker import WorkerPool
+from repro.datasets.running_example import running_example_distribution
+from repro.exceptions import BudgetError
+
+
+def oracle_provider(gold):
+    """An answer provider that always answers with the gold label."""
+
+    def collect(task_ids):
+        return AnswerSet.from_mapping({fact_id: gold[fact_id] for fact_id in task_ids})
+
+    return collect
+
+
+GOLD = {"f1": True, "f2": True, "f3": True, "f4": False}
+
+
+class TestEngineConfiguration:
+    def test_invalid_budget_rejected(self):
+        with pytest.raises(BudgetError):
+            CrowdFusionEngine(get_selector("greedy"), CrowdModel(0.8), budget=0, tasks_per_round=1)
+
+    def test_invalid_round_size_rejected(self):
+        with pytest.raises(BudgetError):
+            CrowdFusionEngine(get_selector("greedy"), CrowdModel(0.8), budget=5, tasks_per_round=0)
+
+    def test_properties(self):
+        engine = CrowdFusionEngine(
+            get_selector("greedy"), CrowdModel(0.8), budget=6, tasks_per_round=2
+        )
+        assert engine.budget == 6
+        assert engine.tasks_per_round == 2
+
+
+class TestEngineRun:
+    def test_budget_respected(self):
+        dist = running_example_distribution()
+        engine = CrowdFusionEngine(
+            get_selector("greedy"), CrowdModel(0.8), budget=5, tasks_per_round=2
+        )
+        result = engine.run(dist, oracle_provider(GOLD))
+        assert result.total_cost <= 5
+
+    def test_round_sizes(self):
+        dist = running_example_distribution()
+        engine = CrowdFusionEngine(
+            get_selector("greedy"), CrowdModel(0.8), budget=5, tasks_per_round=2
+        )
+        result = engine.run(dist, oracle_provider(GOLD))
+        sizes = [len(record.task_ids) for record in result.rounds]
+        assert all(size <= 2 for size in sizes)
+        # The last round may be smaller because of the odd budget.
+        assert sum(sizes) == result.total_cost
+
+    def test_utility_improves_with_oracle_answers(self):
+        dist = running_example_distribution()
+        engine = CrowdFusionEngine(
+            get_selector("greedy"), CrowdModel(0.9), budget=12, tasks_per_round=2
+        )
+        result = engine.run(dist, oracle_provider(GOLD))
+        assert result.final_utility > result.initial_utility
+
+    def test_final_labels_match_gold_with_reliable_oracle(self):
+        dist = running_example_distribution()
+        engine = CrowdFusionEngine(
+            get_selector("greedy"), CrowdModel(0.95), budget=20, tasks_per_round=2
+        )
+        result = engine.run(dist, oracle_provider(GOLD))
+        assert result.predicted_labels() == GOLD
+
+    def test_history_records_cumulative_cost(self):
+        dist = running_example_distribution()
+        engine = CrowdFusionEngine(
+            get_selector("greedy"), CrowdModel(0.8), budget=6, tasks_per_round=2
+        )
+        result = engine.run(dist, oracle_provider(GOLD))
+        costs = [record.cumulative_cost for record in result.rounds]
+        assert costs == sorted(costs)
+        assert costs[-1] == result.total_cost
+
+    def test_utility_curve_starts_at_prior(self):
+        dist = running_example_distribution()
+        engine = CrowdFusionEngine(
+            get_selector("greedy"), CrowdModel(0.8), budget=4, tasks_per_round=2
+        )
+        result = engine.run(dist, oracle_provider(GOLD))
+        curve = result.utility_curve()
+        assert curve[0] == (0, result.initial_utility)
+        assert len(curve) == len(result.rounds) + 1
+
+    def test_round_callback_invoked_every_round(self):
+        dist = running_example_distribution()
+        engine = CrowdFusionEngine(
+            get_selector("greedy"), CrowdModel(0.8), budget=4, tasks_per_round=2
+        )
+        seen = []
+        engine.run(dist, oracle_provider(GOLD), round_callback=lambda r, d: seen.append(r))
+        assert len(seen) == 2
+
+    def test_no_reselect_mode_stops_after_all_facts_asked(self):
+        dist = running_example_distribution()
+        engine = CrowdFusionEngine(
+            get_selector("greedy"),
+            CrowdModel(0.8),
+            budget=100,
+            tasks_per_round=2,
+            reselect_asked_facts=False,
+        )
+        result = engine.run(dist, oracle_provider(GOLD))
+        asked = [fact for record in result.rounds for fact in record.task_ids]
+        assert len(asked) == len(set(asked)) == 4
+
+    def test_works_with_simulated_platform(self):
+        dist = running_example_distribution()
+        platform = SimulatedPlatform(
+            ground_truth=GOLD, workers=WorkerPool.homogeneous(10, 0.9, seed=1)
+        )
+        engine = CrowdFusionEngine(
+            get_selector("greedy_prune_pre"), CrowdModel(0.9), budget=12, tasks_per_round=3
+        )
+        result = engine.run(dist, platform)
+        assert result.total_cost == 12
+        assert platform.stats().answers_collected == 12
+
+    def test_round_record_gain_property(self):
+        dist = running_example_distribution()
+        engine = CrowdFusionEngine(
+            get_selector("greedy"), CrowdModel(0.8), budget=2, tasks_per_round=2
+        )
+        result = engine.run(dist, oracle_provider(GOLD))
+        record = result.rounds[0]
+        assert record.utility_gain == pytest.approx(
+            record.utility_after - record.utility_before
+        )
+
+    def test_stops_when_distribution_is_certain(self):
+        dist = JointDistribution.independent({"a": 1.0, "b": 1.0})
+        engine = CrowdFusionEngine(
+            get_selector("greedy"), CrowdModel(0.8), budget=10, tasks_per_round=2
+        )
+        result = engine.run(dist, oracle_provider({"a": True, "b": True}))
+        # Nothing is uncertain, so the greedy selector returns no tasks and the
+        # engine terminates without spending the budget.
+        assert result.total_cost == 0
+        assert result.rounds == []

@@ -1,0 +1,118 @@
+"""Unit tests for Fact and FactSet."""
+
+import pytest
+
+from repro.core.facts import Fact, FactSet
+from repro.exceptions import InvalidFactError
+
+
+def make_facts():
+    return [
+        Fact("f1", "Hong Kong", "Continent", "Asia", prior=0.5),
+        Fact("f2", "Hong Kong", "Population", ">=500k", prior=0.63),
+        Fact("f3", "Hong Kong", "Major Ethnic Group", "Chinese"),
+    ]
+
+
+class TestFact:
+    def test_triple_property(self):
+        fact = Fact("f1", "Everest", "Height", "29029ft")
+        assert fact.triple == ("Everest", "Height", "29029ft")
+
+    def test_describe_contains_all_parts(self):
+        fact = Fact("f1", "Everest", "Height", "29029ft")
+        description = fact.describe()
+        assert "Everest" in description
+        assert "Height" in description
+        assert "29029ft" in description
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(InvalidFactError):
+            Fact("", "a", "b", "c")
+
+    def test_prior_out_of_range_rejected(self):
+        with pytest.raises(InvalidFactError):
+            Fact("f1", "a", "b", "c", prior=1.5)
+        with pytest.raises(InvalidFactError):
+            Fact("f1", "a", "b", "c", prior=-0.1)
+
+    def test_prior_none_allowed(self):
+        assert Fact("f1", "a", "b", "c").prior is None
+
+    def test_frozen(self):
+        fact = Fact("f1", "a", "b", "c")
+        with pytest.raises(AttributeError):
+            fact.subject = "other"
+
+
+class TestFactSet:
+    def test_len_and_iteration_order(self):
+        facts = FactSet(make_facts())
+        assert len(facts) == 3
+        assert [f.fact_id for f in facts] == ["f1", "f2", "f3"]
+
+    def test_fact_ids_order(self):
+        facts = FactSet(make_facts())
+        assert facts.fact_ids == ("f1", "f2", "f3")
+
+    def test_getitem_and_contains(self):
+        facts = FactSet(make_facts())
+        assert facts["f2"].predicate == "Population"
+        assert "f2" in facts
+        assert "missing" not in facts
+
+    def test_unknown_id_raises(self):
+        facts = FactSet(make_facts())
+        with pytest.raises(InvalidFactError):
+            facts["nope"]
+
+    def test_position_lookup(self):
+        facts = FactSet(make_facts())
+        assert facts.position("f1") == 0
+        assert facts.position("f3") == 2
+        assert facts.positions(["f3", "f1"]) == (2, 0)
+
+    def test_position_unknown_raises(self):
+        facts = FactSet(make_facts())
+        with pytest.raises(InvalidFactError):
+            facts.position("zzz")
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(InvalidFactError):
+            FactSet([Fact("f1", "a", "b", "c"), Fact("f1", "x", "y", "z")])
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidFactError):
+            FactSet([])
+
+    def test_priors_map(self):
+        facts = FactSet(make_facts())
+        priors = facts.priors()
+        assert priors["f1"] == 0.5
+        assert priors["f3"] is None
+
+    def test_subset_preserves_given_order(self):
+        facts = FactSet(make_facts())
+        subset = facts.subset(["f3", "f1"])
+        assert subset.fact_ids == ("f3", "f1")
+
+    def test_with_priors_overrides_and_keeps(self):
+        facts = FactSet(make_facts())
+        updated = facts.with_priors({"f3": 0.9})
+        assert updated["f3"].prior == 0.9
+        assert updated["f1"].prior == 0.5
+
+    def test_from_triples_generates_ids(self):
+        facts = FactSet.from_triples(
+            [("a", "b", "c"), ("d", "e", "f")], priors=[0.2, 0.7]
+        )
+        assert facts.fact_ids == ("f1", "f2")
+        assert facts["f2"].prior == 0.7
+
+    def test_from_triples_misaligned_priors_rejected(self):
+        with pytest.raises(InvalidFactError):
+            FactSet.from_triples([("a", "b", "c")], priors=[0.2, 0.7])
+
+    def test_equality(self):
+        assert FactSet(make_facts()) == FactSet(make_facts())
+        assert FactSet(make_facts()) != FactSet(make_facts()[:2])

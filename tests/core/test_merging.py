@@ -1,0 +1,145 @@
+"""Unit tests for Bayesian answer merging (Equation 3)."""
+
+import pytest
+
+from repro.core.answers import AnswerSet
+from repro.core.crowd import CrowdModel
+from repro.core.distribution import JointDistribution
+from repro.core.merging import (
+    answer_likelihoods,
+    answer_probability,
+    merge_answer_sequence,
+    merge_answers,
+)
+from repro.datasets.running_example import running_example_distribution
+from repro.exceptions import SelectionError
+
+
+class TestAnswerLikelihoods:
+    def test_likelihood_values(self):
+        dist = JointDistribution.independent({"a": 0.5, "b": 0.5})
+        crowd = CrowdModel(0.8)
+        answers = AnswerSet.from_mapping({"a": True})
+        likelihoods = answer_likelihoods(dist, answers, crowd)
+        # Outputs with a=True get Pc, outputs with a=False get 1-Pc.
+        for mask, value in likelihoods.items():
+            expected = 0.8 if mask & 1 else 0.2
+            assert value == pytest.approx(expected)
+
+    def test_unselected_facts_do_not_affect_likelihood(self):
+        dist = JointDistribution.independent({"a": 0.5, "b": 0.9})
+        crowd = CrowdModel(0.7)
+        answers = AnswerSet.from_mapping({"a": False})
+        likelihoods = answer_likelihoods(dist, answers, crowd)
+        # Masks 0b00 and 0b10 agree on a=False regardless of b.
+        assert likelihoods[0b00] == pytest.approx(likelihoods[0b10])
+
+
+class TestAnswerProbability:
+    def test_matches_equation_two(self):
+        dist = JointDistribution.independent({"a": 0.7})
+        crowd = CrowdModel(0.8)
+        yes = AnswerSet.from_mapping({"a": True})
+        assert answer_probability(dist, yes, crowd) == pytest.approx(0.7 * 0.8 + 0.3 * 0.2)
+
+    def test_answer_probabilities_sum_to_one_over_all_answer_sets(self):
+        dist = running_example_distribution()
+        crowd = CrowdModel(0.8)
+        total = 0.0
+        for a in (False, True):
+            for b in (False, True):
+                answers = AnswerSet.from_mapping({"f1": a, "f2": b})
+                total += answer_probability(dist, answers, crowd)
+        assert total == pytest.approx(1.0)
+
+
+class TestMergeAnswers:
+    def test_running_example_posterior(self):
+        """Section III-A worked example: ask f1, receive 'yes', Pc = 0.8."""
+        dist = running_example_distribution()
+        crowd = CrowdModel(0.8)
+        posterior = merge_answers(dist, AnswerSet.from_mapping({"f1": True}), crowd)
+        assert posterior.probability((False, False, False, False)) == pytest.approx(0.012)
+        assert posterior.probability((True, False, False, False)) == pytest.approx(0.064)
+
+    def test_positive_answer_raises_marginal(self):
+        dist = JointDistribution.independent({"a": 0.5, "b": 0.5})
+        crowd = CrowdModel(0.9)
+        posterior = merge_answers(dist, AnswerSet.from_mapping({"a": True}), crowd)
+        assert posterior.marginal("a") > 0.5
+        assert posterior.marginal("b") == pytest.approx(0.5)
+
+    def test_negative_answer_lowers_marginal(self):
+        dist = JointDistribution.independent({"a": 0.5})
+        crowd = CrowdModel(0.9)
+        posterior = merge_answers(dist, AnswerSet.from_mapping({"a": False}), crowd)
+        assert posterior.marginal("a") < 0.5
+
+    def test_uninformative_crowd_changes_nothing(self):
+        dist = running_example_distribution()
+        crowd = CrowdModel(0.5)
+        posterior = merge_answers(dist, AnswerSet.from_mapping({"f1": True}), crowd)
+        assert posterior.allclose(dist)
+
+    def test_perfect_crowd_eliminates_conflicting_outputs(self):
+        dist = JointDistribution.independent({"a": 0.5, "b": 0.5})
+        crowd = CrowdModel(1.0)
+        posterior = merge_answers(dist, AnswerSet.from_mapping({"a": True}), crowd)
+        assert posterior.marginal("a") == pytest.approx(1.0)
+
+    def test_posterior_still_normalised(self):
+        dist = running_example_distribution()
+        crowd = CrowdModel(0.8)
+        posterior = merge_answers(
+            dist, AnswerSet.from_mapping({"f1": True, "f3": False}), crowd
+        )
+        assert sum(p for _, p in posterior.items()) == pytest.approx(1.0)
+
+    def test_merge_empty_answer_set_impossible(self):
+        # An AnswerSet can never be empty, so merging guards via the
+        # likelihood helper when given a foreign object.
+        dist = JointDistribution.independent({"a": 0.5})
+        crowd = CrowdModel(0.8)
+
+        class _Empty:
+            def judgments(self):
+                return {}
+
+        with pytest.raises(SelectionError):
+            answer_likelihoods(dist, _Empty(), crowd)
+
+
+class TestMergeSequence:
+    def test_sequential_equals_joint_merge(self):
+        dist = running_example_distribution()
+        crowd = CrowdModel(0.8)
+        both = merge_answers(
+            dist, AnswerSet.from_mapping({"f1": True, "f2": False}), crowd
+        )
+        sequential = merge_answer_sequence(
+            dist,
+            [AnswerSet.from_mapping({"f1": True}), AnswerSet.from_mapping({"f2": False})],
+            crowd,
+        )
+        assert sequential.allclose(both)
+
+    def test_repeated_consistent_answers_increase_confidence(self):
+        dist = JointDistribution.independent({"a": 0.5})
+        crowd = CrowdModel(0.7)
+        once = merge_answers(dist, AnswerSet.from_mapping({"a": True}), crowd)
+        twice = merge_answer_sequence(
+            dist,
+            [AnswerSet.from_mapping({"a": True}), AnswerSet.from_mapping({"a": True})],
+            crowd,
+        )
+        assert twice.marginal("a") > once.marginal("a") > 0.5
+
+    def test_contradicting_answers_cancel_out(self):
+        dist = JointDistribution.independent({"a": 0.5})
+        crowd = CrowdModel(0.8)
+        merged = merge_answer_sequence(
+            dist,
+            [AnswerSet.from_mapping({"a": True}), AnswerSet.from_mapping({"a": False})],
+            crowd,
+        )
+        assert merged.marginal("a") == pytest.approx(0.5)

@@ -1,0 +1,139 @@
+"""Property-based tests for the Bayesian merging invariants (Equation 3)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.answers import AnswerSet
+from repro.core.crowd import CrowdModel
+from repro.core.distribution import JointDistribution
+from repro.core.merging import answer_probability, merge_answers
+
+
+@st.composite
+def distributions_and_answers(draw, max_facts=4):
+    """A random sparse joint distribution plus a random answer set over it."""
+    n = draw(st.integers(min_value=1, max_value=max_facts))
+    fact_ids = tuple(f"f{i}" for i in range(n))
+    size = 1 << n
+    support = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=size - 1),
+            min_size=1,
+            max_size=size,
+            unique=True,
+        )
+    )
+    masses = draw(
+        st.lists(
+            st.floats(min_value=0.05, max_value=5.0, allow_nan=False),
+            min_size=len(support),
+            max_size=len(support),
+        )
+    )
+    distribution = JointDistribution(fact_ids, dict(zip(support, masses)))
+    num_answered = draw(st.integers(min_value=1, max_value=n))
+    answered = draw(
+        st.lists(
+            st.sampled_from(fact_ids),
+            min_size=num_answered,
+            max_size=num_answered,
+            unique=True,
+        )
+    )
+    judgments = draw(
+        st.lists(st.booleans(), min_size=len(answered), max_size=len(answered))
+    )
+    answers = AnswerSet.from_mapping(dict(zip(answered, judgments)))
+    return distribution, answers
+
+
+accuracies = st.sampled_from([0.55, 0.7, 0.8, 0.9, 0.99, 1.0])
+
+
+class TestMergingInvariants:
+    @given(distributions_and_answers(), accuracies)
+    @settings(max_examples=100, deadline=None)
+    def test_posterior_is_normalised(self, data, accuracy):
+        distribution, answers = data
+        crowd = CrowdModel(accuracy)
+        if accuracy == 1.0 and answer_probability(distribution, answers, crowd) == 0.0:
+            return  # impossible evidence under a perfect crowd
+        posterior = merge_answers(distribution, answers, crowd)
+        assert sum(p for _, p in posterior.items()) == pytest.approx(1.0)
+
+    @given(distributions_and_answers())
+    @settings(max_examples=100, deadline=None)
+    def test_uninformative_crowd_leaves_distribution_unchanged(self, data):
+        distribution, answers = data
+        crowd = CrowdModel(0.5)
+        posterior = merge_answers(distribution, answers, crowd)
+        assert posterior.allclose(distribution, tolerance=1e-9)
+
+    @given(distributions_and_answers(), accuracies)
+    @settings(max_examples=100, deadline=None)
+    def test_single_answer_moves_that_facts_marginal_towards_the_judgment(
+        self, data, accuracy
+    ):
+        """Merging ONE answer shifts that fact's marginal in the answer's direction.
+
+        (With several answers at once the claim is false in general: other
+        facts' answers can propagate through correlations and dominate.)
+        """
+        distribution, answers = data
+        fact_id = answers.fact_ids[0]
+        judgment = answers[fact_id]
+        single = AnswerSet.from_mapping({fact_id: judgment})
+        crowd = CrowdModel(accuracy)
+        if accuracy == 1.0 and answer_probability(distribution, single, crowd) == 0.0:
+            return
+        posterior = merge_answers(distribution, single, crowd)
+        prior_marginal = distribution.marginal(fact_id)
+        posterior_marginal = posterior.marginal(fact_id)
+        if judgment:
+            assert posterior_marginal >= prior_marginal - 1e-9
+        else:
+            assert posterior_marginal <= prior_marginal + 1e-9
+
+    @given(distributions_and_answers(), st.sampled_from([0.6, 0.75, 0.9]))
+    @settings(max_examples=80, deadline=None)
+    def test_law_of_total_probability_over_single_task(self, data, accuracy):
+        """Averaging the posterior over both possible answers recovers the prior."""
+        distribution, answers = data
+        fact_id = answers.fact_ids[0]
+        crowd = CrowdModel(accuracy)
+        yes = AnswerSet.from_mapping({fact_id: True})
+        no = AnswerSet.from_mapping({fact_id: False})
+        p_yes = answer_probability(distribution, yes, crowd)
+        p_no = answer_probability(distribution, no, crowd)
+        assert p_yes + p_no == pytest.approx(1.0)
+        posterior_yes = merge_answers(distribution, yes, crowd)
+        posterior_no = merge_answers(distribution, no, crowd)
+        for mask, prior_probability in distribution.items():
+            mixed = p_yes * posterior_yes.probability(mask) + p_no * posterior_no.probability(mask)
+            assert mixed == pytest.approx(prior_probability, abs=1e-9)
+
+    @given(distributions_and_answers(), st.sampled_from([0.6, 0.8, 0.95]))
+    @settings(max_examples=80, deadline=None)
+    def test_merge_order_does_not_matter(self, data, accuracy):
+        distribution, answers = data
+        crowd = CrowdModel(accuracy)
+        judgments = list(answers.judgments().items())
+        if len(judgments) < 2:
+            return
+        forward = distribution
+        for fact_id, judgment in judgments:
+            forward = merge_answers(forward, AnswerSet.from_mapping({fact_id: judgment}), crowd)
+        backward = distribution
+        for fact_id, judgment in reversed(judgments):
+            backward = merge_answers(backward, AnswerSet.from_mapping({fact_id: judgment}), crowd)
+        assert forward.allclose(backward, tolerance=1e-9)
+
+    @given(distributions_and_answers(), st.sampled_from([0.6, 0.8, 0.95]))
+    @settings(max_examples=80, deadline=None)
+    def test_support_never_grows(self, data, accuracy):
+        distribution, answers = data
+        crowd = CrowdModel(accuracy)
+        posterior = merge_answers(distribution, answers, crowd)
+        assert posterior.support_size <= distribution.support_size
+        assert set(posterior.support()) <= set(distribution.support())

@@ -1,0 +1,58 @@
+"""Unit tests for facts-of-interest queries (Section IV data model)."""
+
+import pytest
+
+from repro.core.query import Query
+from repro.datasets.running_example import running_example_distribution
+from repro.exceptions import QueryError
+
+
+class TestQueryConstruction:
+    def test_of_constructor(self):
+        query = Query.of(["f1", "f2"], name="population-study")
+        assert query.fact_ids == ("f1", "f2")
+        assert query.name == "population-study"
+        assert len(query) == 2
+
+    def test_empty_query_rejected(self):
+        with pytest.raises(QueryError):
+            Query.of([])
+
+    def test_duplicate_facts_rejected(self):
+        with pytest.raises(QueryError):
+            Query.of(["f1", "f1"])
+
+
+class TestQueryAgainstDistribution:
+    def test_validate_against_accepts_known_facts(self):
+        query = Query.of(["f1", "f3"])
+        query.validate_against(running_example_distribution())
+
+    def test_validate_against_rejects_unknown_facts(self):
+        query = Query.of(["f1", "zzz"])
+        with pytest.raises(QueryError):
+            query.validate_against(running_example_distribution())
+
+    def test_interest_distribution_marginalises(self):
+        dist = running_example_distribution()
+        query = Query.of(["f2", "f3"])
+        interest = query.interest_distribution(dist)
+        assert interest.fact_ids == ("f2", "f3")
+        assert interest.marginal("f2") == pytest.approx(dist.marginal("f2"))
+
+    def test_utility_is_negative_interest_entropy(self):
+        dist = running_example_distribution()
+        query = Query.of(["f1"])
+        assert query.utility(dist) == pytest.approx(-dist.marginalize(["f1"]).entropy())
+
+    def test_full_query_utility_equals_overall_utility(self):
+        dist = running_example_distribution()
+        query = Query.of(dist.fact_ids)
+        assert query.utility(dist) == pytest.approx(-dist.entropy())
+
+    def test_smaller_query_has_no_lower_utility(self):
+        """Marginalisation cannot increase entropy, so Q(I) ≥ Q(F) for I ⊆ F."""
+        dist = running_example_distribution()
+        small = Query.of(["f1"])
+        full = Query.of(dist.fact_ids)
+        assert small.utility(dist) >= full.utility(dist)

@@ -1,0 +1,143 @@
+"""Pin the implementation to the paper's running example (Tables I–IV).
+
+The multiset of entropies in Table III is reproduced exactly; the best
+size-2 task set is {f1, f4} with H(T) ≈ 1.997 as the paper states.
+"""
+
+import itertools
+
+import pytest
+
+from repro.core.crowd import CrowdModel
+from repro.core.selection import get_selector
+from repro.datasets.running_example import (
+    running_example_answer_table,
+    running_example_distribution,
+    running_example_facts,
+)
+
+
+@pytest.fixture(scope="module")
+def dist():
+    return running_example_distribution()
+
+
+@pytest.fixture(scope="module")
+def crowd():
+    return CrowdModel(0.8)
+
+
+class TestTableI:
+    def test_four_facts(self):
+        facts = running_example_facts()
+        assert len(facts) == 4
+        assert facts.fact_ids == ("f1", "f2", "f3", "f4")
+
+    def test_marginals_match_table_one(self, dist):
+        marginals = dist.marginals()
+        assert marginals["f1"] == pytest.approx(0.50, abs=1e-9)
+        assert marginals["f2"] == pytest.approx(0.63, abs=1e-9)
+        assert marginals["f3"] == pytest.approx(0.58, abs=1e-9)
+        assert marginals["f4"] == pytest.approx(0.49, abs=1e-9)
+
+    def test_fact_priors_match_marginals(self, dist):
+        facts = running_example_facts()
+        for fact_id, marginal in dist.marginals().items():
+            assert facts[fact_id].prior == pytest.approx(marginal, abs=1e-2)
+
+
+class TestTableII:
+    def test_sixteen_outputs(self, dist):
+        assert dist.support_size == 16
+
+    def test_probabilities_sum_to_one(self, dist):
+        assert sum(p for _, p in dist.items()) == pytest.approx(1.0)
+
+    def test_specific_cells(self, dist):
+        assert dist.probability((False, False, False, False)) == pytest.approx(0.03)
+        assert dist.probability((True, True, True, True)) == pytest.approx(0.11)
+        assert dist.probability((False, True, True, False)) == pytest.approx(0.11)
+
+
+class TestTableIII:
+    """Entropies of all size-2 task sets (Pc = 0.8)."""
+
+    PAPER_TASK_ENTROPIES = sorted([1.993, 1.982, 1.997, 1.975, 1.993, 1.982])
+    PAPER_FACT_ENTROPIES = sorted([1.981, 1.949, 1.976, 1.929, 1.977, 1.948])
+
+    def test_task_entropy_multiset_matches_paper(self, dist, crowd):
+        values = sorted(
+            crowd.task_entropy(dist, pair)
+            for pair in itertools.combinations(dist.fact_ids, 2)
+        )
+        for ours, paper in zip(values, self.PAPER_TASK_ENTROPIES):
+            assert ours == pytest.approx(paper, abs=2e-3)
+
+    def test_fact_entropy_multiset_matches_paper(self, dist):
+        values = sorted(
+            dist.marginalize(pair).entropy()
+            for pair in itertools.combinations(dist.fact_ids, 2)
+        )
+        for ours, paper in zip(values, self.PAPER_FACT_ENTROPIES):
+            assert ours == pytest.approx(paper, abs=2e-3)
+
+    def test_best_pair_is_f1_f4(self, dist, crowd):
+        best = max(
+            itertools.combinations(dist.fact_ids, 2),
+            key=lambda pair: crowd.task_entropy(dist, pair),
+        )
+        assert set(best) == {"f1", "f4"}
+        assert crowd.task_entropy(dist, best) == pytest.approx(1.997, abs=2e-3)
+
+    def test_highest_task_entropy_differs_from_highest_fact_entropy(self, dist, crowd):
+        """The paper's point: maximising H({f_i}) is not maximising H(T)."""
+        best_by_tasks = max(
+            itertools.combinations(dist.fact_ids, 2),
+            key=lambda pair: crowd.task_entropy(dist, pair),
+        )
+        best_by_facts = max(
+            itertools.combinations(dist.fact_ids, 2),
+            key=lambda pair: dist.marginalize(pair).entropy(),
+        )
+        assert set(best_by_tasks) != set(best_by_facts)
+
+
+class TestTableIV:
+    def test_answer_table_has_sixteen_rows(self):
+        table = running_example_answer_table(0.8)
+        assert table.support_size == 16
+
+    def test_answer_table_cells_match_paper(self):
+        table = running_example_answer_table(0.8)
+        expected = {
+            (False, False, False, False): 0.049,
+            (False, False, False, True): 0.050,
+            (False, True, True, False): 0.087,
+            (True, True, True, True): 0.085,
+            (True, False, False, False): 0.047,
+        }
+        for assignment, probability in expected.items():
+            assert table.probability(assignment) == pytest.approx(probability, abs=1.5e-3)
+
+    def test_answer_table_sums_to_one(self):
+        table = running_example_answer_table(0.8)
+        assert sum(p for _, p in table.items()) == pytest.approx(1.0)
+
+
+class TestSelectionOnRunningExample:
+    def test_greedy_selects_f1_then_f4(self, dist, crowd):
+        result = get_selector("greedy").select(dist, crowd, 2)
+        assert result.task_ids == ("f1", "f4")
+        assert result.objective == pytest.approx(1.997, abs=2e-3)
+
+    def test_all_greedy_variants_agree(self, dist, crowd):
+        expected = get_selector("greedy").select(dist, crowd, 2)
+        for name in ("greedy_prune", "greedy_pre", "greedy_prune_pre"):
+            result = get_selector(name).select(dist, crowd, 2)
+            assert set(result.task_ids) == set(expected.task_ids)
+            assert result.objective == pytest.approx(expected.objective, abs=1e-9)
+
+    def test_opt_matches_greedy_here(self, dist, crowd):
+        opt = get_selector("opt").select(dist, crowd, 2)
+        greedy = get_selector("greedy").select(dist, crowd, 2)
+        assert set(opt.task_ids) == set(greedy.task_ids)

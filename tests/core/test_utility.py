@@ -1,0 +1,76 @@
+"""Unit tests for utility / entropy helpers."""
+
+import math
+
+import pytest
+
+from repro.core.distribution import JointDistribution
+from repro.core.utility import (
+    crowd_entropy,
+    expected_posterior_entropy,
+    expected_utility_gain,
+    pws_quality,
+    utility_gain,
+)
+from repro.exceptions import InvalidCrowdModelError
+
+
+class TestPwsQuality:
+    def test_quality_is_negative_entropy(self):
+        dist = JointDistribution.independent({"a": 0.5, "b": 0.5})
+        assert pws_quality(dist) == pytest.approx(-2.0)
+
+    def test_certain_distribution_has_zero_quality(self):
+        dist = JointDistribution.independent({"a": 1.0})
+        assert pws_quality(dist) == pytest.approx(0.0)
+
+    def test_quality_is_never_positive(self):
+        dist = JointDistribution.independent({"a": 0.3, "b": 0.9})
+        assert pws_quality(dist) <= 0.0
+
+
+class TestCrowdEntropy:
+    def test_perfect_crowd_has_zero_entropy(self):
+        assert crowd_entropy(1.0) == pytest.approx(0.0)
+
+    def test_useless_crowd_has_one_bit(self):
+        assert crowd_entropy(0.5) == pytest.approx(1.0)
+
+    def test_formula_matches_definition(self):
+        pc = 0.8
+        expected = -pc * math.log2(pc) - 0.2 * math.log2(0.2)
+        assert crowd_entropy(pc) == pytest.approx(expected)
+
+    def test_entropy_decreases_with_accuracy(self):
+        assert crowd_entropy(0.9) < crowd_entropy(0.7) < crowd_entropy(0.55)
+
+    @pytest.mark.parametrize("bad", [0.4, -0.1, 1.01])
+    def test_out_of_range_rejected(self, bad):
+        with pytest.raises(InvalidCrowdModelError):
+            crowd_entropy(bad)
+
+
+class TestGains:
+    def test_utility_gain_positive_when_entropy_drops(self):
+        prior = JointDistribution.independent({"a": 0.5})
+        posterior = JointDistribution.independent({"a": 0.9})
+        assert utility_gain(prior, posterior) > 0.0
+
+    def test_utility_gain_zero_for_identical_distributions(self):
+        dist = JointDistribution.independent({"a": 0.4})
+        assert utility_gain(dist, dist) == pytest.approx(0.0)
+
+    def test_expected_utility_gain_identity(self):
+        # ΔQ = H(T) − k·H(Crowd)
+        assert expected_utility_gain(1.8, 2, 0.8) == pytest.approx(
+            1.8 - 2 * crowd_entropy(0.8)
+        )
+
+    def test_expected_posterior_entropy_identity(self):
+        prior_entropy = 3.0
+        task_entropy = 1.9
+        value = expected_posterior_entropy(task_entropy, 2, 0.8, prior_entropy)
+        assert value == pytest.approx(prior_entropy - (task_entropy - 2 * crowd_entropy(0.8)))
+
+    def test_perfect_crowd_gain_equals_task_entropy(self):
+        assert expected_utility_gain(1.5, 3, 1.0) == pytest.approx(1.5)

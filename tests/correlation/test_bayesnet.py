@@ -1,0 +1,112 @@
+"""Unit tests for the discrete Bayesian network substrate."""
+
+import pytest
+
+from repro.correlation.bayesnet import BayesianNetwork, BinaryNode
+from repro.exceptions import InvalidDistributionError
+
+
+def obama_network():
+    """The paper's motivating correlation: born-1961 links married-at-31 and married-1992."""
+    born = BinaryNode.root("born_1961", 0.9)
+    married_31 = BinaryNode(
+        "married_at_31", parents=("born_1961",), cpt={(True,): 0.8, (False,): 0.3}
+    )
+    married_92 = BinaryNode(
+        "married_1992",
+        parents=("born_1961", "married_at_31"),
+        cpt={
+            (True, True): 0.95,
+            (True, False): 0.2,
+            (False, True): 0.4,
+            (False, False): 0.1,
+        },
+    )
+    return BayesianNetwork([born, married_31, married_92])
+
+
+class TestBinaryNode:
+    def test_root_constructor(self):
+        node = BinaryNode.root("a", 0.7)
+        assert node.cpt[()] == 0.7
+
+    def test_wrong_cpt_size_rejected(self):
+        with pytest.raises(InvalidDistributionError):
+            BinaryNode("a", parents=("b",), cpt={(): 0.5})
+
+    def test_cpt_key_length_mismatch_rejected(self):
+        with pytest.raises(InvalidDistributionError):
+            BinaryNode("a", parents=("b",), cpt={(True, False): 0.5, (False,): 0.5})
+
+    def test_cpt_probability_out_of_range_rejected(self):
+        with pytest.raises(InvalidDistributionError):
+            BinaryNode("a", parents=(), cpt={(): 1.4})
+
+
+class TestBayesianNetwork:
+    def test_duplicate_nodes_rejected(self):
+        with pytest.raises(InvalidDistributionError):
+            BayesianNetwork([BinaryNode.root("a", 0.5), BinaryNode.root("a", 0.4)])
+
+    def test_unknown_parent_rejected(self):
+        node = BinaryNode("a", parents=("ghost",), cpt={(True,): 0.5, (False,): 0.5})
+        with pytest.raises(InvalidDistributionError):
+            BayesianNetwork([node])
+
+    def test_cycle_rejected(self):
+        a = BinaryNode("a", parents=("b",), cpt={(True,): 0.5, (False,): 0.5})
+        b = BinaryNode("b", parents=("a",), cpt={(True,): 0.5, (False,): 0.5})
+        with pytest.raises(InvalidDistributionError):
+            BayesianNetwork([a, b])
+
+    def test_empty_network_rejected(self):
+        with pytest.raises(InvalidDistributionError):
+            BayesianNetwork([])
+
+    def test_topological_order_respects_edges(self):
+        network = obama_network()
+        order = network.topological_order
+        assert order.index("born_1961") < order.index("married_at_31")
+        assert order.index("married_at_31") < order.index("married_1992")
+
+    def test_assignment_probability_chain_rule(self):
+        network = obama_network()
+        probability = network.assignment_probability(
+            {"born_1961": True, "married_at_31": True, "married_1992": True}
+        )
+        assert probability == pytest.approx(0.9 * 0.8 * 0.95)
+
+    def test_joint_distribution_sums_to_one(self):
+        joint = obama_network().to_joint_distribution()
+        assert sum(p for _, p in joint.items()) == pytest.approx(1.0)
+        assert joint.num_facts == 3
+
+    def test_joint_distribution_marginal_matches_root_prior(self):
+        joint = obama_network().to_joint_distribution()
+        assert joint.marginal("born_1961") == pytest.approx(0.9)
+
+    def test_correlation_present_in_joint(self):
+        """The paper's claim: Pr(married_1992 | married_at_31) should be boosted."""
+        joint = obama_network().to_joint_distribution()
+        p_given_married_31 = joint.condition({"married_at_31": True}).marginal("married_1992")
+        p_given_not = joint.condition({"married_at_31": False}).marginal("married_1992")
+        assert p_given_married_31 > p_given_not
+
+    def test_sampling_matches_marginals(self):
+        network = obama_network()
+        samples = network.sample_assignments(4000, seed=1)
+        frequency = sum(sample["born_1961"] for sample in samples) / len(samples)
+        assert frequency == pytest.approx(0.9, abs=0.03)
+
+    def test_sampling_invalid_count_rejected(self):
+        with pytest.raises(InvalidDistributionError):
+            obama_network().sample_assignments(0)
+
+    def test_unknown_node_lookup_rejected(self):
+        with pytest.raises(InvalidDistributionError):
+            obama_network().node("ghost")
+
+    def test_materialisation_guard_for_large_networks(self):
+        nodes = [BinaryNode.root(f"n{i}", 0.5) for i in range(21)]
+        with pytest.raises(InvalidDistributionError):
+            BayesianNetwork(nodes).to_joint_distribution()

@@ -1,0 +1,123 @@
+"""Unit tests for the JointDistributionBuilder."""
+
+import pytest
+
+from repro.correlation.builder import JointDistributionBuilder
+from repro.correlation.rules import (
+    ImplicationRule,
+    MutualExclusionRule,
+    PositiveCorrelationRule,
+)
+from repro.exceptions import InvalidDistributionError
+
+
+class TestBuilderValidation:
+    def test_requires_marginals(self):
+        with pytest.raises(InvalidDistributionError):
+            JointDistributionBuilder({})
+
+    def test_rule_referencing_unknown_fact_rejected(self):
+        with pytest.raises(InvalidDistributionError):
+            JointDistributionBuilder({"a": 0.5}, [MutualExclusionRule(["a", "b"])])
+
+    def test_invalid_max_support_rejected(self):
+        with pytest.raises(InvalidDistributionError):
+            JointDistributionBuilder({"a": 0.5}, max_support=0)
+
+    def test_hard_rules_that_eliminate_everything_rejected(self):
+        builder = JointDistributionBuilder(
+            {"a": 1.0, "b": 1.0}, [MutualExclusionRule(["a", "b"], strength=1.0)]
+        )
+        with pytest.raises(InvalidDistributionError):
+            builder.build()
+
+
+class TestIndependentBuild:
+    def test_no_rules_gives_independent_product(self):
+        marginals = {"a": 0.3, "b": 0.7, "c": 0.5}
+        built = JointDistributionBuilder(marginals).build()
+        recovered = built.marginals()
+        for fact_id, value in marginals.items():
+            assert recovered[fact_id] == pytest.approx(value)
+
+    def test_fact_order_matches_marginal_order(self):
+        built = JointDistributionBuilder({"z": 0.5, "a": 0.5}).build()
+        assert built.fact_ids == ("z", "a")
+
+
+class TestRuleEffects:
+    def test_mutual_exclusion_suppresses_joint_truth(self):
+        marginals = {"a": 0.6, "b": 0.6}
+        independent = JointDistributionBuilder(marginals).build()
+        constrained = JointDistributionBuilder(
+            marginals, [MutualExclusionRule(["a", "b"], strength=0.9)]
+        ).build()
+        assert constrained.probability((True, True)) < independent.probability((True, True))
+
+    def test_hard_mutual_exclusion_removes_joint_truth(self):
+        built = JointDistributionBuilder(
+            {"a": 0.6, "b": 0.6}, [MutualExclusionRule(["a", "b"], strength=1.0)]
+        ).build()
+        assert built.probability((True, True)) == 0.0
+
+    def test_implication_shifts_mass_towards_consequent(self):
+        marginals = {"a": 0.5, "b": 0.5}
+        built = JointDistributionBuilder(
+            marginals, [ImplicationRule("a", "b", strength=0.9)]
+        ).build()
+        # P(b | a) should exceed P(b | not a) after applying the rule.
+        p_b_given_a = built.condition({"a": True}).marginal("b")
+        p_b_given_not_a = built.condition({"a": False}).marginal("b")
+        assert p_b_given_a > p_b_given_not_a
+
+    def test_positive_correlation_couples_facts(self):
+        marginals = {"a": 0.5, "b": 0.5}
+        built = JointDistributionBuilder(
+            marginals, [PositiveCorrelationRule(["a", "b"], strength=0.8)]
+        ).build()
+        agree = built.probability((True, True)) + built.probability((False, False))
+        assert agree > 0.5
+
+    def test_rules_across_components_still_normalise(self):
+        marginals = {"a": 0.4, "b": 0.6, "c": 0.5, "d": 0.7}
+        built = JointDistributionBuilder(
+            marginals,
+            [
+                MutualExclusionRule(["a", "b"], strength=0.7),
+                ImplicationRule("c", "d", strength=0.5),
+            ],
+        ).build()
+        assert sum(p for _, p in built.items()) == pytest.approx(1.0)
+        assert built.fact_ids == ("a", "b", "c", "d")
+
+    def test_independent_facts_unaffected_by_rules_elsewhere(self):
+        marginals = {"a": 0.5, "b": 0.5, "c": 0.25}
+        built = JointDistributionBuilder(
+            marginals, [MutualExclusionRule(["a", "b"], strength=1.0)]
+        ).build()
+        assert built.marginal("c") == pytest.approx(0.25)
+
+
+class TestSupportPruning:
+    def test_max_support_caps_support_size(self):
+        marginals = {f"f{i}": 0.5 for i in range(12)}
+        built = JointDistributionBuilder(marginals, max_support=128).build()
+        assert built.support_size <= 128
+        assert sum(p for _, p in built.items()) == pytest.approx(1.0)
+
+    def test_none_disables_pruning(self):
+        marginals = {f"f{i}": 0.5 for i in range(8)}
+        built = JointDistributionBuilder(marginals, max_support=None).build()
+        assert built.support_size == 256
+
+    def test_pruning_keeps_most_probable_assignments(self):
+        marginals = {"a": 0.9, "b": 0.9, "c": 0.9}
+        built = JointDistributionBuilder(marginals, max_support=2).build()
+        best = built.map_assignment()
+        assert best.to_bools() == (True, True, True)
+
+    def test_oversized_component_rejected(self):
+        marginals = {f"f{i}": 0.5 for i in range(25)}
+        rules = [PositiveCorrelationRule([f"f{i}" for i in range(25)], strength=0.5)]
+        with pytest.raises(InvalidDistributionError):
+            JointDistributionBuilder(marginals, rules).build()

@@ -1,0 +1,93 @@
+"""Unit tests for correlation rules."""
+
+import pytest
+
+from repro.correlation.rules import (
+    ImplicationRule,
+    MutualExclusionRule,
+    PositiveCorrelationRule,
+)
+from repro.exceptions import InvalidFactError
+
+
+class TestRuleValidation:
+    def test_empty_fact_list_rejected(self):
+        with pytest.raises(InvalidFactError):
+            MutualExclusionRule([])
+
+    def test_duplicate_facts_rejected(self):
+        with pytest.raises(InvalidFactError):
+            MutualExclusionRule(["a", "a"])
+
+    def test_strength_out_of_range_rejected(self):
+        with pytest.raises(InvalidFactError):
+            MutualExclusionRule(["a", "b"], strength=1.5)
+
+    def test_missing_assignment_fact_rejected(self):
+        rule = MutualExclusionRule(["a", "b"])
+        with pytest.raises(InvalidFactError):
+            rule.factor({"a": True})
+
+    def test_violation_factor(self):
+        rule = MutualExclusionRule(["a", "b"], strength=0.8)
+        assert rule.violation_factor == pytest.approx(0.2)
+
+
+class TestMutualExclusion:
+    def test_satisfied_when_at_most_one_true(self):
+        rule = MutualExclusionRule(["a", "b", "c"], strength=0.9)
+        assert rule.factor({"a": True, "b": False, "c": False}) == 1.0
+        assert rule.factor({"a": False, "b": False, "c": False}) == 1.0
+
+    def test_violated_when_two_true(self):
+        rule = MutualExclusionRule(["a", "b", "c"], strength=0.9)
+        assert rule.factor({"a": True, "b": True, "c": False}) == pytest.approx(0.1)
+
+    def test_max_true_parameter(self):
+        rule = MutualExclusionRule(["a", "b", "c"], strength=1.0, max_true=2)
+        assert rule.factor({"a": True, "b": True, "c": False}) == 1.0
+        assert rule.factor({"a": True, "b": True, "c": True}) == 0.0
+
+    def test_negative_max_true_rejected(self):
+        with pytest.raises(InvalidFactError):
+            MutualExclusionRule(["a"], max_true=-1)
+
+    def test_hard_constraint_zeroes_violations(self):
+        rule = MutualExclusionRule(["a", "b"], strength=1.0)
+        assert rule.factor({"a": True, "b": True}) == 0.0
+
+
+class TestImplication:
+    def test_satisfied_cases(self):
+        rule = ImplicationRule("a", "b", strength=0.7)
+        assert rule.factor({"a": False, "b": False}) == 1.0
+        assert rule.factor({"a": False, "b": True}) == 1.0
+        assert rule.factor({"a": True, "b": True}) == 1.0
+
+    def test_violated_case(self):
+        rule = ImplicationRule("a", "b", strength=0.7)
+        assert rule.factor({"a": True, "b": False}) == pytest.approx(0.3)
+
+    def test_accessors(self):
+        rule = ImplicationRule("x", "y")
+        assert rule.antecedent == "x"
+        assert rule.consequent == "y"
+        assert rule.fact_ids == ("x", "y")
+
+
+class TestPositiveCorrelation:
+    def test_requires_two_facts(self):
+        with pytest.raises(InvalidFactError):
+            PositiveCorrelationRule(["a"])
+
+    def test_satisfied_when_all_equal(self):
+        rule = PositiveCorrelationRule(["a", "b", "c"], strength=0.6)
+        assert rule.factor({"a": True, "b": True, "c": True}) == 1.0
+        assert rule.factor({"a": False, "b": False, "c": False}) == 1.0
+
+    def test_violated_when_mixed(self):
+        rule = PositiveCorrelationRule(["a", "b"], strength=0.6)
+        assert rule.factor({"a": True, "b": False}) == pytest.approx(0.4)
+
+    def test_repr_mentions_facts(self):
+        assert "a" in repr(PositiveCorrelationRule(["a", "b"]))

@@ -1,0 +1,144 @@
+"""Unit tests for the simulated crowdsourcing platform and tasks."""
+
+import pytest
+
+from repro.crowdsim.platform import SimulatedPlatform
+from repro.crowdsim.task import Task, TaskBatch
+from repro.crowdsim.worker import WorkerPool
+from repro.exceptions import PlatformError
+
+GOLD = {"f1": True, "f2": False, "f3": True, "f4": True}
+
+
+def make_platform(accuracy=1.0, seed=0, **kwargs):
+    return SimulatedPlatform(
+        ground_truth=GOLD,
+        workers=WorkerPool.homogeneous(10, accuracy, seed=seed),
+        **kwargs,
+    )
+
+
+class TestTask:
+    def test_invalid_difficulty_rejected(self):
+        with pytest.raises(PlatformError):
+            Task("f1", "q", difficulty=0.7)
+
+    def test_empty_fact_id_rejected(self):
+        with pytest.raises(PlatformError):
+            Task("", "q")
+
+
+class TestTaskBatch:
+    def test_from_fact_ids(self):
+        batch = TaskBatch.from_fact_ids(1, ["f1", "f2"])
+        assert len(batch) == 2
+        assert batch.fact_ids == ("f1", "f2")
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(PlatformError):
+            TaskBatch(batch_id=1, tasks=())
+
+    def test_duplicate_fact_rejected(self):
+        with pytest.raises(PlatformError):
+            TaskBatch.from_fact_ids(1, ["f1", "f1"])
+
+    def test_misaligned_questions_rejected(self):
+        with pytest.raises(PlatformError):
+            TaskBatch.from_fact_ids(1, ["f1", "f2"], questions=["only one"])
+
+
+class TestSimulatedPlatform:
+    def test_requires_gold_labels(self):
+        with pytest.raises(PlatformError):
+            SimulatedPlatform(ground_truth={}, workers=WorkerPool.homogeneous(3, 0.8))
+
+    def test_invalid_answers_per_task(self):
+        with pytest.raises(PlatformError):
+            make_platform(answers_per_task=0)
+
+    def test_publish_and_collect_batch(self):
+        platform = make_platform()
+        batch_id = platform.publish(["f1", "f2"])
+        answers = platform.collect_batch(batch_id)
+        assert answers.judgments() == {"f1": True, "f2": False}
+
+    def test_collect_batch_is_cached(self):
+        platform = make_platform(accuracy=0.6, seed=9)
+        batch_id = platform.publish(["f1", "f2", "f3"])
+        first = platform.collect_batch(batch_id)
+        second = platform.collect_batch(batch_id)
+        assert first == second
+        assert platform.stats().answers_collected == 3
+
+    def test_publish_empty_batch_rejected(self):
+        with pytest.raises(PlatformError):
+            make_platform().publish([])
+
+    def test_publish_unlabelled_fact_rejected(self):
+        with pytest.raises(PlatformError):
+            make_platform().publish(["f1", "zzz"])
+
+    def test_collect_unknown_batch_rejected(self):
+        with pytest.raises(PlatformError):
+            make_platform().collect_batch(99)
+
+    def test_one_step_collect(self):
+        platform = make_platform()
+        answers = platform.collect(["f3", "f4"])
+        assert answers.judgments() == {"f3": True, "f4": True}
+
+    def test_perfect_workers_always_match_gold(self):
+        platform = make_platform(accuracy=1.0)
+        for _ in range(5):
+            answers = platform.collect(list(GOLD))
+            assert answers.judgments() == GOLD
+
+    def test_noisy_workers_make_mistakes_at_expected_rate(self):
+        platform = make_platform(accuracy=0.7, seed=11)
+        total = 0
+        correct = 0
+        for _ in range(300):
+            answers = platform.collect(list(GOLD))
+            for fact_id, judgment in answers.judgments().items():
+                total += 1
+                correct += judgment == GOLD[fact_id]
+        assert correct / total == pytest.approx(0.7, abs=0.04)
+
+    def test_difficulty_lowers_effective_accuracy(self):
+        difficulties = {"f1": 0.4}
+        platform = make_platform(accuracy=0.9, seed=13, difficulties=difficulties)
+        correct_hard = 0
+        correct_easy = 0
+        rounds = 400
+        for _ in range(rounds):
+            answers = platform.collect(["f1", "f3"])
+            correct_hard += answers["f1"] == GOLD["f1"]
+            correct_easy += answers["f3"] == GOLD["f3"]
+        assert correct_easy / rounds > correct_hard / rounds
+
+    def test_majority_aggregation_beats_single_answer(self):
+        single = make_platform(accuracy=0.7, seed=17)
+        voted = make_platform(accuracy=0.7, seed=17, answers_per_task=5)
+        rounds = 300
+        single_correct = sum(
+            single.collect(["f1"])["f1"] == GOLD["f1"] for _ in range(rounds)
+        )
+        voted_correct = sum(
+            voted.collect(["f1"])["f1"] == GOLD["f1"] for _ in range(rounds)
+        )
+        assert voted_correct > single_correct
+
+    def test_stats_counts(self):
+        platform = make_platform()
+        platform.collect(["f1", "f2"])
+        platform.collect(["f3"])
+        stats = platform.stats()
+        assert stats.batches_published == 2
+        assert stats.tasks_published == 3
+        assert stats.answers_collected == 3
+
+    def test_ground_truth_copy(self):
+        platform = make_platform()
+        copy = platform.ground_truth
+        copy["f1"] = False
+        assert platform.ground_truth["f1"] is True

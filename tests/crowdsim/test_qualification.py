@@ -1,0 +1,93 @@
+"""Unit tests for the qualification pre-test (crowd accuracy estimation)."""
+
+import pytest
+
+from repro.crowdsim.platform import SimulatedPlatform
+from repro.crowdsim.qualification import (
+    QualificationTest,
+    estimate_accuracy,
+    wilson_interval,
+)
+from repro.crowdsim.worker import WorkerPool
+from repro.exceptions import PlatformError
+
+GOLD = {f"g{i}": (i % 2 == 0) for i in range(20)}
+
+
+def make_platform(accuracy, seed=0):
+    return SimulatedPlatform(
+        ground_truth=GOLD, workers=WorkerPool.homogeneous(10, accuracy, seed=seed)
+    )
+
+
+class TestWilsonInterval:
+    def test_interval_contains_proportion(self):
+        low, high = wilson_interval(80, 100)
+        assert low < 0.8 < high
+
+    def test_interval_narrows_with_more_trials(self):
+        low_small, high_small = wilson_interval(8, 10)
+        low_large, high_large = wilson_interval(800, 1000)
+        assert (high_large - low_large) < (high_small - low_small)
+
+    def test_zero_trials_rejected(self):
+        with pytest.raises(PlatformError):
+            wilson_interval(0, 0)
+
+    def test_invalid_successes_rejected(self):
+        with pytest.raises(PlatformError):
+            wilson_interval(5, 3)
+
+
+class TestEstimateAccuracy:
+    def test_exact_agreement(self):
+        answers = {"a": True, "b": False}
+        gold = {"a": True, "b": False}
+        assert estimate_accuracy(answers, gold) == pytest.approx(1.0)
+
+    def test_clipped_at_half(self):
+        answers = {"a": True, "b": True}
+        gold = {"a": False, "b": False}
+        assert estimate_accuracy(answers, gold) == pytest.approx(0.5)
+
+    def test_empty_answers_rejected(self):
+        with pytest.raises(PlatformError):
+            estimate_accuracy({}, {"a": True})
+
+    def test_unlabelled_facts_rejected(self):
+        with pytest.raises(PlatformError):
+            estimate_accuracy({"a": True}, {})
+
+
+class TestQualificationTest:
+    def test_requires_gold_facts(self):
+        with pytest.raises(PlatformError):
+            QualificationTest({})
+
+    def test_requires_positive_repetitions(self):
+        with pytest.raises(PlatformError):
+            QualificationTest(GOLD, repetitions=0)
+
+    def test_sample_size(self):
+        test = QualificationTest(GOLD, repetitions=3)
+        assert test.sample_size == 60
+
+    def test_estimates_close_to_true_accuracy(self):
+        test = QualificationTest(GOLD, repetitions=10)
+        result = test.run(make_platform(accuracy=0.85, seed=2))
+        assert result.estimated_accuracy == pytest.approx(0.85, abs=0.06)
+        assert result.sample_size == 200
+
+    def test_interval_brackets_estimate(self):
+        test = QualificationTest(GOLD, repetitions=5)
+        result = test.run(make_platform(accuracy=0.8, seed=4))
+        assert result.interval_low <= result.raw_accuracy <= result.interval_high
+
+    def test_perfect_crowd_estimated_as_one(self):
+        result = QualificationTest(GOLD).run(make_platform(accuracy=1.0))
+        assert result.estimated_accuracy == pytest.approx(1.0)
+        assert result.raw_accuracy == pytest.approx(1.0)
+
+    def test_estimate_clipped_to_model_range(self):
+        result = QualificationTest(GOLD, repetitions=2).run(make_platform(accuracy=0.5, seed=6))
+        assert 0.5 <= result.estimated_accuracy <= 1.0

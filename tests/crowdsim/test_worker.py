@@ -1,0 +1,100 @@
+"""Unit tests for simulated workers and worker pools."""
+
+import numpy as np
+import pytest
+
+from repro.crowdsim.task import Task
+from repro.crowdsim.worker import Worker, WorkerPool
+from repro.exceptions import InvalidCrowdModelError, PlatformError
+
+
+class TestWorker:
+    def test_invalid_accuracy_rejected(self):
+        with pytest.raises(InvalidCrowdModelError):
+            Worker("w1", 0.4)
+        with pytest.raises(InvalidCrowdModelError):
+            Worker("w1", 1.2)
+
+    def test_invalid_domain_skill_rejected(self):
+        with pytest.raises(InvalidCrowdModelError):
+            Worker("w1", 0.8, domain_skills={"textbook": 0.3})
+
+    def test_effective_accuracy_applies_difficulty(self):
+        worker = Worker("w1", 0.9)
+        easy = Task("f1", "q", difficulty=0.0)
+        hard = Task("f2", "q", difficulty=0.3)
+        assert worker.effective_accuracy(easy) == pytest.approx(0.9)
+        assert worker.effective_accuracy(hard) == pytest.approx(0.6)
+
+    def test_effective_accuracy_never_below_half(self):
+        worker = Worker("w1", 0.6)
+        hard = Task("f1", "q", difficulty=0.5)
+        assert worker.effective_accuracy(hard) == pytest.approx(0.5)
+
+    def test_domain_skill_overrides_base_accuracy(self):
+        worker = Worker("w1", 0.6, domain_skills={"textbook": 0.95})
+        task = Task("f1", "q")
+        assert worker.effective_accuracy(task, domain="textbook") == pytest.approx(0.95)
+        assert worker.effective_accuracy(task, domain="other") == pytest.approx(0.6)
+
+    def test_perfect_worker_always_correct(self):
+        worker = Worker("w1", 1.0)
+        rng = np.random.default_rng(0)
+        task = Task("f1", "q")
+        assert all(worker.answer(task, True, rng) for _ in range(50))
+
+    def test_answer_accuracy_statistics(self):
+        worker = Worker("w1", 0.8)
+        rng = np.random.default_rng(1)
+        task = Task("f1", "q")
+        correct = sum(worker.answer(task, True, rng) for _ in range(4000))
+        assert correct / 4000 == pytest.approx(0.8, abs=0.03)
+
+
+class TestWorkerPool:
+    def test_empty_pool_rejected(self):
+        with pytest.raises(PlatformError):
+            WorkerPool([])
+
+    def test_duplicate_worker_ids_rejected(self):
+        with pytest.raises(PlatformError):
+            WorkerPool([Worker("w1", 0.8), Worker("w1", 0.9)])
+
+    def test_homogeneous_pool(self):
+        pool = WorkerPool.homogeneous(5, 0.85, seed=0)
+        assert len(pool) == 5
+        assert pool.mean_accuracy() == pytest.approx(0.85)
+
+    def test_homogeneous_invalid_size(self):
+        with pytest.raises(PlatformError):
+            WorkerPool.homogeneous(0, 0.8)
+
+    def test_heterogeneous_pool_respects_bounds(self):
+        pool = WorkerPool.heterogeneous(50, mean_accuracy=0.85, spread=0.2, seed=3)
+        for worker in pool:
+            assert 0.5 <= worker.accuracy <= 1.0
+
+    def test_heterogeneous_mean_near_target(self):
+        pool = WorkerPool.heterogeneous(200, mean_accuracy=0.8, spread=0.05, seed=5)
+        assert pool.mean_accuracy() == pytest.approx(0.8, abs=0.02)
+
+    def test_heterogeneous_invalid_spread(self):
+        with pytest.raises(PlatformError):
+            WorkerPool.heterogeneous(5, 0.8, spread=-0.1)
+
+    def test_draw_returns_pool_member(self):
+        pool = WorkerPool.homogeneous(3, 0.8, seed=1)
+        ids = {worker.worker_id for worker in pool}
+        assert pool.draw().worker_id in ids
+
+    def test_answer_task_reports_worker_and_judgment(self):
+        pool = WorkerPool.homogeneous(3, 1.0, seed=2)
+        worker_id, judgment = pool.answer_task(Task("f1", "q"), ground_truth=True)
+        assert worker_id.startswith("w")
+        assert judgment is True
+
+    def test_pool_answers_follow_accuracy(self):
+        pool = WorkerPool.homogeneous(10, 0.7, seed=4)
+        task = Task("f1", "q")
+        correct = sum(pool.answer_task(task, True)[1] for _ in range(3000))
+        assert correct / 3000 == pytest.approx(0.7, abs=0.03)

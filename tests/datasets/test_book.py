@@ -1,0 +1,126 @@
+"""Unit tests for the synthetic Book corpus generator."""
+
+import pytest
+
+from repro.datasets.book import Book, BookCorpusConfig, generate_book_corpus
+from repro.datasets.corruption import same_author_list
+from repro.exceptions import DatasetError
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_book_corpus(BookCorpusConfig(num_books=30, num_sources=15, seed=42))
+
+
+class TestConfigValidation:
+    def test_defaults_are_valid(self):
+        BookCorpusConfig()
+
+    def test_invalid_counts_rejected(self):
+        with pytest.raises(DatasetError):
+            BookCorpusConfig(num_books=0)
+        with pytest.raises(DatasetError):
+            BookCorpusConfig(num_sources=0)
+
+    def test_invalid_coverage_range_rejected(self):
+        with pytest.raises(DatasetError):
+            BookCorpusConfig(min_sources_per_book=5, max_sources_per_book=3)
+        with pytest.raises(DatasetError):
+            BookCorpusConfig(num_sources=4, max_sources_per_book=10)
+
+    def test_error_mix_must_sum_to_one(self):
+        with pytest.raises(DatasetError):
+            BookCorpusConfig(error_mix=(0.5, 0.5, 0.5))
+
+    def test_book_validation(self):
+        with pytest.raises(DatasetError):
+            Book(isbn="x", title="t", true_authors=(), domain="textbook")
+        with pytest.raises(DatasetError):
+            Book(isbn="x", title="t", true_authors=("A",), domain="magazine")
+
+
+class TestGeneratedCorpus:
+    def test_book_count_matches_config(self, corpus):
+        assert len(corpus.books) == 30
+
+    def test_every_claim_has_gold_label_and_difficulty(self, corpus):
+        claim_ids = {claim.claim_id for claim in corpus.database.claims()}
+        assert set(corpus.gold) == claim_ids
+        assert set(corpus.difficulties) == claim_ids
+        assert set(corpus.statement_kinds) == claim_ids
+
+    def test_raw_correctness_near_one_half(self, corpus):
+        """The paper reports ~50 % of raw web claims are correct."""
+        assert 0.35 <= corpus.raw_correctness() <= 0.70
+
+    def test_deterministic_given_seed(self):
+        config = BookCorpusConfig(
+            num_books=10, num_sources=8, max_sources_per_book=6, seed=7
+        )
+        first = generate_book_corpus(config)
+        second = generate_book_corpus(config)
+        assert first.gold == second.gold
+        assert [c.value for c in first.database.claims()] == [
+            c.value for c in second.database.claims()
+        ]
+
+    def test_different_seeds_differ(self):
+        def make(seed):
+            return generate_book_corpus(
+                BookCorpusConfig(
+                    num_books=10, num_sources=8, max_sources_per_book=6, seed=seed
+                )
+            )
+
+        first = make(1)
+        second = make(2)
+        assert [c.value for c in first.database.claims()] != [
+            c.value for c in second.database.claims()
+        ]
+
+    def test_gold_labels_consistent_with_true_authors(self, corpus):
+        for claim in corpus.database.claims():
+            book = corpus.book(claim.entity)
+            stated = [name.strip() for name in claim.value.split(";")]
+            assert corpus.gold[claim.claim_id] == same_author_list(
+                stated, list(book.true_authors)
+            )
+
+    def test_reordered_statements_are_gold_true_but_difficult(self, corpus):
+        reordered = [
+            claim_id
+            for claim_id, kind in corpus.statement_kinds.items()
+            if kind == "reordered"
+        ]
+        if not reordered:
+            pytest.skip("no reordered statements generated for this seed")
+        for claim_id in reordered:
+            assert corpus.gold[claim_id] is True
+            assert corpus.difficulties[claim_id] > 0.1
+
+    def test_misspelled_and_organization_statements_are_gold_false(self, corpus):
+        for claim_id, kind in corpus.statement_kinds.items():
+            if kind in ("misspelled", "organization", "swapped"):
+                assert corpus.gold[claim_id] is False
+
+    def test_domain_map_covers_all_books(self, corpus):
+        assert set(corpus.domain_of) == {book.isbn for book in corpus.books}
+        assert set(corpus.domain_of.values()) <= {"textbook", "non-textbook"}
+
+    def test_claims_for_book_all_about_that_book(self, corpus):
+        isbn = corpus.books[0].isbn
+        for claim in corpus.claims_for_book(isbn):
+            assert claim.entity == isbn
+
+    def test_unknown_book_lookup_raises(self, corpus):
+        with pytest.raises(DatasetError):
+            corpus.book("not-an-isbn")
+
+    def test_books_with_min_claims_filter(self, corpus):
+        heavy = corpus.books_with_min_claims(5)
+        for isbn in heavy:
+            assert len(corpus.claims_for_book(isbn)) >= 5
+
+    def test_each_book_has_at_least_one_claim(self, corpus):
+        for book in corpus.books:
+            assert len(corpus.claims_for_book(book.isbn)) >= 1

@@ -1,0 +1,97 @@
+"""Unit tests for author-list corruption helpers."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.corruption import (
+    add_organization,
+    format_author_list,
+    misspell_name,
+    reorder_authors,
+    same_author_list,
+    swap_author,
+)
+from repro.exceptions import DatasetError
+
+AUTHORS = ["Catherine Courage", "Kathy Baxter"]
+
+
+class TestFormatting:
+    def test_format_author_list(self):
+        assert format_author_list(AUTHORS) == "Catherine Courage; Kathy Baxter"
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(DatasetError):
+            format_author_list([])
+
+
+class TestReorder:
+    def test_same_people_different_order(self):
+        rng = np.random.default_rng(0)
+        reordered = reorder_authors(AUTHORS, rng)
+        assert sorted(reordered) == sorted(AUTHORS)
+        assert reordered != AUTHORS
+
+    def test_single_author_unchanged(self):
+        assert reorder_authors(["Pete Loshin"]) == ["Pete Loshin"]
+
+    def test_reordered_list_is_still_gold_true(self):
+        rng = np.random.default_rng(1)
+        assert same_author_list(reorder_authors(AUTHORS, rng), AUTHORS)
+
+
+class TestMisspell:
+    def test_misspelling_changes_the_name(self):
+        rng = np.random.default_rng(2)
+        assert misspell_name("Pete Loshin", rng) != "Pete Loshin"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(DatasetError):
+            misspell_name("")
+
+    def test_misspelled_author_list_is_gold_false(self):
+        rng = np.random.default_rng(3)
+        corrupted = [misspell_name(AUTHORS[0], rng), AUTHORS[1]]
+        if corrupted[0] != AUTHORS[0]:
+            assert not same_author_list(corrupted, AUTHORS)
+
+
+class TestAddOrganization:
+    def test_appends_affiliation_to_one_author(self):
+        rng = np.random.default_rng(4)
+        corrupted = add_organization(AUTHORS, rng)
+        assert len(corrupted) == len(AUTHORS)
+        assert any("(" in name for name in corrupted)
+
+    def test_result_is_gold_false(self):
+        rng = np.random.default_rng(5)
+        assert not same_author_list(add_organization(AUTHORS, rng), AUTHORS)
+
+
+class TestSwapAuthor:
+    def test_replaces_exactly_one_author(self):
+        rng = np.random.default_rng(6)
+        pool = ["Donald Knuth", "Grace Hopper"]
+        swapped = swap_author(AUTHORS, pool, rng)
+        assert len(swapped) == len(AUTHORS)
+        assert sum(1 for name in swapped if name not in AUTHORS) == 1
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(DatasetError):
+            swap_author(AUTHORS, [])
+
+    def test_result_is_gold_false(self):
+        rng = np.random.default_rng(7)
+        swapped = swap_author(AUTHORS, ["Donald Knuth"], rng)
+        assert not same_author_list(swapped, AUTHORS)
+
+
+class TestSameAuthorList:
+    def test_order_insensitive(self):
+        assert same_author_list(["B", "A"], ["A", "B"])
+
+    def test_different_people_detected(self):
+        assert not same_author_list(["A", "B"], ["A", "C"])
+
+    def test_different_lengths_detected(self):
+        assert not same_author_list(["A"], ["A", "B"])

@@ -1,0 +1,84 @@
+"""Unit tests for the synthetic flight corpus generator."""
+
+import pytest
+
+from repro.datasets.flights import (
+    Flight,
+    FlightCorpusConfig,
+    generate_flight_corpus,
+)
+from repro.exceptions import DatasetError
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_flight_corpus(FlightCorpusConfig(num_flights=25, num_sources=10, seed=5))
+
+
+class TestConfigValidation:
+    def test_defaults_are_valid(self):
+        FlightCorpusConfig()
+
+    def test_invalid_counts_rejected(self):
+        with pytest.raises(DatasetError):
+            FlightCorpusConfig(num_flights=0)
+        with pytest.raises(DatasetError):
+            FlightCorpusConfig(num_sources=0)
+
+    def test_invalid_coverage_rejected(self):
+        with pytest.raises(DatasetError):
+            FlightCorpusConfig(min_sources_per_flight=0)
+        with pytest.raises(DatasetError):
+            FlightCorpusConfig(num_sources=3, max_sources_per_flight=5)
+
+    def test_invalid_copy_probability_rejected(self):
+        with pytest.raises(DatasetError):
+            FlightCorpusConfig(copy_probability=1.5)
+
+    def test_flight_departure_validation(self):
+        with pytest.raises(DatasetError):
+            Flight("CX1", "HKG", "SFO", true_departure_minutes=2000)
+
+    def test_flight_departure_formatting(self):
+        flight = Flight("CX1", "HKG", "SFO", true_departure_minutes=605)
+        assert flight.true_departure == "10:05"
+
+
+class TestGeneratedCorpus:
+    def test_flight_count(self, corpus):
+        assert len(corpus.flights) == 25
+
+    def test_every_claim_labelled(self, corpus):
+        claim_ids = {claim.claim_id for claim in corpus.database.claims()}
+        assert set(corpus.gold) == claim_ids
+
+    def test_exactly_one_true_value_per_flight(self, corpus):
+        """Departure time is single-truth: at most one claim per flight is gold-true."""
+        for flight in corpus.flights:
+            true_values = {
+                claim.value
+                for claim in corpus.claims_for_flight(flight.flight_id)
+                if corpus.gold[claim.claim_id]
+            }
+            assert len(true_values) <= 1
+            if true_values:
+                assert true_values == {flight.true_departure}
+
+    def test_deterministic_given_seed(self):
+        config = FlightCorpusConfig(
+            num_flights=10, num_sources=6, max_sources_per_flight=5, seed=9
+        )
+        assert generate_flight_corpus(config).gold == generate_flight_corpus(config).gold
+
+    def test_raw_correctness_in_plausible_range(self, corpus):
+        assert 0.3 <= corpus.raw_correctness() <= 0.9
+
+    def test_unknown_flight_lookup_raises(self, corpus):
+        with pytest.raises(DatasetError):
+            corpus.flight("XX000-99")
+
+    def test_claims_reference_existing_flights(self, corpus):
+        flight_ids = {flight.flight_id for flight in corpus.flights}
+        for claim in corpus.database.claims():
+            assert claim.entity in flight_ids
+            assert claim.attribute == "departure_time"

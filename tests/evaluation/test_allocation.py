@@ -1,0 +1,144 @@
+"""Unit tests for global budget allocation across entities."""
+
+import pytest
+
+from repro.core.distribution import JointDistribution
+from repro.core.facts import Fact, FactSet
+from repro.datasets.book import BookCorpusConfig, generate_book_corpus
+from repro.evaluation.allocation import (
+    STRATEGIES,
+    allocate_budget,
+    allocation_summary,
+)
+from repro.evaluation.experiment import (
+    EntityProblem,
+    ExperimentConfig,
+    build_problems,
+    run_quality_experiment,
+)
+from repro.exceptions import BudgetError
+from repro.fusion.majority import MajorityVote
+
+
+def make_problem(entity, marginals):
+    facts = FactSet([Fact(fact_id, entity, "attr", fact_id) for fact_id in marginals])
+    prior = JointDistribution.independent(marginals)
+    gold = {fact_id: True for fact_id in marginals}
+    return EntityProblem(entity=entity, facts=facts, prior=prior, gold=gold)
+
+
+@pytest.fixture
+def mixed_problems():
+    return [
+        # Highly uncertain, small.
+        make_problem("uncertain", {"a1": 0.5, "a2": 0.5}),
+        # Nearly certain, small.
+        make_problem("certain", {"b1": 0.99, "b2": 0.99}),
+        # Many facts, moderately uncertain.
+        make_problem("large", {f"c{i}": 0.7 for i in range(6)}),
+    ]
+
+
+class TestAllocateBudget:
+    def test_uniform_splits_evenly(self, mixed_problems):
+        allocation = allocate_budget(mixed_problems, 9, strategy="uniform")
+        assert sorted(allocation.values()) == [3, 3, 3]
+
+    def test_total_always_exact(self, mixed_problems):
+        for strategy in STRATEGIES:
+            for total in (1, 7, 10, 23):
+                allocation = allocate_budget(mixed_problems, total, strategy=strategy)
+                assert sum(allocation.values()) == total
+
+    def test_entropy_strategy_favours_uncertain_entities(self, mixed_problems):
+        allocation = allocate_budget(mixed_problems, 12, strategy="entropy")
+        assert allocation["uncertain"] > allocation["certain"]
+        assert allocation["large"] > allocation["certain"]
+
+    def test_proportional_strategy_favours_large_entities(self, mixed_problems):
+        allocation = allocate_budget(mixed_problems, 10, strategy="proportional")
+        assert allocation["large"] > allocation["uncertain"]
+
+    def test_min_per_entity_floor(self, mixed_problems):
+        allocation = allocate_budget(
+            mixed_problems, 12, strategy="entropy", min_per_entity=2
+        )
+        assert all(value >= 2 for value in allocation.values())
+        assert sum(allocation.values()) == 12
+
+    def test_floor_exceeding_budget_rejected(self, mixed_problems):
+        with pytest.raises(BudgetError):
+            allocate_budget(mixed_problems, 5, min_per_entity=2)
+
+    def test_invalid_inputs_rejected(self, mixed_problems):
+        with pytest.raises(BudgetError):
+            allocate_budget([], 10)
+        with pytest.raises(BudgetError):
+            allocate_budget(mixed_problems, 0)
+        with pytest.raises(BudgetError):
+            allocate_budget(mixed_problems, 10, strategy="magic")
+        with pytest.raises(BudgetError):
+            allocate_budget(mixed_problems, 10, min_per_entity=-1)
+
+    def test_all_certain_entities_fall_back_to_even_split(self):
+        problems = [
+            make_problem("x", {"a": 1.0}),
+            make_problem("y", {"b": 1.0}),
+        ]
+        allocation = allocate_budget(problems, 4, strategy="entropy")
+        assert sorted(allocation.values()) == [2, 2]
+
+
+class TestAllocationSummary:
+    def test_summary_statistics(self):
+        summary = allocation_summary({"a": 2, "b": 6, "c": 4})
+        assert summary["total"] == 12
+        assert summary["min"] == 2
+        assert summary["max"] == 6
+        assert summary["mean"] == pytest.approx(4.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(BudgetError):
+            allocation_summary({})
+
+
+class TestAllocatedExperiment:
+    def test_budget_overrides_bound_total_cost(self):
+        corpus = generate_book_corpus(
+            BookCorpusConfig(
+                num_books=6, num_sources=10, max_sources_per_book=8, seed=77
+            )
+        )
+        problems = build_problems(
+            corpus.database, corpus.gold, MajorityVote(), max_facts_per_entity=6
+        )
+        total = 4 * len(problems)
+        allocation = allocate_budget(problems, total, strategy="entropy")
+        config = ExperimentConfig(
+            selector="greedy_prune_pre", k=2, budget_per_entity=999,
+            worker_accuracy=0.9, seed=9,
+        )
+        result = run_quality_experiment(problems, config, budgets=allocation)
+        assert result.final_point.cost <= total
+
+    def test_entropy_allocation_not_worse_than_uniform(self):
+        corpus = generate_book_corpus(
+            BookCorpusConfig(num_books=10, num_sources=12, seed=88)
+        )
+        problems = build_problems(
+            corpus.database, corpus.gold, MajorityVote(), max_facts_per_entity=8
+        )
+        total = 6 * len(problems)
+        config = ExperimentConfig(
+            selector="greedy_prune_pre", k=2, budget_per_entity=999,
+            worker_accuracy=0.9, seed=10,
+        )
+        uniform = run_quality_experiment(
+            problems, config, budgets=allocate_budget(problems, total, "uniform")
+        )
+        entropy = run_quality_experiment(
+            problems, config, budgets=allocate_budget(problems, total, "entropy")
+        )
+        # The informed allocation should not lose utility compared with the
+        # uniform split (it targets the entities with more reducible entropy).
+        assert entropy.final_point.utility >= uniform.final_point.utility - 2.0

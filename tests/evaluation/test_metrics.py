@@ -1,0 +1,69 @@
+"""Unit tests for evaluation metrics."""
+
+import pytest
+
+from repro.core.distribution import JointDistribution
+from repro.evaluation.metrics import classification_scores, total_utility
+from repro.exceptions import CrowdFusionError
+
+
+class TestClassificationScores:
+    def test_perfect_predictions(self):
+        gold = {"a": True, "b": False, "c": True}
+        scores = classification_scores(gold, gold)
+        assert scores.precision == 1.0
+        assert scores.recall == 1.0
+        assert scores.f1 == 1.0
+        assert scores.accuracy == 1.0
+
+    def test_counts(self):
+        predicted = {"a": True, "b": True, "c": False, "d": False}
+        gold = {"a": True, "b": False, "c": True, "d": False}
+        scores = classification_scores(predicted, gold)
+        assert scores.true_positives == 1
+        assert scores.false_positives == 1
+        assert scores.false_negatives == 1
+        assert scores.true_negatives == 1
+        assert scores.support == 4
+
+    def test_precision_recall_f1_formula(self):
+        predicted = {"a": True, "b": True, "c": False}
+        gold = {"a": True, "b": False, "c": True}
+        scores = classification_scores(predicted, gold)
+        assert scores.precision == pytest.approx(0.5)
+        assert scores.recall == pytest.approx(0.5)
+        assert scores.f1 == pytest.approx(0.5)
+
+    def test_no_predicted_positives(self):
+        predicted = {"a": False, "b": False}
+        gold = {"a": True, "b": False}
+        scores = classification_scores(predicted, gold)
+        assert scores.precision == 0.0
+        assert scores.recall == 0.0
+        assert scores.f1 == 0.0
+
+    def test_only_shared_facts_scored(self):
+        predicted = {"a": True, "zzz": True}
+        gold = {"a": True, "b": False}
+        scores = classification_scores(predicted, gold)
+        assert scores.support == 1
+
+    def test_no_overlap_raises(self):
+        with pytest.raises(CrowdFusionError):
+            classification_scores({"a": True}, {"b": True})
+
+
+class TestTotalUtility:
+    def test_sums_negative_entropies(self):
+        dists = [
+            JointDistribution.independent({"a": 0.5}),
+            JointDistribution.independent({"b": 0.5, "c": 0.5}),
+        ]
+        assert total_utility(dists) == pytest.approx(-3.0)
+
+    def test_empty_collection_is_zero(self):
+        assert total_utility([]) == 0.0
+
+    def test_certain_distributions_contribute_zero(self):
+        dists = [JointDistribution.independent({"a": 1.0})]
+        assert total_utility(dists) == pytest.approx(0.0)

@@ -1,0 +1,95 @@
+"""Unit tests for the timing harness and report formatting."""
+
+import pytest
+
+from repro.core.distribution import JointDistribution
+from repro.evaluation.reporting import format_series, format_table
+from repro.evaluation.timing import measure_selection_times, rows_as_table
+from repro.exceptions import CrowdFusionError
+
+
+def small_distributions():
+    return [
+        JointDistribution.independent({f"f{i}": 0.4 + 0.05 * i for i in range(5)}),
+        JointDistribution.independent({f"g{i}": 0.5 for i in range(4)}),
+    ]
+
+
+class TestMeasureSelectionTimes:
+    def test_rows_cover_selector_k_grid(self):
+        rows = measure_selection_times(
+            small_distributions(), selectors=["greedy", "greedy_prune_pre"], ks=[1, 2]
+        )
+        assert len(rows) == 4
+        assert {(row.selector, row.k) for row in rows} == {
+            ("greedy", 1),
+            ("greedy", 2),
+            ("greedy_prune_pre", 1),
+            ("greedy_prune_pre", 2),
+        }
+
+    def test_mean_seconds_positive(self):
+        rows = measure_selection_times(small_distributions(), ["greedy"], [1])
+        assert rows[0].mean_seconds > 0.0
+        assert rows[0].runs == 2
+
+    def test_skip_caps_expensive_selectors(self):
+        rows = measure_selection_times(
+            small_distributions(), selectors=["opt", "greedy"], ks=[1, 2, 3],
+            skip={"opt": 1},
+        )
+        opt_ks = [row.k for row in rows if row.selector == "opt"]
+        greedy_ks = [row.k for row in rows if row.selector == "greedy"]
+        assert opt_ks == [1]
+        assert greedy_ks == [1, 2, 3]
+
+    def test_repeats_multiply_runs(self):
+        rows = measure_selection_times(small_distributions(), ["greedy"], [1], repeats=3)
+        assert rows[0].runs == 6
+
+    def test_requires_distributions(self):
+        with pytest.raises(CrowdFusionError):
+            measure_selection_times([], ["greedy"], [1])
+
+    def test_invalid_repeats_rejected(self):
+        with pytest.raises(CrowdFusionError):
+            measure_selection_times(small_distributions(), ["greedy"], [1], repeats=0)
+
+    def test_rows_as_table_pivot(self):
+        rows = measure_selection_times(small_distributions(), ["greedy", "random"], [1, 2])
+        table = rows_as_table(rows)
+        assert set(table) == {1, 2}
+        assert set(table[1]) == {"greedy", "random"}
+
+
+class TestFormatTable:
+    def test_alignment_and_headers(self):
+        text = format_table(["k", "time"], [[1, 0.5], [10, 12.25]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "k" in lines[0] and "time" in lines[0]
+        assert "12.2500" in lines[-1]
+
+    def test_row_length_mismatch_rejected(self):
+        with pytest.raises(CrowdFusionError):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(CrowdFusionError):
+            format_table([], [])
+
+    def test_non_float_cells_stringified(self):
+        text = format_table(["name", "value"], [["greedy", 3]])
+        assert "greedy" in text
+        assert "3" in text
+
+
+class TestFormatSeries:
+    def test_named_series_rendering(self):
+        text = format_series("Approx. Pc=0.8", [(0, 0.5), (60, 0.81)])
+        assert text.startswith("Approx. Pc=0.8:")
+        assert "(60, 0.8100)" in text
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(CrowdFusionError):
+            format_series("empty", [])

@@ -1,0 +1,106 @@
+"""Unit tests for the claim / source data model."""
+
+import pytest
+
+from repro.exceptions import FusionError
+from repro.fusion.claims import Claim, ClaimDatabase, Source
+
+
+def sample_database():
+    observations = [
+        ("s1", "book1", "author_list", "Ada Lovelace"),
+        ("s2", "book1", "author_list", "Ada Lovelace"),
+        ("s3", "book1", "author_list", "A. Lovelace"),
+        ("s1", "book2", "author_list", "Alan Turing"),
+        ("s3", "book2", "author_list", "Alan Turing; John McCarthy"),
+    ]
+    return ClaimDatabase.from_observations(observations)
+
+
+class TestSource:
+    def test_valid_source(self):
+        source = Source("s1", "eCampus")
+        assert source.source_id == "s1"
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(FusionError):
+            Source("")
+
+
+class TestClaim:
+    def test_data_item_and_support(self):
+        claim = Claim("c1", "book1", "author_list", "Ada", sources=frozenset({"s1", "s2"}))
+        assert claim.data_item == ("book1", "author_list")
+        assert claim.support == 2
+
+
+class TestClaimDatabase:
+    def test_observation_grouping(self):
+        database = sample_database()
+        assert len(database) == 4  # distinct (entity, attribute, value) triples
+        assert database.num_sources == 3
+
+    def test_claims_have_stable_generated_ids(self):
+        claims = sample_database().claims()
+        assert [claim.claim_id for claim in claims] == ["c1", "c2", "c3", "c4"]
+
+    def test_support_counts_sources(self):
+        database = sample_database()
+        first = database.claims()[0]
+        assert first.value == "Ada Lovelace"
+        assert first.support == 2
+
+    def test_data_items(self):
+        database = sample_database()
+        assert database.data_items() == (
+            ("book1", "author_list"),
+            ("book2", "author_list"),
+        )
+
+    def test_entities(self):
+        assert sample_database().entities() == ("book1", "book2")
+
+    def test_claims_for_entity(self):
+        database = sample_database()
+        book1_claims = database.claims_for("book1")
+        assert len(book1_claims) == 2
+        assert all(claim.entity == "book1" for claim in book1_claims)
+
+    def test_claims_for_entity_and_attribute(self):
+        database = sample_database()
+        assert len(database.claims_for("book1", "author_list")) == 2
+        assert database.claims_for("book1", "publisher") == ()
+
+    def test_observations_of_source(self):
+        database = sample_database()
+        claims = database.observations_of("s3")
+        assert {claim.entity for claim in claims} == {"book1", "book2"}
+
+    def test_observations_of_unknown_source(self):
+        with pytest.raises(FusionError):
+            sample_database().observations_of("nope")
+
+    def test_iteration_yields_claims(self):
+        database = sample_database()
+        assert len(list(database)) == len(database)
+
+    def test_add_observation_validation(self):
+        database = ClaimDatabase()
+        with pytest.raises(FusionError):
+            database.add_observation("s1", "", "author_list", "x")
+        with pytest.raises(FusionError):
+            database.add_observation("s1", "book1", "author_list", "")
+
+    def test_duplicate_observation_is_idempotent(self):
+        database = ClaimDatabase()
+        database.add_observation("s1", "e", "a", "v")
+        database.add_observation("s1", "e", "a", "v")
+        assert len(database) == 1
+        assert database.claims()[0].support == 1
+
+    def test_add_source_idempotent(self):
+        database = ClaimDatabase()
+        database.add_source("s1", "first name")
+        database.add_source("s1", "second name")
+        assert database.num_sources == 1
+        assert database.sources()[0].name == "first name"

@@ -1,0 +1,176 @@
+"""Unit tests for the fusion algorithms: majority, CRH, TruthFinder, Bayesian."""
+
+import pytest
+
+from repro.exceptions import FusionError
+from repro.fusion.accu import BayesianVote
+from repro.fusion.claims import ClaimDatabase
+from repro.fusion.crh import ModifiedCRH
+from repro.fusion.majority import MajorityVote
+from repro.fusion.truthfinder import TruthFinder
+
+
+def skewed_database():
+    """Two data items; one good source, one bad source, several average ones.
+
+    Sources s1–s3 report the true value for both items; s4 and s5 report the
+    same wrong value for item2 (copying error) and disagree on item1.
+    """
+    observations = [
+        ("s1", "e1", "a", "true-value-1"),
+        ("s2", "e1", "a", "true-value-1"),
+        ("s3", "e1", "a", "true-value-1"),
+        ("s4", "e1", "a", "wrong-value-1a"),
+        ("s5", "e1", "a", "wrong-value-1b"),
+        ("s1", "e2", "a", "true-value-2"),
+        ("s2", "e2", "a", "true-value-2"),
+        ("s3", "e2", "a", "true-value-2"),
+        ("s4", "e2", "a", "wrong-value-2"),
+        ("s5", "e2", "a", "wrong-value-2"),
+    ]
+    return ClaimDatabase.from_observations(observations)
+
+
+ALL_METHODS = [MajorityVote(), ModifiedCRH(), TruthFinder(), BayesianVote()]
+
+
+class TestCommonBehaviour:
+    @pytest.mark.parametrize("method", ALL_METHODS, ids=lambda m: m.name)
+    def test_scores_every_claim(self, method):
+        database = skewed_database()
+        result = method.run(database)
+        assert set(result.confidences) == {claim.claim_id for claim in database.claims()}
+
+    @pytest.mark.parametrize("method", ALL_METHODS, ids=lambda m: m.name)
+    def test_confidences_within_unit_interval(self, method):
+        result = method.run(skewed_database())
+        for value in result.confidences.values():
+            assert 0.0 <= value <= 1.0
+
+    @pytest.mark.parametrize("method", ALL_METHODS, ids=lambda m: m.name)
+    def test_majority_supported_claims_score_higher(self, method):
+        database = skewed_database()
+        result = method.run(database)
+        claims = {claim.value: claim.claim_id for claim in database.claims()}
+        assert (
+            result.confidence(claims["true-value-1"])
+            > result.confidence(claims["wrong-value-1a"])
+        )
+        assert (
+            result.confidence(claims["true-value-2"])
+            > result.confidence(claims["wrong-value-2"])
+        )
+
+    @pytest.mark.parametrize("method", ALL_METHODS, ids=lambda m: m.name)
+    def test_empty_database_rejected(self, method):
+        with pytest.raises(FusionError):
+            method.run(ClaimDatabase())
+
+    @pytest.mark.parametrize("method", ALL_METHODS, ids=lambda m: m.name)
+    def test_source_weights_cover_all_sources(self, method):
+        database = skewed_database()
+        result = method.run(database)
+        assert set(result.source_weights) == {
+            source.source_id for source in database.sources()
+        }
+
+
+class TestMajorityVote:
+    def test_confidence_is_support_fraction(self):
+        database = skewed_database()
+        result = MajorityVote().run(database)
+        claims = {claim.value: claim.claim_id for claim in database.claims()}
+        assert result.confidence(claims["true-value-1"]) == pytest.approx(3 / 5)
+        assert result.confidence(claims["wrong-value-2"]) == pytest.approx(2 / 5)
+
+    def test_per_item_confidences_sum_to_one(self):
+        database = skewed_database()
+        result = MajorityVote().run(database)
+        for entity in database.entities():
+            total = sum(
+                result.confidence(claim.claim_id) for claim in database.claims_for(entity)
+            )
+            assert total == pytest.approx(1.0)
+
+
+class TestModifiedCRH:
+    def test_reliable_sources_get_higher_weight(self):
+        result = ModifiedCRH().run(skewed_database())
+        assert result.source_weights["s1"] > result.source_weights["s5"]
+
+    def test_iterations_recorded(self):
+        result = ModifiedCRH().run(skewed_database())
+        assert result.iterations >= 1
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(FusionError):
+            ModifiedCRH(top_fraction=0.0)
+        with pytest.raises(FusionError):
+            ModifiedCRH(max_iterations=0)
+        with pytest.raises(FusionError):
+            ModifiedCRH(smoothing=0.9)
+
+    def test_top_fraction_one_marks_everything_true(self):
+        database = skewed_database()
+        result = ModifiedCRH(top_fraction=1.0).run(database)
+        labels = result.labels()
+        assert all(labels.values())
+
+
+class TestTruthFinder:
+    def test_trust_converges_between_zero_and_one(self):
+        result = TruthFinder().run(skewed_database())
+        for trust in result.source_weights.values():
+            assert 0.0 < trust < 1.0
+
+    def test_good_source_more_trusted_than_bad(self):
+        result = TruthFinder().run(skewed_database())
+        assert result.source_weights["s1"] > result.source_weights["s4"]
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(FusionError):
+            TruthFinder(initial_trust=1.0)
+        with pytest.raises(FusionError):
+            TruthFinder(dampening=0.0)
+        with pytest.raises(FusionError):
+            TruthFinder(max_iterations=0)
+
+    def test_more_supporters_raise_confidence(self):
+        database = skewed_database()
+        result = TruthFinder().run(database)
+        claims = {claim.value: claim.claim_id for claim in database.claims()}
+        assert (
+            result.confidence(claims["true-value-1"])
+            > result.confidence(claims["wrong-value-1a"])
+        )
+
+
+class TestBayesianVote:
+    def test_posteriors_per_item_do_not_exceed_one(self):
+        database = skewed_database()
+        result = BayesianVote().run(database)
+        for entity in database.entities():
+            total = sum(
+                result.confidence(claim.claim_id) for claim in database.claims_for(entity)
+            )
+            assert total <= 1.0 + 1e-9
+
+    def test_unanimous_claim_not_fully_certain(self):
+        database = ClaimDatabase.from_observations(
+            [("s1", "e", "a", "v"), ("s2", "e", "a", "v"), ("s3", "e", "a", "v")]
+        )
+        result = BayesianVote().run(database)
+        confidence = result.confidence("c1")
+        assert 0.5 < confidence < 1.0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(FusionError):
+            BayesianVote(initial_accuracy=0.0)
+        with pytest.raises(FusionError):
+            BayesianVote(false_values=0)
+        with pytest.raises(FusionError):
+            BayesianVote(max_iterations=0)
+
+    def test_source_accuracy_learned(self):
+        result = BayesianVote().run(skewed_database())
+        assert result.source_weights["s1"] > result.source_weights["s4"]

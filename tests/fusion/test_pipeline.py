@@ -1,0 +1,117 @@
+"""Unit tests for the fusion → CrowdFusion pipeline glue."""
+
+import pytest
+
+from repro.exceptions import FusionError
+from repro.fusion.claims import ClaimDatabase
+from repro.fusion.crh import ModifiedCRH
+from repro.fusion.majority import MajorityVote
+from repro.fusion.pipeline import (
+    FusionPipeline,
+    FusionResult,
+    accuracy_against_gold,
+    claims_to_facts,
+    fusion_prior,
+)
+
+
+def small_database():
+    return ClaimDatabase.from_observations(
+        [
+            ("s1", "book1", "author_list", "Ada Lovelace"),
+            ("s2", "book1", "author_list", "Ada Lovelace"),
+            ("s3", "book1", "author_list", "Al Lovelace"),
+            ("s1", "book2", "author_list", "Alan Turing"),
+            ("s3", "book2", "author_list", "Allan Turing"),
+        ]
+    )
+
+
+class TestFusionResult:
+    def test_confidence_lookup(self):
+        result = FusionResult("test", {"c1": 0.7})
+        assert result.confidence("c1") == 0.7
+
+    def test_unknown_claim_raises(self):
+        with pytest.raises(FusionError):
+            FusionResult("test", {}).confidence("c1")
+
+    def test_labels_threshold(self):
+        result = FusionResult("test", {"c1": 0.7, "c2": 0.3, "c3": 0.5})
+        assert result.labels() == {"c1": True, "c2": False, "c3": False}
+        assert result.labels(threshold=0.2) == {"c1": True, "c2": True, "c3": True}
+
+
+class TestClaimsToFacts:
+    def test_fact_fields_copied_from_claims(self):
+        database = small_database()
+        result = MajorityVote().run(database)
+        facts = claims_to_facts(database.claims(), result)
+        fact = facts["c1"]
+        assert fact.subject == "book1"
+        assert fact.predicate == "author_list"
+        assert fact.obj == "Ada Lovelace"
+        assert fact.prior == pytest.approx(2 / 3)
+
+    def test_without_result_priors_are_none(self):
+        database = small_database()
+        facts = claims_to_facts(database.claims())
+        assert all(fact.prior is None for fact in facts)
+
+    def test_empty_claims_rejected(self):
+        with pytest.raises(FusionError):
+            claims_to_facts([])
+
+
+class TestFusionPrior:
+    def test_prior_marginals_are_clipped_confidences(self):
+        database = small_database()
+        result = MajorityVote().run(database)
+        claims = database.claims()
+        prior = fusion_prior(result, claims, clip=0.1)
+        marginals = prior.marginals()
+        for claim in claims:
+            expected = min(0.9, max(0.1, result.confidence(claim.claim_id)))
+            assert marginals[claim.claim_id] == pytest.approx(expected)
+
+    def test_invalid_clip_rejected(self):
+        database = small_database()
+        result = MajorityVote().run(database)
+        with pytest.raises(FusionError):
+            fusion_prior(result, database.claims(), clip=0.6)
+
+    def test_prior_fact_order_can_be_fixed(self):
+        database = small_database()
+        result = MajorityVote().run(database)
+        claims = database.claims()
+        order = tuple(reversed([claim.claim_id for claim in claims]))
+        prior = fusion_prior(result, claims, fact_ids=order)
+        assert prior.fact_ids == order
+
+
+class TestFusionPipeline:
+    def test_run_returns_consistent_artifacts(self):
+        database = small_database()
+        facts, prior, result = FusionPipeline(ModifiedCRH()).run(database)
+        assert facts.fact_ids == prior.fact_ids
+        assert set(result.confidences) == set(facts.fact_ids)
+
+    def test_priors_by_entity_split(self):
+        database = small_database()
+        per_entity = FusionPipeline(MajorityVote()).priors_by_entity(database)
+        assert set(per_entity) == {"book1", "book2"}
+        facts_book1, prior_book1 = per_entity["book1"]
+        assert len(facts_book1) == 2
+        assert prior_book1.num_facts == 2
+
+
+class TestAccuracyAgainstGold:
+    def test_accuracy_counts_threshold_agreements(self):
+        result = FusionResult("test", {"c1": 0.9, "c2": 0.2, "c3": 0.8})
+        gold = {"c1": True, "c2": True, "c3": False}
+        assert accuracy_against_gold(result, gold) == pytest.approx(1 / 3)
+
+    def test_no_overlap_raises(self):
+        result = FusionResult("test", {"c1": 0.9})
+        with pytest.raises(FusionError):
+            accuracy_against_gold(result, {"other": True})

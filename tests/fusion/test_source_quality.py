@@ -1,0 +1,89 @@
+"""Unit tests for source-quality estimation against gold labels."""
+
+import pytest
+
+from repro.exceptions import FusionError
+from repro.fusion.claims import ClaimDatabase
+from repro.fusion.source_quality import (
+    domain_reliability_split,
+    source_accuracy,
+    source_error_rates,
+)
+
+
+def database_with_gold():
+    database = ClaimDatabase.from_observations(
+        [
+            # s1 is right about textbooks, wrong about non-textbooks (the
+            # eCampus.com pattern from the paper's introduction).
+            ("s1", "tb1", "author_list", "right-tb1"),
+            ("s1", "tb2", "author_list", "right-tb2"),
+            ("s1", "nb1", "author_list", "wrong-nb1"),
+            ("s1", "nb2", "author_list", "wrong-nb2"),
+            # s2 is always right; s3 always wrong.
+            ("s2", "tb1", "author_list", "right-tb1"),
+            ("s2", "nb1", "author_list", "right-nb1"),
+            ("s3", "tb2", "author_list", "wrong-tb2"),
+            ("s3", "nb2", "author_list", "right-nb2x"),
+        ]
+    )
+    gold = {}
+    for claim in database.claims():
+        gold[claim.claim_id] = claim.value.startswith("right")
+    domain_of = {"tb1": "textbook", "tb2": "textbook", "nb1": "non-textbook", "nb2": "non-textbook"}
+    return database, gold, domain_of
+
+
+class TestSourceAccuracy:
+    def test_overall_accuracy(self):
+        database, gold, _ = database_with_gold()
+        assert source_accuracy(database, gold, "s1") == pytest.approx(0.5)
+        assert source_accuracy(database, gold, "s2") == pytest.approx(1.0)
+        assert source_accuracy(database, gold, "s3") == pytest.approx(0.5)
+
+    def test_domain_restricted_accuracy(self):
+        database, gold, domain_of = database_with_gold()
+        assert source_accuracy(
+            database, gold, "s1", domain_of=domain_of, domain="textbook"
+        ) == pytest.approx(1.0)
+        assert source_accuracy(
+            database, gold, "s1", domain_of=domain_of, domain="non-textbook"
+        ) == pytest.approx(0.0)
+
+    def test_domain_filter_requires_domain_map(self):
+        database, gold, _ = database_with_gold()
+        with pytest.raises(FusionError):
+            source_accuracy(database, gold, "s1", domain="textbook")
+
+    def test_source_without_gold_claims_raises(self):
+        database, _, _ = database_with_gold()
+        with pytest.raises(FusionError):
+            source_accuracy(database, {}, "s1")
+
+
+class TestSourceErrorRates:
+    def test_error_rates_complement_accuracy(self):
+        database, gold, _ = database_with_gold()
+        rates = source_error_rates(database, gold)
+        assert rates["s1"] == pytest.approx(0.5)
+        assert rates["s2"] == pytest.approx(0.0)
+
+    def test_sources_without_gold_omitted(self):
+        database, gold, _ = database_with_gold()
+        rates = source_error_rates(database, {"c1": gold["c1"]})
+        assert "s3" not in rates
+
+
+class TestDomainReliabilitySplit:
+    def test_split_reproduces_ecampus_pattern(self):
+        database, gold, domain_of = database_with_gold()
+        breakdown = domain_reliability_split(database, gold, domain_of, "s1")
+        assert breakdown["textbook"] == (2, pytest.approx(1.0))
+        assert breakdown["non-textbook"] == (2, pytest.approx(0.0))
+
+    def test_missing_domains_are_skipped(self):
+        database, gold, domain_of = database_with_gold()
+        breakdown = domain_reliability_split(
+            database, gold, {"tb1": "textbook"}, "s2"
+        )
+        assert set(breakdown) == {"textbook"}

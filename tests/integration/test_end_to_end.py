@@ -1,0 +1,119 @@
+"""Integration tests: raw observations → fusion → crowd refinement → metrics."""
+
+import pytest
+
+from repro.core.crowd import CrowdModel
+from repro.core.engine import CrowdFusionEngine
+from repro.core.selection import get_selector
+from repro.crowdsim.platform import SimulatedPlatform
+from repro.crowdsim.qualification import QualificationTest
+from repro.crowdsim.worker import WorkerPool
+from repro.datasets.book import BookCorpusConfig, generate_book_corpus
+from repro.datasets.flights import FlightCorpusConfig, generate_flight_corpus
+from repro.evaluation.experiment import (
+    ExperimentConfig,
+    build_problems,
+    run_quality_experiment,
+)
+from repro.evaluation.metrics import classification_scores
+from repro.fusion.crh import ModifiedCRH
+from repro.fusion.majority import MajorityVote
+from repro.fusion.pipeline import FusionPipeline, accuracy_against_gold
+
+
+@pytest.fixture(scope="module")
+def book_corpus():
+    return generate_book_corpus(
+        BookCorpusConfig(num_books=12, num_sources=14, seed=101)
+    )
+
+
+class TestBookPipeline:
+    def test_fusion_then_refinement_improves_f1(self, book_corpus):
+        problems = build_problems(
+            book_corpus.database,
+            book_corpus.gold,
+            ModifiedCRH(),
+            difficulties=book_corpus.difficulties,
+            max_facts_per_entity=8,
+        )
+        config = ExperimentConfig(
+            selector="greedy_prune_pre", k=2, budget_per_entity=12,
+            worker_accuracy=0.9, seed=7,
+        )
+        result = run_quality_experiment(problems, config)
+        assert result.final_point.f1 > result.initial_point.f1
+        assert result.final_point.utility > result.initial_point.utility
+
+    def test_crowd_refinement_beats_machine_only_accuracy(self, book_corpus):
+        crh = ModifiedCRH()
+        machine_accuracy = accuracy_against_gold(crh.run(book_corpus.database), book_corpus.gold)
+        problems = build_problems(
+            book_corpus.database, book_corpus.gold, crh, max_facts_per_entity=8
+        )
+        config = ExperimentConfig(
+            selector="greedy_prune_pre", k=2, budget_per_entity=16,
+            worker_accuracy=0.9, seed=13,
+        )
+        result = run_quality_experiment(problems, config)
+        assert result.final_point.accuracy > machine_accuracy
+
+    def test_single_book_engine_round_trip(self, book_corpus):
+        pipeline = FusionPipeline(ModifiedCRH())
+        per_entity = pipeline.priors_by_entity(book_corpus.database)
+        isbn = book_corpus.books[0].isbn
+        facts, prior = per_entity[isbn]
+        gold = {fact_id: book_corpus.gold[fact_id] for fact_id in facts.fact_ids}
+
+        platform = SimulatedPlatform(
+            ground_truth=gold, workers=WorkerPool.homogeneous(20, 0.9, seed=3)
+        )
+        engine = CrowdFusionEngine(
+            get_selector("greedy_prune_pre"), CrowdModel(0.9), budget=10, tasks_per_round=2
+        )
+        result = engine.run(prior, platform)
+        scores = classification_scores(result.predicted_labels(), gold)
+        baseline = classification_scores(prior.predicted_labels(), gold)
+        assert scores.accuracy >= baseline.accuracy
+        assert result.final_utility >= result.initial_utility - 1.0
+
+
+class TestFlightPipeline:
+    def test_flight_corpus_refinement(self):
+        corpus = generate_flight_corpus(
+            FlightCorpusConfig(num_flights=15, num_sources=10, seed=31)
+        )
+        problems = build_problems(
+            corpus.database, corpus.gold, MajorityVote(), max_facts_per_entity=6
+        )
+        config = ExperimentConfig(
+            selector="greedy", k=1, budget_per_entity=6, worker_accuracy=0.9, seed=5
+        )
+        result = run_quality_experiment(problems, config)
+        assert result.final_point.f1 >= result.initial_point.f1
+
+
+class TestCalibrationLoop:
+    def test_qualification_estimate_feeds_crowd_model(self, book_corpus):
+        """Estimate Pc from a pre-test, then run CrowdFusion with the estimate."""
+        gold_sample = dict(list(book_corpus.gold.items())[:15])
+        platform = SimulatedPlatform(
+            ground_truth=book_corpus.gold,
+            workers=WorkerPool.heterogeneous(30, mean_accuracy=0.85, spread=0.05, seed=17),
+        )
+        estimate = QualificationTest(gold_sample, repetitions=4).run(platform)
+        assert 0.7 <= estimate.estimated_accuracy <= 1.0
+
+        problems = build_problems(
+            book_corpus.database, book_corpus.gold, ModifiedCRH(), max_facts_per_entity=6
+        )
+        config = ExperimentConfig(
+            selector="greedy_prune_pre",
+            k=2,
+            budget_per_entity=8,
+            worker_accuracy=0.85,
+            assumed_accuracy=estimate.estimated_accuracy,
+            seed=19,
+        )
+        result = run_quality_experiment(problems, config)
+        assert result.final_point.utility > result.initial_point.utility

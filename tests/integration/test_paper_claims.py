@@ -1,0 +1,110 @@
+"""Qualitative shape tests for the paper's empirical claims.
+
+These tests assert the *relationships* the paper's figures demonstrate
+(greedy ≈ OPT, both beat Random; higher Pc gives higher utility; smaller k
+gives better quality per unit budget for the informed selector), on a scaled-
+down version of the evaluation so they run in seconds.
+"""
+
+import pytest
+
+from repro.datasets.book import BookCorpusConfig, generate_book_corpus
+from repro.evaluation.experiment import (
+    ExperimentConfig,
+    build_problems,
+    run_quality_experiment,
+)
+from repro.fusion.crh import ModifiedCRH
+
+
+@pytest.fixture(scope="module")
+def problems():
+    corpus = generate_book_corpus(
+        BookCorpusConfig(num_books=15, num_sources=14, seed=202)
+    )
+    return build_problems(
+        corpus.database,
+        corpus.gold,
+        ModifiedCRH(),
+        difficulties=corpus.difficulties,
+        max_facts_per_entity=8,
+    )
+
+
+def final_quality(problems, selector, k=2, budget=12, accuracy=0.8, seed=0):
+    config = ExperimentConfig(
+        selector=selector, k=k, budget_per_entity=budget,
+        worker_accuracy=accuracy, seed=seed,
+    )
+    result = run_quality_experiment(problems, config)
+    return result
+
+
+class TestFigure2Shape:
+    """Approx ≈ OPT, both above Random (on small per-book fact sets)."""
+
+    def test_greedy_close_to_opt(self, problems):
+        greedy = final_quality(problems, "greedy", seed=1)
+        opt = final_quality(problems, "opt", seed=1)
+        assert greedy.final_point.utility >= opt.final_point.utility - 3.0
+        assert abs(greedy.final_point.f1 - opt.final_point.f1) < 0.08
+
+    def test_greedy_beats_random_on_utility(self, problems):
+        greedy = final_quality(problems, "greedy_prune_pre", seed=2)
+        random_sel = final_quality(problems, "random", seed=2)
+        assert greedy.final_point.utility > random_sel.final_point.utility
+
+    def test_both_refinements_improve_over_prior(self, problems):
+        for selector in ("greedy_prune_pre", "random"):
+            result = final_quality(problems, selector, seed=3)
+            assert result.final_point.utility > result.initial_point.utility
+
+
+class TestFigure4Shape:
+    """Higher crowd accuracy yields higher utility for the informed selector."""
+
+    def test_utility_ordering_by_accuracy(self, problems):
+        low = final_quality(problems, "greedy_prune_pre", accuracy=0.7, seed=4)
+        high = final_quality(problems, "greedy_prune_pre", accuracy=0.9, seed=4)
+        assert high.final_point.utility > low.final_point.utility
+
+    def test_f1_not_worse_with_more_accurate_crowd(self, problems):
+        low = final_quality(problems, "greedy_prune_pre", accuracy=0.7, seed=5)
+        high = final_quality(problems, "greedy_prune_pre", accuracy=0.95, seed=5)
+        assert high.final_point.f1 >= low.final_point.f1 - 0.02
+
+
+class TestSelectionEfficiencyShape:
+    """Table V shape: preprocessing accelerates greedy, OPT blows up with k."""
+
+    def test_preprocessed_greedy_faster_than_plain_on_larger_books(self):
+        import numpy as np
+
+        from repro.core.crowd import CrowdModel
+        from repro.core.selection import get_selector
+        from repro.core.distribution import JointDistribution
+
+        rng = np.random.default_rng(0)
+        marginals = {f"f{i}": float(rng.uniform(0.3, 0.7)) for i in range(14)}
+        dist = JointDistribution.independent(
+            {k: v for k, v in list(marginals.items())[:11]}
+        )
+        crowd = CrowdModel(0.8)
+        plain = get_selector("greedy").select(dist, crowd, 5)
+        fast = get_selector("greedy_prune_pre").select(dist, crowd, 5)
+        assert fast.task_ids == plain.task_ids
+        assert fast.stats.elapsed_seconds < plain.stats.elapsed_seconds
+
+    def test_opt_cost_grows_much_faster_than_greedy(self):
+        from repro.core.crowd import CrowdModel
+        from repro.core.selection import get_selector
+        from repro.core.distribution import JointDistribution
+
+        dist = JointDistribution.independent({f"f{i}": 0.4 + 0.02 * i for i in range(10)})
+        crowd = CrowdModel(0.8)
+        opt_1 = get_selector("opt").select(dist, crowd, 1).stats.candidate_evaluations
+        opt_3 = get_selector("opt").select(dist, crowd, 3).stats.candidate_evaluations
+        greedy_1 = get_selector("greedy").select(dist, crowd, 1).stats.candidate_evaluations
+        greedy_3 = get_selector("greedy").select(dist, crowd, 3).stats.candidate_evaluations
+        assert opt_3 / opt_1 > 10
+        assert greedy_3 / greedy_1 < 4

@@ -1,0 +1,76 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_experiment_defaults(self):
+        args = build_parser().parse_args(["experiment"])
+        assert args.selector == "greedy_prune_pre"
+        assert args.k == 2
+        assert args.allocation == "fixed"
+
+    def test_unknown_selector_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "--selector", "magic"])
+
+
+class TestCommands:
+    def test_quickstart_runs(self, capsys):
+        assert main(["quickstart", "--budget", "4", "--seed", "1"]) == 0
+        output = capsys.readouterr().out
+        assert "Best 2 tasks" in output
+        assert "Utility" in output
+
+    def test_fusion_compares_all_methods(self, capsys):
+        assert main(["fusion", "--books", "8", "--sources", "10", "--seed", "3"]) == 0
+        output = capsys.readouterr().out
+        for method in ("majority", "crh", "truthfinder", "bayesian"):
+            assert method in output
+
+    def test_experiment_prints_initial_and_final(self, capsys):
+        code = main(
+            [
+                "experiment", "--books", "6", "--sources", "10", "--seed", "2",
+                "--budget", "6", "--k", "2", "--pc", "0.9",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "initial" in output
+        assert "final" in output
+
+    def test_experiment_with_curve_and_allocation(self, capsys):
+        code = main(
+            [
+                "experiment", "--books", "6", "--sources", "10", "--seed", "2",
+                "--budget", "6", "--allocation", "entropy", "--curve",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "allocation entropy" in output
+        assert "F1:" in output
+
+    def test_timing_outputs_selector_rows(self, capsys):
+        code = main(
+            [
+                "timing", "--books", "6", "--sources", "10", "--seed", "4",
+                "--selectors", "greedy_prune_pre", "--k", "1", "2",
+                "--entities", "2",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "greedy_prune_pre" in output
+        assert "mean seconds" in output
