@@ -44,7 +44,15 @@ K = 5
 
 
 @pytest.mark.parametrize(
-    "selector", ["greedy", "greedy_prune", "greedy_pre", "greedy_prune_pre"]
+    "selector",
+    [
+        "greedy_reference",
+        "greedy",
+        "greedy_lazy",
+        "greedy_prune",
+        "greedy_pre",
+        "greedy_prune_pre",
+    ],
 )
 def test_ablation_selector_cost(benchmark, selector):
     """Benchmark one selection round per greedy variant on the same input."""
@@ -64,7 +72,7 @@ def test_ablation_selector_cost(benchmark, selector):
 def test_ablation_pruning_and_preprocessing_report(benchmark):
     """Persist the ablation table and check the acceleration ordering."""
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
-    if len(_RESULTS) < 4:
+    if len(_RESULTS) < 6:
         pytest.skip("selector ablation benchmarks did not run")
 
     rows = [
@@ -87,11 +95,15 @@ def test_ablation_pruning_and_preprocessing_report(benchmark):
     # All variants select the same task set (safety of the accelerations).
     task_sets = {values["task_ids"] for values in _RESULTS.values()}
     assert len(task_sets) == 1
-    # Preprocessing gives the dominant speedup.
-    assert _RESULTS["greedy_pre"]["seconds"] < _RESULTS["greedy"]["seconds"] / 2
-    # Pruning never increases the number of evaluations.
+    # The vectorized engine gives the dominant speedup over the seed path.
+    assert _RESULTS["greedy"]["seconds"] < _RESULTS["greedy_reference"]["seconds"] / 2
+    # Pruning and lazy evaluation never increase the number of evaluations.
     assert (
         _RESULTS["greedy_prune"]["evaluations"]
+        <= _RESULTS["greedy"]["evaluations"]
+    )
+    assert (
+        _RESULTS["greedy_lazy"]["evaluations"]
         <= _RESULTS["greedy"]["evaluations"]
     )
 

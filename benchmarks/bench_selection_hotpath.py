@@ -1,0 +1,112 @@
+"""Selection hot-path benchmark: seed (pure-Python) vs. vectorized engine.
+
+Times one greedy selection round — the workload behind Table V — on growing
+fact sets, comparing three implementations of the same algorithm:
+
+* ``greedy_reference`` — the seed's ``O(n · k · 2^k · |O|)`` dict arithmetic,
+* ``greedy``           — the vectorized incremental engine,
+* ``greedy_lazy``      — the engine plus CELF lazy evaluation.
+
+All three must select the *identical* task set; the engine paths must beat
+the reference by at least the acceptance-floor factor on the largest
+scenario.  Every run persists ``BENCH_selection.json`` under
+``benchmarks/results/`` so future PRs can track the perf trajectory.
+"""
+
+import json
+import time
+
+import numpy as np
+
+from repro.core.crowd import CrowdModel
+from repro.core.distribution import JointDistribution
+from repro.core.selection import get_selector
+
+from _bench_utils import RESULTS_DIR
+
+NUM_FACTS_GRID = (10, 14, 18)
+K = 8
+SUPPORT = 512
+ACCURACY = 0.8
+SEED = 0
+
+#: The acceptance floor: the engine must beat the seed path by at least this
+#: factor on the largest scenario (in practice it is orders of magnitude).
+MIN_SPEEDUP = 5.0
+
+
+def sparse_distribution(num_facts: int, seed: int = SEED) -> JointDistribution:
+    rng = np.random.default_rng(seed)
+    size = min(SUPPORT, 1 << num_facts)
+    masks = rng.choice(1 << num_facts, size=size, replace=False)
+    probabilities = rng.uniform(0.05, 1.0, size=size)
+    fact_ids = tuple(f"f{i}" for i in range(num_facts))
+    return JointDistribution(
+        fact_ids, dict(zip((int(mask) for mask in masks), probabilities))
+    )
+
+
+def time_selector(name: str, distribution: JointDistribution, crowd: CrowdModel, runs: int):
+    """Best-of-``runs`` wall time and the (stable) selection result."""
+    best = float("inf")
+    result = None
+    for _ in range(runs):
+        selector = get_selector(name)
+        started = time.perf_counter()
+        result = selector.select(distribution, crowd, K)
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def test_selection_hotpath_speedup():
+    crowd = CrowdModel(ACCURACY)
+    scenarios = []
+    for num_facts in NUM_FACTS_GRID:
+        distribution = sparse_distribution(num_facts)
+        reference_seconds, reference = time_selector(
+            "greedy_reference", distribution, crowd, runs=1
+        )
+        greedy_seconds, greedy = time_selector("greedy", distribution, crowd, runs=3)
+        lazy_seconds, lazy = time_selector("greedy_lazy", distribution, crowd, runs=3)
+
+        assert greedy.task_ids == reference.task_ids
+        assert lazy.task_ids == reference.task_ids
+        assert abs(greedy.objective - reference.objective) < 1e-9
+
+        scenarios.append(
+            {
+                "num_facts": num_facts,
+                "k": K,
+                "support": SUPPORT,
+                "accuracy": ACCURACY,
+                "reference_seconds": reference_seconds,
+                "greedy_seconds": greedy_seconds,
+                "lazy_seconds": lazy_seconds,
+                "speedup_greedy": reference_seconds / greedy_seconds,
+                "speedup_lazy": reference_seconds / lazy_seconds,
+                "selected": list(greedy.task_ids),
+                "identical_selections": True,
+                "lazy_skipped_evaluations": lazy.stats.skipped_evaluations,
+                "greedy_candidate_evaluations": greedy.stats.candidate_evaluations,
+                "lazy_candidate_evaluations": lazy.stats.candidate_evaluations,
+            }
+        )
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    artifact = {
+        "benchmark": "selection_hotpath",
+        "description": (
+            "One greedy selection round (k=8) on sparse joint distributions: "
+            "seed pure-Python path vs. vectorized incremental engine vs. CELF "
+            "lazy greedy. Times are best-of-run wall seconds."
+        ),
+        "scenarios": scenarios,
+    }
+    (RESULTS_DIR / "BENCH_selection.json").write_text(
+        json.dumps(artifact, indent=2) + "\n"
+    )
+
+    largest = scenarios[-1]
+    assert largest["num_facts"] == max(NUM_FACTS_GRID)
+    assert largest["speedup_greedy"] >= MIN_SPEEDUP, largest
+    assert largest["speedup_lazy"] >= MIN_SPEEDUP, largest

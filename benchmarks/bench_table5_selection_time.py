@@ -29,10 +29,15 @@ SUPPORT = 512
 ACCURACY = 0.8
 
 #: Largest k each selector is benchmarked at (the paper stopped OPT at 3).
+#: ``greedy_reference`` is the seed's pure-Python Approx. implementation; all
+#: other greedy variants run on the shared vectorized incremental engine and
+#: stay affordable through k = 10.
 K_CAPS = {
     "opt": 2,
-    "greedy": 6,
-    "greedy_prune": 6,
+    "greedy_reference": 6,
+    "greedy": 10,
+    "greedy_lazy": 10,
+    "greedy_prune": 10,
     "greedy_pre": 10,
     "greedy_prune_pre": 10,
 }
@@ -99,11 +104,13 @@ def test_table5_report_and_shape(benchmark):
     opt_growth = _RESULTS[("opt", 2)] / _RESULTS[("opt", 1)]
     greedy_growth = _RESULTS[("greedy", 2)] / _RESULTS[("greedy", 1)]
     assert opt_growth > greedy_growth
-    # 2. Preprocessing is dramatically faster than plain greedy at larger k.
-    assert _RESULTS[("greedy_pre", 6)] < _RESULTS[("greedy", 6)] / 3
-    assert _RESULTS[("greedy_prune_pre", 6)] < _RESULTS[("greedy", 6)] / 3
-    # 3. The preprocessed variants stay affordable (sub-second) even at k = 10,
-    #    a regime where plain greedy already takes the better part of a minute
-    #    per round in the paper's measurements.
-    assert _RESULTS[("greedy_prune_pre", 10)] < 1.0
-    assert _RESULTS[("greedy_pre", 10)] < 2.0
+    # 2. The vectorized engine is dramatically faster than the seed's
+    #    pure-Python Approx. path at larger k (the acceptance floor is 5x;
+    #    in practice it is well past an order of magnitude).
+    assert _RESULTS[("greedy", 6)] < _RESULTS[("greedy_reference", 6)] / 5
+    assert _RESULTS[("greedy_lazy", 6)] < _RESULTS[("greedy_reference", 6)] / 5
+    # 3. Every engine-backed variant stays affordable (sub-second per round)
+    #    even at k = 10, a regime where the paper's plain Approx. already took
+    #    the better part of a minute per round.
+    for selector in ("greedy", "greedy_lazy", "greedy_prune", "greedy_pre", "greedy_prune_pre"):
+        assert _RESULTS[(selector, 10)] < 1.0, selector

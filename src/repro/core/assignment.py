@@ -15,6 +15,21 @@ from typing import Dict, Iterable, Sequence, Tuple
 
 from repro.exceptions import InvalidFactError
 
+if hasattr(int, "bit_count"):  # Python >= 3.10
+    def popcount(mask: int) -> int:
+        """Number of set bits in ``mask`` (native ``int.bit_count``)."""
+        return mask.bit_count()
+else:  # pragma: no cover - exercised only on very old interpreters
+    _POPCOUNT16 = tuple(bin(value).count("1") for value in range(1 << 16))
+
+    def popcount(mask: int) -> int:
+        """Number of set bits in ``mask`` (16-bit lookup-table fallback)."""
+        count = 0
+        while mask:
+            count += _POPCOUNT16[mask & 0xFFFF]
+            mask >>= 16
+        return count
+
 
 def mask_from_bools(values: Sequence[bool]) -> int:
     """Pack a sequence of booleans (position 0 = least significant bit) into a bitmask."""
@@ -35,14 +50,17 @@ def hamming_agreement(mask_a: int, mask_b: int, positions: Iterable[int]) -> Tup
 
     Returns ``(num_same, num_diff)`` — the ``#Same`` and ``#Diff`` quantities
     of Equation 2 in the paper, restricted to the selected task positions.
+    Each element of ``positions`` is counted once, so duplicated positions
+    contribute twice and ``num_same + num_diff == len(positions)`` always.
     """
+    xor = mask_a ^ mask_b
     same = 0
     diff = 0
     for position in positions:
-        if (mask_a >> position & 1) == (mask_b >> position & 1):
-            same += 1
-        else:
+        if xor >> position & 1:
             diff += 1
+        else:
+            same += 1
     return same, diff
 
 

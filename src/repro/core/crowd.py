@@ -5,16 +5,47 @@ A crowd is characterised by a single accuracy ``Pc ∈ [0.5, 1]``: every task
 independently of all other tasks.  Given the joint output distribution this
 induces a distribution over *answer sets* (Equation 2), whose entropy
 ``H(T)`` is exactly what the task-selection algorithms maximise.
+
+Because each task is an independent binary symmetric channel, the answer
+distribution is the projected output distribution convolved with one
+two-point noise kernel per task — ``O(k · 2^k)`` instead of the ``O(4^k)``
+cost of scoring every (answer, projection) pair, which is what makes the
+vectorized selection engine fast.  The historical pure-Python evaluation
+survives in :mod:`repro.core.selection.reference` for equivalence testing.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Sequence
+from typing import Sequence
 
-from repro.core.assignment import project_mask
-from repro.core.distribution import JointDistribution, entropy_of
+import numpy as np
+
+from repro.core.distribution import JointDistribution
+from repro.core.entropy import bsc_transform, bsc_transform_rows, entropy_bits, project_columns
 from repro.exceptions import InvalidCrowdModelError, SelectionError
+
+#: Refuse to materialise answer distributions over more than 2^24 vectors.
+_MAX_TASK_BITS = 24
+
+#: Cap on dense (interest cells × answer vectors) tables — 2^26 float64
+#: entries is 512 MB, past which the request is almost certainly a mistake.
+_MAX_JOINT_ENTRIES = 1 << 26
+
+
+def _validated_positions(
+    distribution: JointDistribution, task_ids: Sequence[str]
+) -> "tuple[int, ...]":
+    if not task_ids:
+        raise SelectionError("task set must contain at least one fact")
+    if len(set(task_ids)) != len(task_ids):
+        raise SelectionError("task set contains duplicate fact ids")
+    if len(task_ids) > _MAX_TASK_BITS:
+        raise SelectionError(
+            f"refusing to enumerate 2^{len(task_ids)} answer vectors "
+            f"(task sets are limited to {_MAX_TASK_BITS} facts)"
+        )
+    return distribution.positions(task_ids)
 
 
 @dataclass(frozen=True)
@@ -53,44 +84,34 @@ class CrowdModel:
 
     # -- answer-set distributions (Equation 2) --------------------------------------
 
+    def answer_masses(
+        self, distribution: JointDistribution, task_ids: Sequence[str]
+    ) -> np.ndarray:
+        """Dense answer-vector mass array for ``task_ids`` (Equation 2).
+
+        Entry ``a`` is ``P(a) = Σ_o P(o) · Pc^#Same(a, o) · (1 − Pc)^#Diff(a, o)``,
+        computed by projecting the support onto the task positions and pushing
+        the projected distribution through ``k`` independent binary symmetric
+        channels.
+        """
+        positions = _validated_positions(distribution, task_ids)
+        k = len(positions)
+        masks, probabilities = distribution.support_arrays()
+        projected = project_columns(masks, positions)
+        grouped = np.bincount(projected, weights=probabilities, minlength=1 << k)
+        return bsc_transform(grouped, k, self.accuracy)
+
     def answer_distribution(
         self, distribution: JointDistribution, task_ids: Sequence[str]
     ) -> JointDistribution:
         """Distribution over crowd answer sets for the tasks ``task_ids``.
 
-        Implements Equation 2: for every possible answer vector ``a`` over the
-        selected facts,
-
-        ``P(a) = Σ_o P(o) · Pc^#Same(a, o) · (1 − Pc)^#Diff(a, o)``.
-
         The result is returned as a :class:`JointDistribution` whose "facts"
         are the selected task ids and whose assignments are answer vectors.
         """
-        if not task_ids:
-            raise SelectionError("task set must contain at least one fact")
-        if len(set(task_ids)) != len(task_ids):
-            raise SelectionError("task set contains duplicate fact ids")
-        positions = distribution.positions(task_ids)
-        k = len(positions)
-
-        # Likelihood of an answer vector given an output depends only on the
-        # output's projection onto the task positions, so aggregate those first.
-        projected: Dict[int, float] = {}
-        for mask, probability in distribution.items():
-            sub = project_mask(mask, positions)
-            projected[sub] = projected.get(sub, 0.0) + probability
-
-        accuracy = self.accuracy
-        error = self.error_rate
-        answer_probs: Dict[int, float] = {}
-        for answer_mask in range(1 << k):
-            total = 0.0
-            for output_sub, probability in projected.items():
-                diff = bin(answer_mask ^ output_sub).count("1")
-                same = k - diff
-                total += probability * (accuracy ** same) * (error ** diff)
-            if total > 0.0:
-                answer_probs[answer_mask] = total
+        masses = self.answer_masses(distribution, task_ids)
+        kept = np.nonzero(masses)[0]
+        answer_probs = dict(zip(kept.tolist(), masses[kept].tolist()))
         return JointDistribution(task_ids, answer_probs, normalise=True)
 
     def task_entropy(
@@ -100,7 +121,7 @@ class CrowdModel:
 
         This is the objective of the task-selection problem (Equation 4).
         """
-        return self.answer_distribution(distribution, task_ids).entropy()
+        return entropy_bits(self.answer_masses(distribution, task_ids))
 
     def full_answer_joint(self, distribution: JointDistribution) -> JointDistribution:
         """Answer joint distribution over *all* facts (the paper's preprocessing).
@@ -129,29 +150,26 @@ class CrowdModel:
         interest_positions = distribution.positions(interest_ids)
         if not task_ids:
             return distribution.marginalize(interest_ids).entropy()
-        task_positions = distribution.positions(task_ids)
+        task_positions = _validated_positions(distribution, task_ids)
         k = len(task_positions)
-        accuracy = self.accuracy
-        error = self.error_rate
 
-        # Group outputs by their joint projection onto (interest, tasks): the
-        # answer likelihood depends only on the task projection, and the
-        # interest projection identifies the joint cell.
-        grouped: Dict[tuple, float] = {}
-        for mask, probability in distribution.items():
-            interest_sub = project_mask(mask, interest_positions)
-            task_sub = project_mask(mask, task_positions)
-            key = (interest_sub, task_sub)
-            grouped[key] = grouped.get(key, 0.0) + probability
-
-        joint: Dict[tuple, float] = {}
-        for (interest_sub, task_sub), probability in grouped.items():
-            for answer_mask in range(1 << k):
-                diff = bin(answer_mask ^ task_sub).count("1")
-                same = k - diff
-                mass = probability * (accuracy ** same) * (error ** diff)
-                if mass <= 0.0:
-                    continue
-                key = (interest_sub, answer_mask)
-                joint[key] = joint.get(key, 0.0) + mass
-        return entropy_of(joint.values())
+        masks, probabilities = distribution.support_arrays()
+        interest_sub = project_columns(masks, interest_positions)
+        task_sub = project_columns(masks, task_positions)
+        # Re-index interest projections densely: only cells present in the
+        # support carry mass, so the grouped matrix stays |cells| × 2^k even
+        # for large interest sets.
+        cells, cell_index = np.unique(interest_sub, return_inverse=True)
+        if (cells.size << k) > _MAX_JOINT_ENTRIES:
+            raise SelectionError(
+                f"joint fact/answer table would need {cells.size} cells x 2^{k} "
+                f"answer vectors (> {_MAX_JOINT_ENTRIES} entries); "
+                "reduce the task set or the interest set"
+            )
+        grouped = np.bincount(
+            (cell_index << k) | task_sub,
+            weights=probabilities,
+            minlength=cells.size << k,
+        ).reshape(cells.size, 1 << k)
+        joint = bsc_transform_rows(grouped, k, self.accuracy)
+        return entropy_bits(joint.reshape(-1))

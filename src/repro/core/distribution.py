@@ -13,11 +13,16 @@ from __future__ import annotations
 import math
 from typing import Dict, Iterable, Iterator, Mapping, Optional, Sequence, Tuple, Union
 
+import numpy as np
+
 from repro.core.assignment import Assignment, mask_from_bools, project_mask
+from repro.core.entropy import entropy_bits, project_columns
 from repro.exceptions import InvalidDistributionError, InvalidFactError
 
-#: Probabilities closer to zero than this are dropped from the support.
-_EPSILON = 1e-15
+#: Supports at least this large use the contiguous-array fast path for
+#: entropy, marginals and marginalisation; smaller ones stay on the dict path
+#: (array construction would dominate).
+_VECTOR_MIN_SUPPORT = 32
 
 
 def entropy_of(probabilities: Iterable[float]) -> float:
@@ -48,7 +53,7 @@ class JointDistribution:
         When true (the default), the masses are rescaled to sum to one.
     """
 
-    __slots__ = ("_fact_ids", "_positions", "_probs")
+    __slots__ = ("_fact_ids", "_positions", "_probs", "_arrays")
 
     def __init__(
         self,
@@ -77,7 +82,10 @@ class JointDistribution:
                 raise InvalidDistributionError(
                     f"probability for mask {mask} must be non-negative, got {probability}"
                 )
-            if probability > _EPSILON:
+            # Only exactly-zero mass is dropped: an absolute epsilon cutoff
+            # biases conditioned marginals when the support mixes very large
+            # and very small (but real) masses.
+            if probability > 0.0:
                 cleaned[mask] = cleaned.get(mask, 0.0) + probability
                 total += probability
         if not cleaned or total <= 0.0:
@@ -92,6 +100,7 @@ class JointDistribution:
                     "(pass normalise=True to rescale)"
                 )
             self._probs = dict(cleaned)
+        self._arrays: Optional[Tuple[np.ndarray, np.ndarray]] = None
 
     # -- constructors -------------------------------------------------------------
 
@@ -221,19 +230,55 @@ class JointDistribution:
         for mask, probability in self._probs.items():
             yield Assignment(mask=mask, width=width), probability
 
+    # -- contiguous-array fast path ------------------------------------------------
+
+    def support_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Return the support as aligned ``(masks, probabilities)`` NumPy arrays.
+
+        The arrays are built once and cached (the distribution is immutable);
+        they are marked read-only because callers share the cache.  Masks of
+        distributions past 63 facts do not fit ``int64`` and are stored as an
+        object array of Python ints — slower, but every bit-wise consumer
+        keeps working (projections onto task sets stay small and are always
+        re-packed into ``int64``).
+        """
+        if self._arrays is None:
+            count = len(self._probs)
+            mask_dtype = np.int64 if self.num_facts <= 63 else object
+            masks = np.fromiter(self._probs.keys(), dtype=mask_dtype, count=count)
+            probs = np.fromiter(self._probs.values(), dtype=np.float64, count=count)
+            masks.setflags(write=False)
+            probs.setflags(write=False)
+            self._arrays = (masks, probs)
+        return self._arrays
+
+    def _use_arrays(self) -> bool:
+        return self._arrays is not None or len(self._probs) >= _VECTOR_MIN_SUPPORT
+
     # -- information-theoretic quantities ------------------------------------------
 
     def entropy(self) -> float:
         """Shannon entropy ``H(F)`` of the joint distribution, in bits."""
+        if self._use_arrays():
+            return entropy_bits(self.support_arrays()[1])
         return entropy_of(self._probs.values())
 
     def marginal(self, fact_id: str) -> float:
         """Marginal probability that ``fact_id`` is true: ``P(f_k) = Σ_{o ∈ O_k} P(o)``."""
         position = self.position(fact_id)
+        if self._use_arrays():
+            masks, probs = self.support_arrays()
+            return float(probs[(masks >> position & 1).astype(bool)].sum())
         return sum(p for mask, p in self._probs.items() if mask >> position & 1)
 
     def marginals(self) -> Dict[str, float]:
         """Marginal truth probabilities of every fact."""
+        if self._use_arrays():
+            masks, probs = self.support_arrays()
+            return {
+                fact_id: float(probs[(masks >> position & 1).astype(bool)].sum())
+                for position, fact_id in enumerate(self._fact_ids)
+            }
         totals = [0.0] * self.num_facts
         for mask, probability in self._probs.items():
             for position in range(self.num_facts):
@@ -246,11 +291,18 @@ class JointDistribution:
         if not fact_ids:
             raise InvalidDistributionError("cannot marginalise onto an empty fact set")
         positions = self.positions(fact_ids)
-        probs: Dict[int, float] = {}
+        if self._use_arrays() and len(positions) <= 24:
+            masks, probs = self.support_arrays()
+            projected = project_columns(masks, positions)
+            grouped = np.bincount(projected, weights=probs, minlength=1 << len(positions))
+            kept = np.nonzero(grouped)[0]
+            sub_probs = dict(zip(kept.tolist(), grouped[kept].tolist()))
+            return JointDistribution(fact_ids, sub_probs, normalise=True)
+        probs_map: Dict[int, float] = {}
         for mask, probability in self._probs.items():
             sub = project_mask(mask, positions)
-            probs[sub] = probs.get(sub, 0.0) + probability
-        return JointDistribution(fact_ids, probs, normalise=True)
+            probs_map[sub] = probs_map.get(sub, 0.0) + probability
+        return JointDistribution(fact_ids, probs_map, normalise=True)
 
     def condition(self, evidence: Mapping[str, bool]) -> "JointDistribution":
         """Condition the distribution on known truth values of some facts.
@@ -261,15 +313,26 @@ class JointDistribution:
         if not evidence:
             return self.copy()
         checks = [(self.position(fact_id), value) for fact_id, value in evidence.items()]
-        probs: Dict[int, float] = {}
+        if self._use_arrays():
+            masks, probs = self.support_arrays()
+            keep = np.ones(masks.shape[0], dtype=bool)
+            for position, value in checks:
+                keep &= (masks >> position & 1).astype(bool) == value
+            if not keep.any():
+                raise InvalidDistributionError(
+                    "conditioning evidence has zero probability under this distribution"
+                )
+            probs_map = dict(zip(masks[keep].tolist(), probs[keep].tolist()))
+            return JointDistribution(self._fact_ids, probs_map, normalise=True)
+        probs_map = {}
         for mask, probability in self._probs.items():
             if all(bool(mask >> position & 1) == value for position, value in checks):
-                probs[mask] = probability
-        if not probs:
+                probs_map[mask] = probability
+        if not probs_map:
             raise InvalidDistributionError(
                 "conditioning evidence has zero probability under this distribution"
             )
-        return JointDistribution(self._fact_ids, probs, normalise=True)
+        return JointDistribution(self._fact_ids, probs_map, normalise=True)
 
     def reweight(self, weights: Mapping[int, float]) -> "JointDistribution":
         """Multiply each support point's mass by ``weights[mask]`` and renormalise.
@@ -282,6 +345,50 @@ class JointDistribution:
             for mask, probability in self._probs.items()
         }
         return JointDistribution(self._fact_ids, probs, normalise=True)
+
+    def reweight_array(self, weights: np.ndarray) -> "JointDistribution":
+        """Vectorised :meth:`reweight` with weights aligned to :meth:`support_arrays`.
+
+        ``weights[i]`` multiplies the mass of ``support_arrays()[0][i]``; the
+        result is renormalised.  This is the fast Bayesian-update path used by
+        answer merging.
+        """
+        masks, probs = self.support_arrays()
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.shape != probs.shape:
+            raise InvalidDistributionError(
+                f"expected {probs.shape[0]} weights aligned to the support, "
+                f"got {weights.shape}"
+            )
+        if np.isnan(weights).any() or (weights < 0.0).any():
+            raise InvalidDistributionError("weights must be non-negative numbers")
+        return self._from_support(self._fact_ids, masks, probs * weights)
+
+    @classmethod
+    def _from_support(
+        cls, fact_ids: Sequence[str], masks: np.ndarray, masses: np.ndarray
+    ) -> "JointDistribution":
+        """Build a distribution from aligned arrays of unique masks and masses.
+
+        Skips the per-item Python validation loop of ``__init__`` — callers
+        guarantee the masks are unique and in range — but keeps the zero-mass
+        filtering and normalisation semantics.
+        """
+        keep = masses > 0.0
+        if not keep.any():
+            raise InvalidDistributionError("distribution has no probability mass")
+        if not keep.all():
+            masks = masks[keep]
+            masses = masses[keep]
+        masses = masses / masses.sum()
+        instance = cls.__new__(cls)
+        instance._fact_ids = tuple(fact_ids)
+        instance._positions = {
+            fact_id: position for position, fact_id in enumerate(instance._fact_ids)
+        }
+        instance._probs = dict(zip(masks.tolist(), masses.tolist()))
+        instance._arrays = None
+        return instance
 
     # -- decisions -----------------------------------------------------------------
 

@@ -18,7 +18,7 @@ from repro.core.answers import AnswerSet
 from repro.core.crowd import CrowdModel
 from repro.core.distribution import JointDistribution
 from repro.core.merging import merge_answers
-from repro.core.selection.base import SelectionResult, TaskSelector
+from repro.core.selection.base import SelectionResult, SelectionStats, TaskSelector
 from repro.core.utility import pws_quality
 from repro.exceptions import BudgetError
 
@@ -47,6 +47,9 @@ class RoundRecord:
     selection_objective: float
     selection_seconds: float
     cumulative_cost: int
+    #: Full selector bookkeeping (evaluations, cache hits, lazy skips, …);
+    #: ``selection_seconds`` above is kept as a stable convenience alias.
+    selection_stats: SelectionStats = field(default_factory=SelectionStats)
 
     @property
     def utility_gain(self) -> float:
@@ -202,6 +205,7 @@ class CrowdFusionEngine:
                 selection_objective=selection.objective,
                 selection_seconds=selection.stats.elapsed_seconds,
                 cumulative_cost=self._budget - remaining_budget,
+                selection_stats=selection.stats,
             )
             result.rounds.append(record)
             if round_callback is not None:

@@ -13,10 +13,33 @@ from __future__ import annotations
 
 from typing import Dict
 
+import numpy as np
+
 from repro.core.answers import AnswerSet
 from repro.core.crowd import CrowdModel
 from repro.core.distribution import JointDistribution
+from repro.core.entropy import popcount_array, project_columns
 from repro.exceptions import SelectionError
+
+
+def _likelihood_array(
+    distribution: JointDistribution, answers: AnswerSet, crowd: CrowdModel
+) -> np.ndarray:
+    """Likelihood ``P(Ans | o)`` per support row, aligned to ``support_arrays``."""
+    positions = []
+    answer_mask = 0
+    for index, (fact_id, judgment) in enumerate(answers.judgments().items()):
+        positions.append(distribution.position(fact_id))
+        if judgment:
+            answer_mask |= 1 << index
+    if not positions:
+        raise SelectionError("cannot merge an empty answer set")
+
+    masks, _ = distribution.support_arrays()
+    projected = project_columns(masks, tuple(positions))
+    diff = popcount_array(projected ^ answer_mask)
+    same = len(positions) - diff
+    return (crowd.accuracy ** same) * (crowd.error_rate ** diff)
 
 
 def answer_likelihoods(
@@ -27,23 +50,9 @@ def answer_likelihoods(
     The returned mapping is keyed by assignment bitmask and can be fed to
     :meth:`JointDistribution.reweight`.
     """
-    pairs = []
-    for fact_id, judgment in answers.judgments().items():
-        pairs.append((distribution.position(fact_id), judgment))
-    if not pairs:
-        raise SelectionError("cannot merge an empty answer set")
-
-    likelihoods: Dict[int, float] = {}
-    for mask, _probability in distribution.items():
-        same = 0
-        diff = 0
-        for position, judgment in pairs:
-            if bool(mask >> position & 1) == judgment:
-                same += 1
-            else:
-                diff += 1
-        likelihoods[mask] = crowd.answer_likelihood(same, diff)
-    return likelihoods
+    masks, _ = distribution.support_arrays()
+    values = _likelihood_array(distribution, answers, crowd)
+    return dict(zip(masks.tolist(), values.tolist()))
 
 
 def answer_probability(
@@ -65,8 +74,7 @@ def merge_answers(
     and renormalises; outputs that conflict with the crowd lose mass, outputs
     that agree gain mass — exactly the running-example update in Section III-A.
     """
-    likelihoods = answer_likelihoods(distribution, answers, crowd)
-    return distribution.reweight(likelihoods)
+    return distribution.reweight_array(_likelihood_array(distribution, answers, crowd))
 
 
 def merge_answer_sequence(

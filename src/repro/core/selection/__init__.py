@@ -8,18 +8,27 @@ Available selectors (Section III & IV of the paper):
 
 * :class:`BruteForceSelector` — the exact "OPT" baseline.
 * :class:`GreedySelector` — Algorithm 1, the ``(1 − 1/e)`` approximation.
+* :class:`LazyGreedySelector` — Algorithm 1 with CELF lazy evaluation of
+  submodular marginal gains.
 * :class:`PruningGreedySelector` — Algorithm 1 plus the Theorem-3 pruning rule.
 * :class:`PreprocessingGreedySelector` — Algorithm 1 plus the answer-joint
   preprocessing and incremental partition refinement (Algorithm 2).
 * :class:`PrunedPreprocessingGreedySelector` — both accelerations.
 * :class:`RandomSelector` — the random baseline used in the evaluation.
 * :class:`QueryGreedySelector` — query-based CrowdFusion (Section IV).
+* :class:`ReferenceGreedySelector` — the seed's pure-Python greedy, kept for
+  equivalence tests and old-vs-new benchmarks.
+
+All non-reference selectors evaluate entropies through the shared vectorized
+incremental :class:`EntropyEngine`.
 """
 
 from repro.core.selection.base import SelectionResult, SelectionStats, TaskSelector
 from repro.core.selection.brute_force import BruteForceSelector
+from repro.core.selection.engine import EntropyEngine, SelectionState
 from repro.core.selection.fact_entropy import FactEntropySelector
 from repro.core.selection.greedy import GreedySelector
+from repro.core.selection.lazy import LazyGreedySelector
 from repro.core.selection.preprocessing import (
     PreprocessingGreedySelector,
     PrunedPreprocessingGreedySelector,
@@ -27,18 +36,23 @@ from repro.core.selection.preprocessing import (
 from repro.core.selection.pruning import PruningGreedySelector
 from repro.core.selection.query_greedy import QueryGreedySelector
 from repro.core.selection.random_selector import RandomSelector
+from repro.core.selection.reference import ReferenceGreedySelector
 from repro.core.selection.registry import available_selectors, get_selector
 
 __all__ = [
     "BruteForceSelector",
+    "EntropyEngine",
     "FactEntropySelector",
     "GreedySelector",
+    "LazyGreedySelector",
     "PreprocessingGreedySelector",
     "PrunedPreprocessingGreedySelector",
     "PruningGreedySelector",
     "QueryGreedySelector",
     "RandomSelector",
+    "ReferenceGreedySelector",
     "SelectionResult",
+    "SelectionState",
     "SelectionStats",
     "TaskSelector",
     "available_selectors",

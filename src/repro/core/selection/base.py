@@ -34,6 +34,14 @@ class SelectionStats:
         Wall-clock time spent inside the selector.
     iterations:
         Number of greedy iterations performed (0 for non-iterative selectors).
+    cache_hits:
+        Number of times an evaluation was served from incremental state reuse
+        (the engine's cached partition/channel tables) rather than recomputed
+        from the raw support.
+    skipped_evaluations:
+        Number of candidate evaluations avoided entirely by lazy (CELF-style)
+        submodular bounds: the candidate's stale gain already proved it could
+        not win the iteration.
     """
 
     candidate_evaluations: int = 0
@@ -41,6 +49,8 @@ class SelectionStats:
     pruned_facts: int = 0
     elapsed_seconds: float = 0.0
     iterations: int = 0
+    cache_hits: int = 0
+    skipped_evaluations: int = 0
 
 
 @dataclass(frozen=True)

@@ -5,11 +5,17 @@ task set, iteratively adding the fact with the largest marginal entropy gain
 achieves a ``(1 − 1/e)`` approximation of the optimum (Nemhauser et al.).
 The selector stops early (``K* < k``) when no candidate yields a positive
 gain, exactly as lines 5–6 of Algorithm 1 prescribe.
+
+All greedy variants share :func:`run_engine_greedy`, one scan loop over the
+vectorized incremental :class:`~repro.core.selection.engine.EntropyEngine`;
+they differ only in whether the Theorem-3 pruning rule is applied.  The
+historical per-candidate-from-scratch implementation survives as
+:class:`~repro.core.selection.reference.ReferenceGreedySelector`.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Sequence, Set
 
 from repro.core.crowd import CrowdModel
 from repro.core.distribution import JointDistribution
@@ -19,14 +25,21 @@ from repro.core.selection.base import (
     SelectionStats,
     TaskSelector,
 )
+from repro.core.selection.engine import EntropyEngine
 from repro.core.utility import crowd_entropy
 
 #: Gains smaller than this are treated as zero ("no benefit from one more task").
 GAIN_TOLERANCE = 1e-9
 
 
-class GreedySelector(TaskSelector):
-    """Algorithm 1: iterative greedy selection maximising ``H(T)``.
+def run_engine_greedy(
+    distribution: JointDistribution,
+    crowd: CrowdModel,
+    k: int,
+    candidates: Sequence[str],
+    use_pruning: bool = False,
+) -> SelectionResult:
+    """One engine-backed run of Algorithm 1, optionally with Theorem-3 pruning.
 
     Candidates are ranked by the answer-set entropy ``H(T ∪ {f})``; the early
     stop (lines 5–6) uses the *net* gain ``ρ − H(Crowd)``, i.e. the expected
@@ -36,6 +49,59 @@ class GreedySelector(TaskSelector):
     task" detect certainty (Theorem 2: the net gain is positive exactly while
     an uncertain fact remains).
     """
+    stats = SelectionStats()
+    engine = EntropyEngine(distribution, crowd)
+    state = engine.initial_state()
+    remaining = list(candidates)
+    pruned: Set[str] = set()
+    noise_entropy = crowd_entropy(crowd.accuracy)
+
+    for _iteration in range(k):
+        stats.iterations += 1
+        slack_bits = float(k - state.width - 1)
+        best_id = None
+        best_entropy = float("-inf")
+        newly_pruned: Set[str] = set()
+
+        for fact_id in remaining:
+            if use_pruning and fact_id in pruned:
+                stats.pruned_candidates += 1
+                continue
+            stats.candidate_evaluations += 1
+            if state.width:
+                # Every evaluation past the first iteration reuses the cached
+                # partition and channel table instead of a from-scratch pass.
+                stats.cache_hits += 1
+            entropy = engine.extension_entropy(state, fact_id)
+            if entropy > best_entropy + TIE_TOLERANCE:
+                best_entropy = entropy
+                best_id = fact_id
+            # Theorem 3: if even adding the remaining slack cannot reach the
+            # current best, this fact can never be part of a better greedy
+            # trajectory — drop it for all future iterations too.
+            if use_pruning and entropy + slack_bits < best_entropy:
+                newly_pruned.add(fact_id)
+
+        pruned.update(newly_pruned)
+        stats.pruned_facts = len(pruned)
+        if best_id is None:
+            break
+        gain = best_entropy - state.entropy - noise_entropy
+        if gain <= GAIN_TOLERANCE:
+            # No candidate improves the expected utility: stop with K* < k.
+            break
+        state = engine.extend(state, best_id)
+        remaining.remove(best_id)
+        if not remaining:
+            break
+
+    return SelectionResult(
+        task_ids=state.task_ids, objective=state.entropy, stats=stats
+    )
+
+
+class GreedySelector(TaskSelector):
+    """Algorithm 1: iterative greedy selection maximising ``H(T)``."""
 
     name = "greedy"
 
@@ -46,34 +112,4 @@ class GreedySelector(TaskSelector):
         k: int,
         candidates: Sequence[str],
     ) -> SelectionResult:
-        stats = SelectionStats()
-        selected: List[str] = []
-        remaining = list(candidates)
-        current_entropy = 0.0
-        noise_entropy = crowd_entropy(crowd.accuracy)
-
-        for _iteration in range(k):
-            stats.iterations += 1
-            best_id = None
-            best_entropy = float("-inf")
-            for fact_id in remaining:
-                stats.candidate_evaluations += 1
-                entropy = crowd.task_entropy(distribution, selected + [fact_id])
-                if entropy > best_entropy + TIE_TOLERANCE:
-                    best_entropy = entropy
-                    best_id = fact_id
-            if best_id is None:
-                break
-            gain = best_entropy - current_entropy - noise_entropy
-            if gain <= GAIN_TOLERANCE:
-                # No candidate improves the expected utility: stop with K* < k.
-                break
-            selected.append(best_id)
-            remaining.remove(best_id)
-            current_entropy = best_entropy
-            if not remaining:
-                break
-
-        return SelectionResult(
-            task_ids=tuple(selected), objective=current_entropy, stats=stats
-        )
+        return run_engine_greedy(distribution, crowd, k, candidates, use_pruning=False)

@@ -1,0 +1,118 @@
+"""Lazy greedy task selection (CELF-style priority queue).
+
+Submodularity of ``H(T)`` (Section III of the paper) means the marginal gain
+``ρ_f(T) = H(T ∪ {f}) − H(T)`` of any fact only shrinks as the selected set
+grows.  A gain computed in an earlier iteration is therefore an *upper bound*
+on the fact's current gain — the lazy-evaluation insight of Leskovec et al.'s
+CELF applied to the paper's Algorithm 1.  Each iteration pops candidates from
+a max-heap of stale gains and refreshes only until the best refreshed gain
+provably beats every unrefreshed bound; the (often large) rest of the
+candidate pool is skipped outright, which is what makes selection on wide
+fact sets cheap even before vectorisation.
+
+The selector reproduces plain greedy's choices: refreshed candidates are
+re-ranked with the same ``TIE_TOLERANCE`` first-index-wins scan, the same net
+gain ``ρ − H(Crowd)`` early stop applies, and every unrefreshed candidate's
+bound lies strictly below the winner's gain minus the tolerance.  The refresh
+cut-off keeps a ``2 × TIE_TOLERANCE`` margin so candidates that plain greedy
+would have used as interim tie-blockers are refreshed too; only task sets
+whose *mathematically distinct* gains are spaced inside that ~2e-12 window —
+pure floating-point noise territory, where any choice is arbitrary — could
+in principle diverge.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Sequence
+
+from repro.core.crowd import CrowdModel
+from repro.core.distribution import JointDistribution
+from repro.core.selection.base import (
+    TIE_TOLERANCE,
+    SelectionResult,
+    SelectionStats,
+    TaskSelector,
+)
+from repro.core.selection.engine import EntropyEngine
+from repro.core.selection.greedy import GAIN_TOLERANCE
+from repro.core.utility import crowd_entropy
+
+#: A single binary answer carries at most one bit, so 1.0 upper-bounds every
+#: marginal gain before anything has been evaluated.
+_INITIAL_GAIN_BOUND = 1.0
+
+
+class LazyGreedySelector(TaskSelector):
+    """Algorithm 1 with CELF lazy evaluation of submodular marginal gains."""
+
+    name = "greedy_lazy"
+
+    def _select(
+        self,
+        distribution: JointDistribution,
+        crowd: CrowdModel,
+        k: int,
+        candidates: Sequence[str],
+    ) -> SelectionResult:
+        stats = SelectionStats()
+        engine = EntropyEngine(distribution, crowd)
+        state = engine.initial_state()
+        noise_entropy = crowd_entropy(crowd.accuracy)
+
+        # Max-heap of (−stale_gain, candidate_index, fact_id); the index makes
+        # exact ties pop in candidate order, mirroring plain greedy.  Entries
+        # are only re-inserted after a refresh round ends, so every pop below
+        # carries a stale bound and is re-evaluated.
+        heap: List[tuple] = [
+            (-_INITIAL_GAIN_BOUND, index, fact_id)
+            for index, fact_id in enumerate(candidates)
+        ]
+
+        for _iteration in range(k):
+            stats.iterations += 1
+            refreshed: List[list] = []
+            best_gain = float("-inf")
+
+            # Refresh until every remaining stale bound sits below the best
+            # fresh gain: those candidates cannot win this iteration, and by
+            # submodularity never need a look.  The 2x tolerance margin also
+            # refreshes would-be interim tie-blockers of plain greedy's scan,
+            # keeping the re-ranking below faithful to it.
+            while heap and -heap[0][0] >= best_gain - 2 * TIE_TOLERANCE:
+                _stale, index, fact_id = heapq.heappop(heap)
+                stats.candidate_evaluations += 1
+                if state.width:
+                    stats.cache_hits += 1
+                gain = engine.extension_entropy(state, fact_id) - state.entropy
+                refreshed.append([gain, index, fact_id])
+                if gain > best_gain:
+                    best_gain = gain
+            stats.skipped_evaluations += len(heap)
+
+            # Re-rank the refreshed candidates exactly like plain greedy's
+            # in-order scan so tie-breaking matches.
+            refreshed.sort(key=lambda item: item[1])
+            best_id = None
+            best_entropy = float("-inf")
+            for gain, _index, fact_id in refreshed:
+                entropy = state.entropy + gain
+                if entropy > best_entropy + TIE_TOLERANCE:
+                    best_entropy = entropy
+                    best_id = fact_id
+            for gain, index, fact_id in refreshed:
+                if fact_id != best_id:
+                    heapq.heappush(heap, (-gain, index, fact_id))
+
+            if best_id is None:
+                break
+            net_gain = best_entropy - state.entropy - noise_entropy
+            if net_gain <= GAIN_TOLERANCE:
+                break
+            state = engine.extend(state, best_id)
+            if not heap:
+                break
+
+        return SelectionResult(
+            task_ids=state.task_ids, objective=state.entropy, stats=stats
+        )

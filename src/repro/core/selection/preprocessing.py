@@ -9,51 +9,50 @@ Section III-F of the paper speeds up Algorithm 1 in two ways:
    ten-node cluster.  We materialise the mathematically equivalent compact
    form instead: per-fact truth bit-vectors over the output *support* plus a
    probability vector, from which any task set's answer distribution follows
-   by a grouped sum and a noise convolution.  The result of every entropy
-   evaluation is identical; only the memory footprint differs (``O(n·|O|)``
-   instead of ``O(2^n)``), which is what makes the reproduction laptop-scale.
+   by a grouped sum and a noise convolution — ``O(n·|O|)`` memory instead of
+   ``O(2^n)``, which is what makes the reproduction laptop-scale.
 
 2. **Partition refinement (Algorithm 2)** — across greedy iterations, keep
    the projection of every output onto the already-selected task set and only
    split those groups by the one candidate fact under evaluation, instead of
-   recomputing the projection from scratch.  This is the paper's "store the
-   separation result of the last iteration" optimisation that brings one
-   iteration down to a linear scan per candidate.
+   recomputing the projection from scratch.
+
+Both accelerations now live in the shared
+:class:`~repro.core.selection.engine.EntropyEngine`, which additionally
+replaces the ``O(4^k)`` dense noise kernel of the original implementation
+with per-bit binary-symmetric-channel convolutions (``O(k·2^k)``) and caches
+the selected set's convolved answer distribution between iterations.  Every
+greedy variant therefore runs at "preprocessed" speed; these selector classes
+are kept as named registry entries so the paper's Table V labels
+(``Approx.&Pre.``, ``Approx.&Prune&Pre.``) still resolve, and so older
+configurations keep working.
+
+:func:`_noise_kernel` below is the original dense ``2^k × 2^k`` channel
+matrix.  It is retained (and unit-tested) as the executable specification the
+factorised transform must match.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence, Set
-
 import numpy as np
 
-from repro.core.crowd import CrowdModel
-from repro.core.distribution import JointDistribution
-from repro.core.selection.base import (
-    TIE_TOLERANCE,
-    SelectionResult,
-    SelectionStats,
-    TaskSelector,
-)
-from repro.core.selection.greedy import GAIN_TOLERANCE
-from repro.core.utility import crowd_entropy
+from repro.core.entropy import entropy_bits, popcount_array
+from repro.core.selection.greedy import GreedySelector
+from repro.core.selection.pruning import PruningGreedySelector
 
 
 def _noise_kernel(num_tasks: int, accuracy: float) -> np.ndarray:
     """Binary-symmetric-channel kernel ``M[a, s] = Pc^#Same · (1−Pc)^#Diff``.
 
     ``a`` ranges over answer vectors and ``s`` over output projections, both
-    encoded as ``num_tasks``-bit masks.
+    encoded as ``num_tasks``-bit masks.  The selection hot path no longer
+    materialises this ``O(4^k)`` matrix — :func:`repro.core.entropy.bsc_transform`
+    applies the same channel one bit at a time — but the dense form remains
+    the clearest statement of Equation 2 and anchors the equivalence tests.
     """
     size = 1 << num_tasks
-    indices = np.arange(size, dtype=np.uint32)
-    xor = indices[:, None] ^ indices[None, :]
-    # popcount of the XOR gives #Diff for every (answer, projection) pair.
-    diff = np.zeros_like(xor, dtype=np.int64)
-    value = xor.copy()
-    while value.any():
-        diff += value & 1
-        value >>= 1
+    indices = np.arange(size, dtype=np.int64)
+    diff = popcount_array(indices[:, None] ^ indices[None, :])
     error = 1.0 - accuracy
     with np.errstate(divide="ignore"):
         kernel = (accuracy ** (num_tasks - diff)) * (error ** diff)
@@ -62,106 +61,16 @@ def _noise_kernel(num_tasks: int, accuracy: float) -> np.ndarray:
 
 def _entropy_bits(probabilities: np.ndarray) -> float:
     """Shannon entropy (base 2) of a probability vector, ignoring zeros."""
-    positive = probabilities[probabilities > 0.0]
-    if positive.size == 0:
-        return 0.0
-    return float(-(positive * np.log2(positive)).sum())
+    return entropy_bits(np.asarray(probabilities, dtype=np.float64))
 
 
-class _AcceleratedGreedy(TaskSelector):
-    """Shared implementation of the preprocessed greedy, with optional pruning."""
-
-    use_pruning: bool = False
-
-    def _select(
-        self,
-        distribution: JointDistribution,
-        crowd: CrowdModel,
-        k: int,
-        candidates: Sequence[str],
-    ) -> SelectionResult:
-        stats = SelectionStats()
-
-        # ---- preprocessing: vectorise the output support once per round ----
-        masks = np.fromiter(
-            (mask for mask, _ in distribution.items()), dtype=np.int64,
-            count=distribution.support_size,
-        )
-        probabilities = np.fromiter(
-            (p for _, p in distribution.items()), dtype=np.float64,
-            count=distribution.support_size,
-        )
-        fact_bits = {
-            fact_id: ((masks >> distribution.position(fact_id)) & 1).astype(np.int64)
-            for fact_id in candidates
-        }
-
-        selected: List[str] = []
-        remaining = list(candidates)
-        pruned: Set[str] = set()
-        current_entropy = 0.0
-        noise_entropy = crowd_entropy(crowd.accuracy)
-        # Projection of every output onto the selected task set (Algorithm 2's
-        # partition, refined incrementally as tasks are added).
-        selected_projection = np.zeros(masks.shape[0], dtype=np.int64)
-
-        for _iteration in range(k):
-            stats.iterations += 1
-            width = len(selected) + 1
-            kernel = _noise_kernel(width, crowd.accuracy)
-            slack_bits = float(k - len(selected) - 1)
-
-            best_id = None
-            best_entropy = float("-inf")
-            best_projection = None
-            newly_pruned: Set[str] = set()
-
-            for fact_id in remaining:
-                if self.use_pruning and fact_id in pruned:
-                    stats.pruned_candidates += 1
-                    continue
-                stats.candidate_evaluations += 1
-                candidate_projection = (selected_projection << 1) | fact_bits[fact_id]
-                grouped = np.bincount(
-                    candidate_projection, weights=probabilities, minlength=1 << width
-                )
-                answer_probs = kernel @ grouped
-                entropy = _entropy_bits(answer_probs)
-                if entropy > best_entropy + TIE_TOLERANCE:
-                    best_entropy = entropy
-                    best_id = fact_id
-                    best_projection = candidate_projection
-                if self.use_pruning and entropy + slack_bits < best_entropy:
-                    newly_pruned.add(fact_id)
-
-            pruned.update(newly_pruned)
-            stats.pruned_facts = len(pruned)
-            if best_id is None:
-                break
-            gain = best_entropy - current_entropy - noise_entropy
-            if gain <= GAIN_TOLERANCE:
-                break
-            selected.append(best_id)
-            remaining.remove(best_id)
-            current_entropy = best_entropy
-            selected_projection = best_projection
-            if not remaining:
-                break
-
-        return SelectionResult(
-            task_ids=tuple(selected), objective=current_entropy, stats=stats
-        )
-
-
-class PreprocessingGreedySelector(_AcceleratedGreedy):
+class PreprocessingGreedySelector(GreedySelector):
     """Algorithm 1 with preprocessing and incremental partition refinement."""
 
     name = "greedy_pre"
-    use_pruning = False
 
 
-class PrunedPreprocessingGreedySelector(_AcceleratedGreedy):
+class PrunedPreprocessingGreedySelector(PruningGreedySelector):
     """Algorithm 1 with both the pruning rule and the preprocessing strategy."""
 
     name = "greedy_prune_pre"
-    use_pruning = True

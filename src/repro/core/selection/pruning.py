@@ -13,22 +13,19 @@ binary answer variable carries at most one bit.  (The paper prints the slack
 as ``log(k − |T| − 1)``; the dimensionally sound bound for binary answers is
 ``k − |T| − 1`` bits, which is what we use — it is never smaller, so pruning
 remains safe and the selected set is identical to plain greedy.)
+
+The scan itself runs on the shared vectorized incremental engine; see
+:func:`repro.core.selection.greedy.run_engine_greedy`.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence, Set
+from typing import Sequence
 
 from repro.core.crowd import CrowdModel
 from repro.core.distribution import JointDistribution
-from repro.core.selection.base import (
-    TIE_TOLERANCE,
-    SelectionResult,
-    SelectionStats,
-    TaskSelector,
-)
-from repro.core.selection.greedy import GAIN_TOLERANCE
-from repro.core.utility import crowd_entropy
+from repro.core.selection.base import SelectionResult, TaskSelector
+from repro.core.selection.greedy import run_engine_greedy
 
 
 class PruningGreedySelector(TaskSelector):
@@ -43,48 +40,4 @@ class PruningGreedySelector(TaskSelector):
         k: int,
         candidates: Sequence[str],
     ) -> SelectionResult:
-        stats = SelectionStats()
-        selected: List[str] = []
-        remaining = list(candidates)
-        pruned: Set[str] = set()
-        current_entropy = 0.0
-        noise_entropy = crowd_entropy(crowd.accuracy)
-
-        for _iteration in range(k):
-            stats.iterations += 1
-            slack_bits = float(k - len(selected) - 1)
-            best_id = None
-            best_entropy = float("-inf")
-            newly_pruned: Set[str] = set()
-
-            for fact_id in remaining:
-                if fact_id in pruned:
-                    stats.pruned_candidates += 1
-                    continue
-                stats.candidate_evaluations += 1
-                entropy = crowd.task_entropy(distribution, selected + [fact_id])
-                if entropy > best_entropy + TIE_TOLERANCE:
-                    best_entropy = entropy
-                    best_id = fact_id
-                # Theorem 3: if even adding the remaining slack cannot reach the
-                # current best, this fact can never be part of a better greedy
-                # trajectory — drop it for all future iterations too.
-                if entropy + slack_bits < best_entropy:
-                    newly_pruned.add(fact_id)
-
-            pruned.update(newly_pruned)
-            stats.pruned_facts = len(pruned)
-            if best_id is None:
-                break
-            gain = best_entropy - current_entropy - noise_entropy
-            if gain <= GAIN_TOLERANCE:
-                break
-            selected.append(best_id)
-            remaining.remove(best_id)
-            current_entropy = best_entropy
-            if not remaining:
-                break
-
-        return SelectionResult(
-            task_ids=tuple(selected), objective=current_entropy, stats=stats
-        )
+        return run_engine_greedy(distribution, crowd, k, candidates, use_pruning=True)

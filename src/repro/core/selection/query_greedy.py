@@ -11,16 +11,27 @@ applies with the per-candidate gain
 Facts outside ``I`` remain perfectly valid tasks: asking a correlated
 non-interest fact can reduce the entropy of the interest set, which is the
 whole point of the extension.
+
+The scan runs on the shared vectorized engine with the support additionally
+partitioned into facts-of-interest cells, so each candidate costs one grouped
+sum and one channel pass per cell — both ``H(T ∪ {f})`` and ``H(I, T ∪ {f})``
+fall out of the same cached table.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Sequence
 
 from repro.core.crowd import CrowdModel
 from repro.core.distribution import JointDistribution
 from repro.core.query import Query
-from repro.core.selection.base import SelectionResult, SelectionStats, TaskSelector
+from repro.core.selection.base import (
+    TIE_TOLERANCE,
+    SelectionResult,
+    SelectionStats,
+    TaskSelector,
+)
+from repro.core.selection.engine import EntropyEngine
 from repro.core.selection.greedy import GAIN_TOLERANCE
 from repro.exceptions import QueryError
 
@@ -68,9 +79,10 @@ class QueryGreedySelector(TaskSelector):
             raise QueryError(f"query references unknown facts: {missing}")
 
         stats = SelectionStats()
-        selected: List[str] = []
+        engine = EntropyEngine(distribution, crowd, interest_ids=self._query.fact_ids)
+        state = engine.initial_state()
         remaining = list(candidates)
-        current_utility = self._query_utility(distribution, crowd, selected)
+        current_utility = state.entropy - state.joint_entropy
 
         for _iteration in range(k):
             stats.iterations += 1
@@ -78,8 +90,11 @@ class QueryGreedySelector(TaskSelector):
             best_utility = float("-inf")
             for fact_id in remaining:
                 stats.candidate_evaluations += 1
-                utility = self._query_utility(distribution, crowd, selected + [fact_id])
-                if utility > best_utility + 1e-12:
+                if state.width:
+                    stats.cache_hits += 1
+                task_entropy, joint_entropy = engine.extension_entropies(state, fact_id)
+                utility = task_entropy - joint_entropy
+                if utility > best_utility + TIE_TOLERANCE:
                     best_utility = utility
                     best_id = fact_id
             if best_id is None:
@@ -87,12 +102,12 @@ class QueryGreedySelector(TaskSelector):
             gain = best_utility - current_utility
             if gain <= GAIN_TOLERANCE:
                 break
-            selected.append(best_id)
+            state = engine.extend(state, best_id)
             remaining.remove(best_id)
-            current_utility = best_utility
+            current_utility = state.entropy - state.joint_entropy
             if not remaining:
                 break
 
         return SelectionResult(
-            task_ids=tuple(selected), objective=current_utility, stats=stats
+            task_ids=state.task_ids, objective=current_utility, stats=stats
         )

@@ -8,22 +8,26 @@ from repro.core.selection.base import TaskSelector
 from repro.core.selection.brute_force import BruteForceSelector
 from repro.core.selection.fact_entropy import FactEntropySelector
 from repro.core.selection.greedy import GreedySelector
+from repro.core.selection.lazy import LazyGreedySelector
 from repro.core.selection.preprocessing import (
     PreprocessingGreedySelector,
     PrunedPreprocessingGreedySelector,
 )
 from repro.core.selection.pruning import PruningGreedySelector
 from repro.core.selection.random_selector import RandomSelector
+from repro.core.selection.reference import ReferenceGreedySelector
 from repro.exceptions import SelectionError
 
 _FACTORIES: Dict[str, Callable[..., TaskSelector]] = {
     BruteForceSelector.name: BruteForceSelector,
     FactEntropySelector.name: FactEntropySelector,
     GreedySelector.name: GreedySelector,
+    LazyGreedySelector.name: LazyGreedySelector,
     PruningGreedySelector.name: PruningGreedySelector,
     PreprocessingGreedySelector.name: PreprocessingGreedySelector,
     PrunedPreprocessingGreedySelector.name: PrunedPreprocessingGreedySelector,
     RandomSelector.name: RandomSelector,
+    ReferenceGreedySelector.name: ReferenceGreedySelector,
 }
 
 #: Aliases matching the labels used in the paper's tables and figures.

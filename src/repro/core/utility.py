@@ -28,7 +28,7 @@ def crowd_entropy(accuracy: float) -> float:
         raise InvalidCrowdModelError(
             f"crowd accuracy must be in [0.5, 1.0], got {accuracy}"
         )
-    if accuracy in (0.0, 1.0):
+    if accuracy == 1.0:
         return 0.0
     wrong = 1.0 - accuracy
     return -accuracy * math.log2(accuracy) - wrong * math.log2(wrong)

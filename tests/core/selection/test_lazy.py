@@ -1,0 +1,89 @@
+"""Unit tests for the CELF-style lazy greedy selector."""
+
+import numpy as np
+import pytest
+
+from repro.core.crowd import CrowdModel
+from repro.core.distribution import JointDistribution
+from repro.core.selection import GreedySelector, LazyGreedySelector, get_selector
+from repro.datasets.running_example import running_example_distribution
+from repro.exceptions import SelectionError
+
+
+@pytest.fixture
+def crowd():
+    return CrowdModel(0.8)
+
+
+def random_sparse_distribution(num_facts, support, seed):
+    rng = np.random.default_rng(seed)
+    masks = rng.choice(1 << num_facts, size=min(support, 1 << num_facts), replace=False)
+    probs = rng.uniform(0.05, 1.0, size=len(masks))
+    fact_ids = tuple(f"f{i}" for i in range(num_facts))
+    return JointDistribution(fact_ids, dict(zip((int(m) for m in masks), probs)))
+
+
+class TestLazyGreedyBasics:
+    def test_registered(self):
+        assert isinstance(get_selector("greedy_lazy"), LazyGreedySelector)
+
+    def test_matches_plain_greedy_on_running_example(self, crowd):
+        dist = running_example_distribution()
+        for k in range(1, 5):
+            plain = GreedySelector().select(dist, crowd, k)
+            lazy = LazyGreedySelector().select(dist, crowd, k)
+            assert lazy.task_ids == plain.task_ids
+            assert lazy.objective == pytest.approx(plain.objective, abs=1e-9)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_matches_plain_greedy_on_random_distributions(self, crowd, seed):
+        dist = random_sparse_distribution(num_facts=9, support=80, seed=seed)
+        plain = GreedySelector().select(dist, crowd, 4)
+        lazy = LazyGreedySelector().select(dist, crowd, 4)
+        assert lazy.task_ids == plain.task_ids
+        assert lazy.objective == pytest.approx(plain.objective, abs=1e-9)
+
+    def test_invalid_k_rejected(self, crowd):
+        dist = running_example_distribution()
+        with pytest.raises(SelectionError):
+            LazyGreedySelector().select(dist, crowd, 0)
+
+    def test_early_stop_on_certain_facts(self, crowd):
+        dist = JointDistribution.independent({"a": 1.0, "b": 0.5, "c": 1.0})
+        result = LazyGreedySelector().select(dist, crowd, 3)
+        assert result.task_ids == ("b",)
+
+
+class TestLazyEvaluationSavings:
+    def test_skips_evaluations_on_wide_fact_sets(self, crowd):
+        """Past the first iteration, most candidates never get re-scored."""
+        dist = random_sparse_distribution(num_facts=12, support=300, seed=7)
+        plain = GreedySelector().select(dist, crowd, 5)
+        lazy = LazyGreedySelector().select(dist, crowd, 5)
+        assert lazy.task_ids == plain.task_ids
+        assert lazy.stats.candidate_evaluations < plain.stats.candidate_evaluations
+        assert lazy.stats.skipped_evaluations > 0
+
+    def test_first_iteration_scores_every_candidate(self, crowd):
+        dist = running_example_distribution()
+        result = LazyGreedySelector().select(dist, crowd, 1)
+        assert result.stats.candidate_evaluations == dist.num_facts
+        assert result.stats.skipped_evaluations == 0
+
+    def test_evaluation_accounting_is_consistent(self, crowd):
+        dist = random_sparse_distribution(num_facts=10, support=120, seed=3)
+        k = 4
+        plain = GreedySelector().select(dist, crowd, k)
+        lazy = LazyGreedySelector().select(dist, crowd, k)
+        # Same number of iterations, and every candidate in every iteration is
+        # either evaluated or lazily skipped.
+        assert lazy.stats.iterations == plain.stats.iterations
+        assert (
+            lazy.stats.candidate_evaluations + lazy.stats.skipped_evaluations
+            == plain.stats.candidate_evaluations
+        )
+
+    def test_cache_hits_reported(self, crowd):
+        dist = random_sparse_distribution(num_facts=8, support=60, seed=5)
+        result = LazyGreedySelector().select(dist, crowd, 3)
+        assert result.stats.cache_hits > 0

@@ -102,9 +102,13 @@ class TestAcceleratedBehaviour:
             crowd.task_entropy(dist, result.task_ids), abs=1e-9
         )
 
-    def test_faster_than_plain_greedy_on_large_support(self, crowd):
+    def test_faster_than_reference_greedy_on_large_support(self, crowd):
+        # Every greedy variant now runs on the shared engine, so the speed
+        # comparison that matters is against the seed's pure-Python path.
+        from repro.core.selection import ReferenceGreedySelector
+
         dist = random_sparse_distribution(num_facts=14, support=2000, seed=9)
-        plain = GreedySelector().select(dist, crowd, 4)
+        reference = ReferenceGreedySelector().select(dist, crowd, 4)
         fast = PrunedPreprocessingGreedySelector().select(dist, crowd, 4)
-        assert fast.task_ids == plain.task_ids
-        assert fast.stats.elapsed_seconds < plain.stats.elapsed_seconds
+        assert fast.task_ids == reference.task_ids
+        assert fast.stats.elapsed_seconds < reference.stats.elapsed_seconds

@@ -69,9 +69,11 @@ class TestRegistry:
         assert set(names) == {
             "opt",
             "greedy",
+            "greedy_lazy",
             "greedy_prune",
             "greedy_pre",
             "greedy_prune_pre",
+            "greedy_reference",
             "random",
             "fact_entropy",
         }

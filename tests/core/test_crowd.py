@@ -118,3 +118,31 @@ class TestJointFactAnswerEntropy:
         crowd = CrowdModel(1.0)
         value = crowd.joint_fact_answer_entropy(dist, ["f1", "f2"], ["f1"])
         assert value == pytest.approx(dist.marginalize(["f1", "f2"]).entropy())
+
+
+class TestDenseTableGuards:
+    def test_oversized_task_set_rejected(self):
+        marginals = {f"f{i}": 0.5 for i in range(26)}
+        dist = JointDistribution.independent(
+            {k: marginals[k] for k in list(marginals)[:2]}
+        )
+        with pytest.raises(SelectionError):
+            CrowdModel(0.8).answer_distribution(dist, [f"f{i}" for i in range(25)])
+
+    def test_oversized_joint_table_rejected(self):
+        import random
+
+        rng = random.Random(0)
+        num_facts = 26
+        fact_ids = tuple(f"f{i}" for i in range(num_facts))
+        masks = list({rng.getrandbits(num_facts) for _ in range(40)})
+        dist = JointDistribution(
+            fact_ids, {mask: rng.uniform(0.1, 1.0) for mask in masks}
+        )
+        crowd = CrowdModel(0.8)
+        # ~40 interest cells x 2^24 answer vectors overflows the dense-table
+        # cap and must fail fast instead of attempting a multi-GB allocation.
+        with pytest.raises(SelectionError):
+            crowd.joint_fact_answer_entropy(
+                dist, [f"f{i}" for i in range(16, 26)], [f"f{i}" for i in range(24)]
+            )

@@ -219,3 +219,51 @@ class TestUtilityMethods:
         mapping = dist.as_dict()
         mapping.clear()
         assert dist.support_size == 4
+
+
+class TestWideFactSets:
+    """Distributions past 63 facts: masks exceed int64, so the array fast
+    path must fall back to object-dtype masks without changing results."""
+
+    @staticmethod
+    def wide_distribution(num_facts=70, support=40, seed=1):
+        import random
+
+        rng = random.Random(seed)
+        fact_ids = tuple(f"f{i}" for i in range(num_facts))
+        masks = list({rng.getrandbits(num_facts) for _ in range(support)})
+        # Force at least one mask past the int64 range.
+        masks[0] |= 1 << (num_facts - 1)
+        probs = {mask: rng.uniform(0.1, 1.0) for mask in masks}
+        return JointDistribution(fact_ids, probs)
+
+    def test_entropy_and_marginals(self):
+        dist = self.wide_distribution()
+        entropy = dist.entropy()
+        assert 0.0 < entropy <= dist.num_facts
+        for probability in dist.marginals().values():
+            assert -1e-9 <= probability <= 1.0 + 1e-9
+        assert dist.marginal("f69") == pytest.approx(dist.marginals()["f69"])
+
+    def test_marginalize_and_condition(self):
+        dist = self.wide_distribution()
+        sub = dist.marginalize(["f0", "f69"])
+        assert sub.num_facts == 2
+        conditioned = dist.condition({"f69": True})
+        assert conditioned.marginal("f69") == pytest.approx(1.0)
+
+    def test_selection_and_merging_still_work(self):
+        from repro.core.answers import AnswerSet
+        from repro.core.crowd import CrowdModel
+        from repro.core.merging import merge_answers
+        from repro.core.selection import GreedySelector, LazyGreedySelector
+
+        dist = self.wide_distribution()
+        crowd = CrowdModel(0.8)
+        plain = GreedySelector().select(dist, crowd, 2)
+        lazy = LazyGreedySelector().select(dist, crowd, 2)
+        assert len(plain.task_ids) == 2
+        assert lazy.task_ids == plain.task_ids
+        answers = AnswerSet.from_mapping({plain.task_ids[0]: True})
+        posterior = merge_answers(dist, answers, crowd)
+        assert posterior.support_size <= dist.support_size
