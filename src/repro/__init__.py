@@ -9,8 +9,12 @@ from repro.core import (
     Answer,
     AnswerSet,
     Assignment,
+    CalibratedCrowdModel,
+    ChannelModel,
     CrowdFusionEngine,
     CrowdModel,
+    DifficultyAdjustedCrowdModel,
+    PerFactChannelModel,
     EngineResult,
     Fact,
     FactSet,
@@ -22,7 +26,12 @@ from repro.core import (
     pws_quality,
     utility_gain,
 )
-from repro.core.selection import available_selectors, get_selector
+from repro.core.selection import (
+    RefinementSession,
+    SessionPool,
+    available_selectors,
+    get_selector,
+)
 
 __version__ = "1.0.0"
 
@@ -30,8 +39,14 @@ __all__ = [
     "Answer",
     "AnswerSet",
     "Assignment",
+    "CalibratedCrowdModel",
+    "ChannelModel",
     "CrowdFusionEngine",
     "CrowdModel",
+    "DifficultyAdjustedCrowdModel",
+    "PerFactChannelModel",
+    "RefinementSession",
+    "SessionPool",
     "EngineResult",
     "Fact",
     "FactSet",

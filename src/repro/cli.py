@@ -36,6 +36,7 @@ from repro.evaluation import (
     measure_selection_times,
     run_quality_experiment,
 )
+from repro.evaluation.experiment import CROWD_MODEL_KINDS
 from repro.fusion import BayesianVote, MajorityVote, ModifiedCRH, TruthFinder
 from repro.fusion.pipeline import accuracy_against_gold
 
@@ -123,6 +124,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         assumed_accuracy=args.assumed_pc,
         use_difficulties=True,
         seed=args.seed,
+        crowd_model=args.crowd_model,
     )
     budgets = None
     if args.allocation != "fixed":
@@ -131,7 +133,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     result = run_quality_experiment(problems, config, budgets=budgets)
     print(
         f"Selector {args.selector}, k={args.k}, budget {args.budget}/book, "
-        f"Pc={args.pc} (assumed {config.model_accuracy}), allocation {args.allocation}"
+        f"Pc={args.pc} (assumed {config.model_accuracy}), allocation {args.allocation}, "
+        f"crowd model {args.crowd_model}"
     )
     rows = [
         ["initial", result.initial_point.cost, result.initial_point.f1,
@@ -205,6 +208,11 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument(
         "--allocation", default="fixed", choices=["fixed", "uniform", "proportional", "entropy"],
         help="how the global budget is distributed across books",
+    )
+    experiment.add_argument(
+        "--crowd-model", default="uniform", choices=list(CROWD_MODEL_KINDS),
+        help="channel model assumed by selection and merging: one shared Pc, "
+        "per-fact difficulty-adjusted channels, or a calibrated pre-test estimate",
     )
     experiment.add_argument("--curve", action="store_true", help="print the full quality curve")
     experiment.set_defaults(handler=_cmd_experiment)

@@ -4,7 +4,8 @@ This subpackage implements the paper's primary contribution:
 
 * the probabilistic data model (facts + joint output distribution),
 * the PWS-quality utility function,
-* the noisy-crowd answer model and Bayesian answer merging,
+* the noisy-crowd answer model (uniform or heterogeneous per-task
+  channels) and Bayesian answer merging,
 * the task-selection algorithms (OPT, greedy, pruning, preprocessing,
   random, query-based), and
 * the multi-round budgeted refinement engine.
@@ -12,7 +13,13 @@ This subpackage implements the paper's primary contribution:
 
 from repro.core.answers import Answer, AnswerSet
 from repro.core.assignment import Assignment
-from repro.core.crowd import CrowdModel
+from repro.core.crowd import (
+    CalibratedCrowdModel,
+    ChannelModel,
+    CrowdModel,
+    DifficultyAdjustedCrowdModel,
+    PerFactChannelModel,
+)
 from repro.core.distribution import JointDistribution
 from repro.core.engine import CrowdFusionEngine, EngineResult, RoundRecord
 from repro.core.facts import Fact, FactSet
@@ -24,7 +31,11 @@ __all__ = [
     "Answer",
     "AnswerSet",
     "Assignment",
+    "CalibratedCrowdModel",
+    "ChannelModel",
     "CrowdModel",
+    "DifficultyAdjustedCrowdModel",
+    "PerFactChannelModel",
     "CrowdFusionEngine",
     "EngineResult",
     "Fact",

@@ -1,29 +1,58 @@
-"""The noisy-crowd answer model (Section II-B of the paper).
+"""The noisy-crowd answer model (Section II-B), generalised to heterogeneous channels.
 
-A crowd is characterised by a single accuracy ``Pc ∈ [0.5, 1]``: every task
-("is fact *f* true?") is answered correctly with probability ``Pc``,
-independently of all other tasks.  Given the joint output distribution this
-induces a distribution over *answer sets* (Equation 2), whose entropy
-``H(T)`` is exactly what the task-selection algorithms maximise.
+The paper's Definition 2 characterises the crowd by a single accuracy
+``Pc ∈ [0.5, 1]``: every task ("is fact *f* true?") is answered correctly
+with probability ``Pc``, independently of all other tasks.  Its own
+motivation, however, already describes a richer platform: workers "reliable
+only in some domains" and hard statements whose per-claim difficulty lowers
+the effective accuracy.  This module therefore models the crowd as a set of
+**independent per-task 2×2 channels** — one ``(acc_i, 1 − acc_i)`` pair per
+selected fact — with the shared-``Pc`` crowd as the uniform special case.
 
-Because each task is an independent binary symmetric channel, the answer
-distribution is the projected output distribution convolved with one
-two-point noise kernel per task — ``O(k · 2^k)`` instead of the ``O(4^k)``
-cost of scoring every (answer, projection) pair, which is what makes the
-vectorized selection engine fast.  The historical pure-Python evaluation
-survives in :mod:`repro.core.selection.reference` for equivalence testing.
+Class hierarchy
+---------------
+
+* :class:`ChannelModel` — abstract base; owns all Equation-2 machinery
+  (answer distributions, answer-set entropies, joint fact/answer entropies)
+  expressed over per-task accuracies.
+* :class:`CrowdModel` — the paper's uniform BSC crowd (one shared ``Pc``).
+* :class:`PerFactChannelModel` — a default accuracy plus per-fact overrides;
+  the concrete representation every heterogeneous model reduces to.
+* :class:`DifficultyAdjustedCrowdModel` — per-fact difficulty ``d_f`` lowers
+  the effective accuracy to ``max(0.5, Pc − d_f)``, mirroring the simulated
+  workers' behaviour (Section V-D hard statements).
+* :class:`CalibratedCrowdModel` — per-fact accuracies estimated from
+  qualification pre-tests (:mod:`repro.crowdsim.qualification`), e.g. one
+  estimate per task domain.
+
+Because each task is an independent binary channel, the answer distribution
+is the projected output distribution convolved with one two-point noise
+kernel per task — ``O(k · 2^k)`` instead of the ``O(4^k)`` cost of scoring
+every (answer, projection) pair — and heterogeneous kernels cost exactly the
+same as uniform ones (:func:`repro.core.entropy.channel_transform`).  The
+historical pure-Python evaluation survives in
+:mod:`repro.core.selection.reference` for equivalence testing.
 """
 
 from __future__ import annotations
 
+import abc
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Dict, Mapping, Optional, Sequence
 
 import numpy as np
 
 from repro.core.distribution import JointDistribution
-from repro.core.entropy import bsc_transform, bsc_transform_rows, entropy_bits, project_columns
+from repro.core.entropy import (
+    bsc_transform,
+    bsc_transform_rows,
+    channel_transform,
+    channel_transform_rows,
+    entropy_bits,
+    project_columns,
+)
 from repro.exceptions import InvalidCrowdModelError, SelectionError
+from repro.types import validate_accuracy
 
 #: Refuse to materialise answer distributions over more than 2^24 vectors.
 _MAX_TASK_BITS = 24
@@ -48,58 +77,71 @@ def _validated_positions(
     return distribution.positions(task_ids)
 
 
-@dataclass(frozen=True)
-class CrowdModel:
-    """Crowd answer model with a shared worker accuracy ``Pc``.
+class ChannelModel(abc.ABC):
+    """Crowd answer model: one independent 2×2 noise channel per task.
 
-    Parameters
-    ----------
-    accuracy:
-        Probability that a worker's answer to any single task is correct.
-        Must lie in ``[0.5, 1.0]`` (Definition 2).
+    Subclasses only define *which* accuracy applies to each fact
+    (:meth:`accuracy_for`); all Equation-2 quantities — answer-set
+    distributions, their entropies, and the joint fact/answer entropies that
+    query-based selection needs — are computed here, through the vectorized
+    channel kernels.  A model whose channels all share one accuracy reports
+    it via :attr:`uniform_accuracy`, which lets consumers (the selection
+    engine, Bayesian merging) take the bit-for-bit-identical uniform BSC
+    fast path.
     """
 
-    accuracy: float
+    # -- channel description ---------------------------------------------------------
 
-    def __post_init__(self) -> None:
-        if not 0.5 <= self.accuracy <= 1.0:
-            raise InvalidCrowdModelError(
-                f"crowd accuracy must be in [0.5, 1.0], got {self.accuracy}"
-            )
+    @abc.abstractmethod
+    def accuracy_for(self, fact_id: str) -> float:
+        """Worker-correctness probability of the task asking about ``fact_id``."""
 
     @property
-    def error_rate(self) -> float:
-        """Probability that a single answer is wrong (``1 − Pc``)."""
-        return 1.0 - self.accuracy
+    def uniform_accuracy(self) -> Optional[float]:
+        """The shared ``Pc`` when every task uses the same channel, else ``None``."""
+        return None
 
-    def answer_likelihood(self, num_same: int, num_diff: int) -> float:
-        """Likelihood ``P(Ans | o) = Pc^#Same · (1 − Pc)^#Diff`` of an answer set.
+    def error_for(self, fact_id: str) -> float:
+        """Probability that the answer about ``fact_id`` is wrong."""
+        return 1.0 - self.accuracy_for(fact_id)
 
-        ``num_same`` and ``num_diff`` count the selected facts whose crowd
-        judgment agrees / disagrees with the candidate output ``o``.
-        """
-        if num_same < 0 or num_diff < 0:
-            raise InvalidCrowdModelError("agreement counts must be non-negative")
-        return (self.accuracy ** num_same) * (self.error_rate ** num_diff)
+    def accuracies(self, fact_ids: Sequence[str]) -> np.ndarray:
+        """Per-task accuracy array aligned with ``fact_ids``."""
+        return np.array(
+            [self.accuracy_for(fact_id) for fact_id in fact_ids], dtype=np.float64
+        )
 
-    # -- answer-set distributions (Equation 2) --------------------------------------
+    def _transform(self, grouped: np.ndarray, task_ids: Sequence[str]) -> np.ndarray:
+        """Push a projected mass vector through the task set's channels."""
+        uniform = self.uniform_accuracy
+        if uniform is not None:
+            return bsc_transform(grouped, len(task_ids), uniform)
+        return channel_transform(grouped, self.accuracies(task_ids))
+
+    def _transform_rows(self, grouped: np.ndarray, task_ids: Sequence[str]) -> np.ndarray:
+        """Row-wise variant of :meth:`_transform` for partitioned supports."""
+        uniform = self.uniform_accuracy
+        if uniform is not None:
+            return bsc_transform_rows(grouped, len(task_ids), uniform)
+        return channel_transform_rows(grouped, self.accuracies(task_ids))
+
+    # -- answer-set distributions (Equation 2) ---------------------------------------
 
     def answer_masses(
         self, distribution: JointDistribution, task_ids: Sequence[str]
     ) -> np.ndarray:
         """Dense answer-vector mass array for ``task_ids`` (Equation 2).
 
-        Entry ``a`` is ``P(a) = Σ_o P(o) · Pc^#Same(a, o) · (1 − Pc)^#Diff(a, o)``,
+        Entry ``a`` is ``P(a) = Σ_o P(o) · Π_i (acc_i if a_i = o_i else 1 − acc_i)``,
         computed by projecting the support onto the task positions and pushing
-        the projected distribution through ``k`` independent binary symmetric
-        channels.
+        the projected distribution through ``k`` independent binary channels.
         """
         positions = _validated_positions(distribution, task_ids)
         k = len(positions)
         masks, probabilities = distribution.support_arrays()
         projected = project_columns(masks, positions)
         grouped = np.bincount(projected, weights=probabilities, minlength=1 << k)
-        return bsc_transform(grouped, k, self.accuracy)
+        return self._transform(grouped, task_ids)
 
     def answer_distribution(
         self, distribution: JointDistribution, task_ids: Sequence[str]
@@ -171,5 +213,160 @@ class CrowdModel:
             weights=probabilities,
             minlength=cells.size << k,
         ).reshape(cells.size, 1 << k)
-        joint = bsc_transform_rows(grouped, k, self.accuracy)
+        joint = self._transform_rows(grouped, task_ids)
         return entropy_bits(joint.reshape(-1))
+
+
+@dataclass(frozen=True)
+class CrowdModel(ChannelModel):
+    """The paper's uniform crowd: one shared worker accuracy ``Pc``.
+
+    Parameters
+    ----------
+    accuracy:
+        Probability that a worker's answer to any single task is correct.
+        Must lie in ``[0.5, 1.0]`` (Definition 2).
+    """
+
+    accuracy: float
+
+    def __post_init__(self) -> None:
+        validate_accuracy(self.accuracy, "crowd accuracy")
+
+    @property
+    def error_rate(self) -> float:
+        """Probability that a single answer is wrong (``1 − Pc``)."""
+        return 1.0 - self.accuracy
+
+    @property
+    def uniform_accuracy(self) -> float:
+        return self.accuracy
+
+    def accuracy_for(self, fact_id: str) -> float:
+        return self.accuracy
+
+    def answer_likelihood(self, num_same: int, num_diff: int) -> float:
+        """Likelihood ``P(Ans | o) = Pc^#Same · (1 − Pc)^#Diff`` of an answer set.
+
+        ``num_same`` and ``num_diff`` count the selected facts whose crowd
+        judgment agrees / disagrees with the candidate output ``o``.
+        """
+        if num_same < 0 or num_diff < 0:
+            raise InvalidCrowdModelError("agreement counts must be non-negative")
+        return (self.accuracy ** num_same) * (self.error_rate ** num_diff)
+
+
+class PerFactChannelModel(ChannelModel):
+    """A default accuracy plus explicit per-fact channel overrides.
+
+    This is the concrete representation every heterogeneous crowd model
+    reduces to: facts without an override use ``default_accuracy``, facts
+    with one use their own channel.  When the overrides are empty (or all
+    equal to the default) the model reports a :attr:`uniform_accuracy` so
+    consumers fall back to the uniform BSC fast path and remain numerically
+    identical to :class:`CrowdModel`.
+    """
+
+    def __init__(
+        self,
+        default_accuracy: float,
+        fact_accuracies: Optional[Mapping[str, float]] = None,
+    ):
+        self._default = validate_accuracy(default_accuracy, "default crowd accuracy")
+        self._overrides: Dict[str, float] = {
+            fact_id: validate_accuracy(value, f"channel accuracy for {fact_id!r}")
+            for fact_id, value in (fact_accuracies or {}).items()
+        }
+        self._uniform: Optional[float] = (
+            self._default
+            if all(value == self._default for value in self._overrides.values())
+            else None
+        )
+
+    @property
+    def default_accuracy(self) -> float:
+        """Accuracy of every fact without an explicit override."""
+        return self._default
+
+    @property
+    def fact_accuracies(self) -> Dict[str, float]:
+        """A copy of the per-fact channel overrides."""
+        return dict(self._overrides)
+
+    @property
+    def uniform_accuracy(self) -> Optional[float]:
+        return self._uniform
+
+    def accuracy_for(self, fact_id: str) -> float:
+        return self._overrides.get(fact_id, self._default)
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(default={self._default}, "
+            f"overrides={len(self._overrides)})"
+        )
+
+
+class DifficultyAdjustedCrowdModel(PerFactChannelModel):
+    """Per-fact difficulty lowers the effective channel accuracy.
+
+    Mirrors the simulated workers' behaviour
+    (:meth:`repro.crowdsim.worker.Worker.effective_accuracy`): a task about a
+    fact with difficulty ``d ∈ [0, 0.5]`` is answered correctly with
+    probability ``max(0.5, Pc − d)``.  Exposing the platform's difficulty
+    knowledge to selection and merging is what lets the system avoid wasting
+    budget on tasks whose answers will be near-random.
+    """
+
+    def __init__(self, base_accuracy: float, difficulties: Mapping[str, float]):
+        base = validate_accuracy(base_accuracy, "crowd accuracy")
+        overrides: Dict[str, float] = {}
+        for fact_id, difficulty in difficulties.items():
+            if not 0.0 <= difficulty <= 0.5:
+                raise InvalidCrowdModelError(
+                    f"difficulty for {fact_id!r} must be in [0, 0.5], got {difficulty}"
+                )
+            if difficulty > 0.0:
+                overrides[fact_id] = max(0.5, base - difficulty)
+        super().__init__(base, overrides)
+        self._difficulties = dict(difficulties)
+
+    @property
+    def difficulties(self) -> Dict[str, float]:
+        """A copy of the per-fact difficulties this model was built from."""
+        return dict(self._difficulties)
+
+
+class CalibratedCrowdModel(PerFactChannelModel):
+    """Per-fact channels calibrated from qualification pre-test estimates.
+
+    The default accuracy is typically a pooled estimate
+    (:func:`repro.crowdsim.qualification.pooled_accuracy`); per-fact
+    overrides come from finer-grained pre-tests, e.g. one per task domain
+    (:func:`repro.crowdsim.qualification.calibrate_domain_accuracies`).
+    """
+
+    @classmethod
+    def from_domain_estimates(
+        cls,
+        domain_estimates: Mapping[str, object],
+        fact_domains: Mapping[str, str],
+        default_accuracy: float,
+    ) -> "CalibratedCrowdModel":
+        """Build per-fact channels from per-domain accuracy estimates.
+
+        ``domain_estimates`` maps domain names to either plain floats or
+        :class:`~repro.crowdsim.qualification.QualificationResult` objects;
+        ``fact_domains`` tags each fact with its domain.  Facts whose domain
+        was never calibrated (or that carry no domain) fall back to
+        ``default_accuracy``.
+        """
+        overrides: Dict[str, float] = {}
+        for fact_id, domain in fact_domains.items():
+            estimate = domain_estimates.get(domain)
+            if estimate is None:
+                continue
+            overrides[fact_id] = float(
+                getattr(estimate, "estimated_accuracy", estimate)
+            )
+        return cls(default_accuracy, overrides)

@@ -362,17 +362,20 @@ class JointDistribution:
             )
         if np.isnan(weights).any() or (weights < 0.0).any():
             raise InvalidDistributionError("weights must be non-negative numbers")
-        return self._from_support(self._fact_ids, masks, probs * weights)
+        return self.from_support_arrays(self._fact_ids, masks, probs * weights)
 
     @classmethod
-    def _from_support(
+    def from_support_arrays(
         cls, fact_ids: Sequence[str], masks: np.ndarray, masses: np.ndarray
     ) -> "JointDistribution":
         """Build a distribution from aligned arrays of unique masks and masses.
 
-        Skips the per-item Python validation loop of ``__init__`` — callers
-        guarantee the masks are unique and in range — but keeps the zero-mass
-        filtering and normalisation semantics.
+        The trusted-input constructor behind :meth:`reweight_array` and the
+        refinement sessions' posterior materialisation: it skips the per-item
+        Python validation loop of ``__init__`` — callers must guarantee the
+        masks are unique and in range — but keeps the zero-mass filtering and
+        normalisation semantics (masses may be unnormalised; rows with exactly
+        zero mass are dropped).
         """
         keep = masses > 0.0
         if not keep.any():

@@ -7,6 +7,14 @@ output distribution by Bayes' rule, and the loop repeats while budget
 remains.  The engine is agnostic to where the answers come from: anything
 that maps a tuple of fact ids to an :class:`~repro.core.answers.AnswerSet`
 will do.
+
+The whole run lives on one persistent
+:class:`~repro.core.selection.session.RefinementSession`: the Bayesian merge
+only reweights the fixed output support, so the selection engine's cached
+bit columns and partitions are built once per run and reweighted after each
+round instead of being rebuilt from a freshly materialised distribution.
+Selectors that are not session-aware transparently fall back to the
+materialise-and-select path.
 """
 
 from __future__ import annotations
@@ -15,10 +23,10 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Protocol, Sequence, Tuple
 
 from repro.core.answers import AnswerSet
-from repro.core.crowd import CrowdModel
+from repro.core.crowd import ChannelModel
 from repro.core.distribution import JointDistribution
-from repro.core.merging import merge_answers
 from repro.core.selection.base import SelectionResult, SelectionStats, TaskSelector
+from repro.core.selection.session import RefinementSession
 from repro.core.utility import pws_quality
 from repro.exceptions import BudgetError
 
@@ -37,19 +45,38 @@ class AnswerProvider(Protocol):
 
 @dataclass(frozen=True)
 class RoundRecord:
-    """Everything that happened in one select–collect–merge round."""
+    """Everything that happened in one select–collect–merge round.
+
+    The full :class:`SelectionResult` is stored once; the scalar convenience
+    accessors (``selection_objective``, ``selection_seconds``,
+    ``selection_stats``) are derived properties so they can never drift from
+    the stats they summarise.
+    """
 
     round_index: int
     task_ids: Tuple[str, ...]
     answers: AnswerSet
     utility_before: float
     utility_after: float
-    selection_objective: float
-    selection_seconds: float
     cumulative_cost: int
-    #: Full selector bookkeeping (evaluations, cache hits, lazy skips, …);
-    #: ``selection_seconds`` above is kept as a stable convenience alias.
-    selection_stats: SelectionStats = field(default_factory=SelectionStats)
+    selection: SelectionResult = field(
+        default_factory=lambda: SelectionResult(task_ids=(), objective=0.0)
+    )
+
+    @property
+    def selection_stats(self) -> SelectionStats:
+        """Full selector bookkeeping (evaluations, cache hits, lazy skips, …)."""
+        return self.selection.stats
+
+    @property
+    def selection_objective(self) -> float:
+        """Objective value (``H(T)`` or query utility) achieved by the selector."""
+        return self.selection.objective
+
+    @property
+    def selection_seconds(self) -> float:
+        """Wall-clock time the selector spent choosing this round's tasks."""
+        return self.selection.stats.elapsed_seconds
 
     @property
     def utility_gain(self) -> float:
@@ -101,7 +128,9 @@ class CrowdFusionEngine:
     selector:
         Task-selection strategy (any :class:`TaskSelector`).
     crowd:
-        Crowd accuracy model used both for selection and for Bayesian merging.
+        Channel model used both for selection and for Bayesian merging —
+        the paper's uniform :class:`~repro.core.crowd.CrowdModel` or any
+        heterogeneous :class:`~repro.core.crowd.ChannelModel`.
     budget:
         Total number of tasks that may be asked (``B`` in the paper).
     tasks_per_round:
@@ -116,7 +145,7 @@ class CrowdFusionEngine:
     def __init__(
         self,
         selector: TaskSelector,
-        crowd: CrowdModel,
+        crowd: ChannelModel,
         budget: int,
         tasks_per_round: int,
         reselect_asked_facts: bool = True,
@@ -169,29 +198,29 @@ class CrowdFusionEngine:
         result = EngineResult(
             initial_distribution=distribution, final_distribution=distribution
         )
-        current = distribution
+        session = RefinementSession(distribution, self._crowd)
         asked: set = set()
         remaining_budget = self._budget
         round_index = 0
 
         while remaining_budget > 0:
-            k = min(self._tasks_per_round, remaining_budget, current.num_facts)
+            k = min(self._tasks_per_round, remaining_budget, session.num_facts)
             exclude: Tuple[str, ...] = ()
             if not self._reselect:
                 exclude = tuple(asked)
-                if len(exclude) >= current.num_facts:
+                if len(exclude) >= session.num_facts:
                     break
-            selection: SelectionResult = self._selector.select(
-                current, self._crowd, k, exclude=exclude
+            selection: SelectionResult = self._selector.select_with_session(
+                session, k, exclude=exclude
             )
             if not selection.task_ids:
                 # No task offers positive expected gain: stop early.
                 break
 
             answers = collect(selection.task_ids)
-            utility_before = pws_quality(current)
-            current = merge_answers(current, answers, self._crowd)
-            utility_after = pws_quality(current)
+            utility_before = session.utility()
+            session.merge(answers)
+            utility_after = session.utility()
 
             remaining_budget -= len(selection.task_ids)
             asked.update(selection.task_ids)
@@ -202,14 +231,12 @@ class CrowdFusionEngine:
                 answers=answers,
                 utility_before=utility_before,
                 utility_after=utility_after,
-                selection_objective=selection.objective,
-                selection_seconds=selection.stats.elapsed_seconds,
                 cumulative_cost=self._budget - remaining_budget,
-                selection_stats=selection.stats,
+                selection=selection,
             )
             result.rounds.append(record)
             if round_callback is not None:
-                round_callback(record, current)
+                round_callback(record, session.distribution)
 
-        result.final_distribution = current
+        result.final_distribution = session.distribution
         return result

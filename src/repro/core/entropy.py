@@ -15,6 +15,15 @@ sums ``Pc^#Same · (1 − Pc)^#Diff`` over all ``2^k × 2^k`` (answer, projectio
 pairs, but the likelihood factorises over tasks, so the answer distribution is
 the projected output distribution convolved with ``k`` independent two-point
 kernels — ``O(k · 2^k)`` instead of ``O(4^k)``.
+
+Because the convolution is applied one task bit at a time, nothing forces the
+``k`` kernels to be identical: :func:`channel_transform` and
+:func:`channel_transform_rows` accept one ``(acc_i, 1 − acc_i)`` pair per bit
+at the same asymptotic cost, which is what the heterogeneous crowd channel
+models (per-fact difficulty, calibrated per-domain skill) run on.  When every
+per-bit accuracy is equal they perform *exactly* the floating-point operations
+of the uniform transforms, in the same order, so the uniform path is a strict
+special case rather than a parallel implementation.
 """
 
 from __future__ import annotations
@@ -98,3 +107,60 @@ def bsc_transform_rows(matrix: np.ndarray, num_bits: int, accuracy: float) -> np
     for axis in range(1, num_bits + 1):
         result = accuracy * result + error * np.flip(result, axis=axis)
     return result.reshape(groups, -1)
+
+
+def channel_transform(vector: np.ndarray, accuracies: np.ndarray) -> np.ndarray:
+    """Heterogeneous :func:`bsc_transform`: one 2×2 channel per task bit.
+
+    ``accuracies[i]`` is the worker-correctness probability of the task that
+    occupies **bit ``i``** of the answer index (least-significant-bit first,
+    matching :func:`project_columns`, which packs ``positions[i]`` into bit
+    ``i``).  Each bit is convolved with its own two-point kernel
+    ``(acc_i, 1 − acc_i)``; identity channels (``acc_i == 1``) are skipped.
+
+    The per-axis operation — and the axis iteration order — is exactly that
+    of :func:`bsc_transform`, so passing ``k`` equal accuracies reproduces the
+    uniform transform bit-for-bit.
+    """
+    result = np.asarray(vector, dtype=np.float64)
+    num_bits = len(accuracies)
+    if num_bits == 0:
+        return result.copy()
+    result = result.reshape((2,) * num_bits)
+    touched = False
+    # Axis 0 holds the most significant bit, so the accuracy of bit i lives
+    # at axis (num_bits − 1 − i); iterating axes 0..k−1 matches the uniform
+    # transform's operation order exactly.
+    for axis in range(num_bits):
+        accuracy = float(accuracies[num_bits - 1 - axis])
+        if accuracy == 1.0:
+            continue
+        result = accuracy * result + (1.0 - accuracy) * np.flip(result, axis=axis)
+        touched = True
+    result = result.reshape(-1)
+    return result if touched else result.copy()
+
+
+def channel_transform_rows(matrix: np.ndarray, accuracies: np.ndarray) -> np.ndarray:
+    """Apply :func:`channel_transform` to every row of a ``(groups, 2^k)`` matrix.
+
+    ``accuracies`` follows the same least-significant-bit-first convention:
+    ``accuracies[i]`` belongs to the task at bit ``i`` of the column index.
+    With all-equal accuracies this is bit-for-bit
+    :func:`bsc_transform_rows`.
+    """
+    result = np.asarray(matrix, dtype=np.float64)
+    num_bits = len(accuracies)
+    if num_bits == 0:
+        return result.copy()
+    groups = result.shape[0]
+    result = result.reshape((groups,) + (2,) * num_bits)
+    touched = False
+    for axis in range(1, num_bits + 1):
+        accuracy = float(accuracies[num_bits - axis])
+        if accuracy == 1.0:
+            continue
+        result = accuracy * result + (1.0 - accuracy) * np.flip(result, axis=axis)
+        touched = True
+    result = result.reshape(groups, -1)
+    return result if touched else result.copy()

@@ -20,7 +20,11 @@ Available selectors (Section III & IV of the paper):
   equivalence tests and old-vs-new benchmarks.
 
 All non-reference selectors evaluate entropies through the shared vectorized
-incremental :class:`EntropyEngine`.
+incremental :class:`EntropyEngine` — with uniform or heterogeneous per-task
+channels — and can run either on a fresh engine per call or against a
+persistent :class:`RefinementSession` that amortises one engine across the
+rounds of a multi-round refinement (``TaskSelector.select_with_session``).
+:class:`SessionPool` keys such sessions by entity for batched experiments.
 """
 
 from repro.core.selection.base import SelectionResult, SelectionStats, TaskSelector
@@ -38,6 +42,7 @@ from repro.core.selection.query_greedy import QueryGreedySelector
 from repro.core.selection.random_selector import RandomSelector
 from repro.core.selection.reference import ReferenceGreedySelector
 from repro.core.selection.registry import available_selectors, get_selector
+from repro.core.selection.session import RefinementSession, SessionPool
 
 __all__ = [
     "BruteForceSelector",
@@ -51,9 +56,11 @@ __all__ = [
     "QueryGreedySelector",
     "RandomSelector",
     "ReferenceGreedySelector",
+    "RefinementSession",
     "SelectionResult",
     "SelectionState",
     "SelectionStats",
+    "SessionPool",
     "TaskSelector",
     "available_selectors",
     "get_selector",

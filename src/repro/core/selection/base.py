@@ -5,11 +5,14 @@ from __future__ import annotations
 import abc
 import time
 from dataclasses import dataclass, field
-from typing import Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
-from repro.core.crowd import CrowdModel
+from repro.core.crowd import ChannelModel
 from repro.core.distribution import JointDistribution
 from repro.exceptions import SelectionError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.core.selection.session import RefinementSession
 
 #: Objective improvements smaller than this are treated as ties; the earliest
 #: candidate wins.  Keeping one shared tolerance makes every greedy variant
@@ -87,10 +90,26 @@ class TaskSelector(abc.ABC):
     #: Short machine-readable identifier used by the registry and benchmarks.
     name: str = "abstract"
 
+    @staticmethod
+    def _candidate_pool(
+        fact_ids: Sequence[str], k: int, exclude: Sequence[str]
+    ) -> "Tuple[List[str], int]":
+        """Shared argument validation: the filtered candidate list and capped ``k``."""
+        if k <= 0:
+            raise SelectionError(f"k must be positive, got {k}")
+        excluded = set(exclude)
+        unknown = excluded.difference(fact_ids)
+        if unknown:
+            raise SelectionError(f"cannot exclude unknown facts: {sorted(unknown)}")
+        candidates = [fact_id for fact_id in fact_ids if fact_id not in excluded]
+        if not candidates:
+            raise SelectionError("no candidate facts remain after exclusion")
+        return candidates, min(k, len(candidates))
+
     def select(
         self,
         distribution: JointDistribution,
-        crowd: CrowdModel,
+        crowd: ChannelModel,
         k: int,
         exclude: Sequence[str] = (),
     ) -> SelectionResult:
@@ -101,28 +120,36 @@ class TaskSelector(abc.ABC):
         distribution:
             The current joint output distribution over the fact set.
         crowd:
-            Crowd accuracy model used to evaluate answer-set entropies.
+            Channel model used to evaluate answer-set entropies (a uniform
+            :class:`CrowdModel` or any heterogeneous :class:`ChannelModel`).
         k:
             Maximum number of tasks to select this round.  Selectors may
             return fewer tasks (``K* < k``) if no further gain is possible.
         exclude:
             Fact ids that must not be selected (e.g. already resolved facts).
         """
-        if k <= 0:
-            raise SelectionError(f"k must be positive, got {k}")
-        excluded = set(exclude)
-        unknown = excluded.difference(distribution.fact_ids)
-        if unknown:
-            raise SelectionError(f"cannot exclude unknown facts: {sorted(unknown)}")
-        candidates = [
-            fact_id for fact_id in distribution.fact_ids if fact_id not in excluded
-        ]
-        if not candidates:
-            raise SelectionError("no candidate facts remain after exclusion")
-        k = min(k, len(candidates))
-
+        candidates, k = self._candidate_pool(distribution.fact_ids, k, exclude)
         started = time.perf_counter()
         result = self._select(distribution, crowd, k, candidates)
+        result.stats.elapsed_seconds = time.perf_counter() - started
+        return result
+
+    def select_with_session(
+        self,
+        session: "RefinementSession",
+        k: int,
+        exclude: Sequence[str] = (),
+    ) -> SelectionResult:
+        """Select against a persistent :class:`RefinementSession`.
+
+        Session-aware selectors (the engine-backed greedy family) score
+        candidates directly on the session's warm engine; the base-class
+        fallback materialises the session's posterior and runs the ordinary
+        :meth:`select` path, so *every* selector works with sessions.
+        """
+        candidates, k = self._candidate_pool(session.fact_ids, k, exclude)
+        started = time.perf_counter()
+        result = self._select_with_session(session, k, candidates)
         result.stats.elapsed_seconds = time.perf_counter() - started
         return result
 
@@ -130,11 +157,20 @@ class TaskSelector(abc.ABC):
     def _select(
         self,
         distribution: JointDistribution,
-        crowd: CrowdModel,
+        crowd: ChannelModel,
         k: int,
         candidates: Sequence[str],
     ) -> SelectionResult:
         """Selector-specific implementation; ``candidates`` is already filtered."""
+
+    def _select_with_session(
+        self,
+        session: "RefinementSession",
+        k: int,
+        candidates: Sequence[str],
+    ) -> SelectionResult:
+        """Session-path implementation; overridden by engine-backed selectors."""
+        return self._select(session.distribution, session.channel, k, candidates)
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
@@ -142,7 +178,7 @@ class TaskSelector(abc.ABC):
 
 def best_single_task(
     distribution: JointDistribution,
-    crowd: CrowdModel,
+    crowd: ChannelModel,
     candidates: Sequence[str],
     selected: Sequence[str],
 ) -> Optional[Tuple[str, float]]:

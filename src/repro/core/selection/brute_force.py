@@ -13,7 +13,7 @@ from __future__ import annotations
 import itertools
 from typing import Sequence
 
-from repro.core.crowd import CrowdModel
+from repro.core.crowd import ChannelModel
 from repro.core.distribution import JointDistribution
 from repro.core.selection.base import SelectionResult, SelectionStats, TaskSelector
 from repro.core.selection.engine import EntropyEngine
@@ -31,7 +31,7 @@ class BruteForceSelector(TaskSelector):
     def _select(
         self,
         distribution: JointDistribution,
-        crowd: CrowdModel,
+        crowd: ChannelModel,
         k: int,
         candidates: Sequence[str],
     ) -> SelectionResult:

@@ -14,17 +14,29 @@ combining three ideas:
    instead of being recomputed from the raw masks.
 
 3. **Incremental channel reuse** — the selected set's noise-convolved answer
-   distribution ``B = BSC(grouped(T))`` is cached in the state.  For a
+   distribution ``B = Chan(grouped(T))`` is cached in the state.  For a
    candidate ``f``, only the mass where ``f`` is true needs a fresh
-   convolution: with ``B₁ = BSC(grouped(T, f=true))`` linearity gives
+   convolution: with ``B₁ = Chan(grouped(T, f=true))`` linearity gives
    ``B₀ = B − B₁``, and the answer distribution of ``T ∪ {f}`` is the pair
-   ``(Pc·B₁ + (1−Pc)·B₀, (1−Pc)·B₁ + Pc·B₀)`` interleaved — one ``O(w·2^w)``
-   transform per candidate instead of rebuilding everything from scratch.
+   ``(acc_f·B₁ + (1−acc_f)·B₀, (1−acc_f)·B₁ + acc_f·B₀)`` interleaved — one
+   ``O(w·2^w)`` transform per candidate instead of rebuilding everything.
+
+The channels need not be uniform: the engine accepts any
+:class:`~repro.core.crowd.ChannelModel`, keeping one ``(acc_i, 1 − acc_i)``
+pair per selected bit (cached in :attr:`SelectionState.bit_accuracies`).
+Uniform models take the original shared-BSC code path, which the
+heterogeneous kernels reproduce bit-for-bit when accuracies are equal.
 
 The same machinery serves query-based selection (Section IV): the support is
 additionally partitioned into *facts-of-interest cells* (distinct projections
 onto ``I``), the cached table keeps one row per cell, and both ``H(T)`` and
 ``H(I, T)`` fall out of the same convolved table.
+
+The engine is also the unit of cross-round reuse: :meth:`reweight` applies a
+Bayesian update to the cached probability vector in place (the support masks,
+bit columns and interest cells never change), which is what lets a
+:class:`~repro.core.selection.session.RefinementSession` amortise one engine
+over an entire multi-round run instead of rebuilding it after every merge.
 """
 
 from __future__ import annotations
@@ -34,14 +46,17 @@ from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.crowd import CrowdModel
+from repro.core.crowd import ChannelModel
 from repro.core.distribution import JointDistribution
 from repro.core.entropy import (
     bsc_transform,
     bsc_transform_rows,
+    channel_transform,
+    channel_transform_rows,
     entropy_bits,
     project_columns,
 )
+from repro.core.utility import crowd_entropy
 from repro.exceptions import SelectionError
 
 #: Hard cap on the number of channeled table entries (cells × answer vectors).
@@ -78,6 +93,10 @@ class SelectionState:
         Noise-convolved mass table of shape ``(num_cells, 2**width)``:
         ``table[c, a]`` is the joint probability of interest cell ``c`` and
         answer vector ``a``.
+    bit_accuracies:
+        Per-bit channel accuracies aligned with ``projection`` (least
+        significant bit first, i.e. reverse selection order); ``None`` for
+        uniform channel models, whose single accuracy lives on the engine.
     """
 
     task_ids: Tuple[str, ...]
@@ -87,6 +106,7 @@ class SelectionState:
     projection: np.ndarray
     combined: np.ndarray
     table: np.ndarray
+    bit_accuracies: Optional[np.ndarray] = None
 
 
 class EntropyEngine:
@@ -97,7 +117,9 @@ class EntropyEngine:
     distribution:
         The joint output distribution whose support backs all evaluations.
     crowd:
-        Crowd accuracy model defining the per-task noise channel.
+        Channel model defining the per-task noise channels (the paper's
+        uniform :class:`~repro.core.crowd.CrowdModel` or any heterogeneous
+        :class:`~repro.core.crowd.ChannelModel`).
     interest_ids:
         Optional facts of interest.  When given, states additionally track
         ``H(I, T)`` so query-based utilities ``Q(I|T) = H(T) − H(I, T)`` come
@@ -107,11 +129,12 @@ class EntropyEngine:
     def __init__(
         self,
         distribution: JointDistribution,
-        crowd: CrowdModel,
+        crowd: ChannelModel,
         interest_ids: Optional[Sequence[str]] = None,
     ):
         self._distribution = distribution
         self._crowd = crowd
+        self._uniform = crowd.uniform_accuracy
         masks, probabilities = distribution.support_arrays()
         self._masks = masks
         self._probabilities = probabilities
@@ -126,16 +149,40 @@ class EntropyEngine:
             self._num_cells = 1
         self._bits: Dict[str, np.ndarray] = {}
         self._weighted_bits: Dict[str, np.ndarray] = {}
+        self._accuracy: Dict[str, float] = {}
+        self._noise: Dict[str, float] = {}
         #: Number of entropy evaluations served (one per scored candidate).
         self.evaluations = 0
+        #: Number of Bayesian reweights applied (rounds served by this engine).
+        self.reweights = 0
 
     @property
     def distribution(self) -> JointDistribution:
+        """The distribution the engine was *built* on.
+
+        After :meth:`reweight` the cached probabilities diverge from this
+        object; sessions materialise the current posterior on demand.
+        """
         return self._distribution
 
     @property
-    def crowd(self) -> CrowdModel:
+    def crowd(self) -> ChannelModel:
         return self._crowd
+
+    @property
+    def uniform_accuracy(self) -> Optional[float]:
+        """Shared channel accuracy, or ``None`` for heterogeneous models."""
+        return self._uniform
+
+    @property
+    def support_masks(self) -> np.ndarray:
+        """Support bitmasks, aligned with :attr:`probabilities` (never mutated)."""
+        return self._masks
+
+    @property
+    def probabilities(self) -> np.ndarray:
+        """The current (possibly reweighted) probability vector over the support."""
+        return self._probabilities
 
     def bits(self, fact_id: str) -> np.ndarray:
         """0/1 truth column of ``fact_id`` over the support (cached)."""
@@ -156,6 +203,51 @@ class EntropyEngine:
             self._weighted_bits[fact_id] = weighted
         return weighted
 
+    def accuracy_for(self, fact_id: str) -> float:
+        """Channel accuracy of ``fact_id`` (cached lookup into the model)."""
+        accuracy = self._accuracy.get(fact_id)
+        if accuracy is None:
+            accuracy = self._crowd.accuracy_for(fact_id)
+            self._accuracy[fact_id] = accuracy
+        return accuracy
+
+    def noise_entropy(self, fact_id: str) -> float:
+        """Per-task crowd entropy ``H(Crowd_f)`` of ``fact_id``'s channel (cached)."""
+        noise = self._noise.get(fact_id)
+        if noise is None:
+            noise = crowd_entropy(self.accuracy_for(fact_id))
+            self._noise[fact_id] = noise
+        return noise
+
+    # -- cross-round reuse ----------------------------------------------------------
+
+    def reweight(self, weights: np.ndarray) -> None:
+        """Apply a Bayesian update to the cached probabilities, in place.
+
+        ``weights[i]`` multiplies the mass of support row ``i`` (the same
+        alignment contract as :meth:`JointDistribution.reweight_array`); the
+        result is renormalised.  Masks, bit columns and interest cells are
+        untouched, so all structural caches stay valid — only the per-fact
+        ``weighted_bits`` products are invalidated.  Rows whose mass reaches
+        exactly zero are kept (every consumer ignores non-positive mass),
+        preserving row alignment for later reweights.
+        """
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.shape != self._probabilities.shape:
+            raise SelectionError(
+                f"expected {self._probabilities.shape[0]} weights aligned to the "
+                f"support, got {weights.shape}"
+            )
+        if np.isnan(weights).any() or (weights < 0.0).any():
+            raise SelectionError("reweight weights must be non-negative numbers")
+        masses = self._probabilities * weights
+        total = masses.sum()
+        if total <= 0.0:
+            raise SelectionError("reweighting removed all probability mass")
+        self._probabilities = masses / total
+        self._weighted_bits.clear()
+        self.reweights += 1
+
     # -- incremental path -----------------------------------------------------------
 
     def initial_state(self) -> SelectionState:
@@ -171,12 +263,13 @@ class EntropyEngine:
             projection=np.zeros(self._masks.shape[0], dtype=np.int64),
             combined=self._cell_index.copy(),
             table=cell_mass.reshape(self._num_cells, 1),
+            bit_accuracies=None if self._uniform is not None else np.empty(0),
         )
 
     def _convolve_extension(
         self, state: SelectionState, fact_id: str
-    ) -> Tuple[np.ndarray, np.ndarray]:
-        """Channel tables ``(A_false, A_true)`` of ``T ∪ {fact_id}``.
+    ) -> Tuple[np.ndarray, np.ndarray, float]:
+        """Channel tables ``(A_false, A_true)`` of ``T ∪ {fact_id}`` + its accuracy.
 
         ``A_true[c, a]`` is the joint mass of cell ``c``, selected-answer
         vector ``a`` and a "true" answer for the candidate; ``A_false``
@@ -188,24 +281,28 @@ class EntropyEngine:
             weights=self.weighted_bits(fact_id),
             minlength=self._num_cells << width,
         ).reshape(self._num_cells, 1 << width)
-        channeled_true = bsc_transform_rows(grouped_true, width, self._crowd.accuracy)
-        # Linearity of the channel: BSC(grouped_false) = BSC(grouped) − BSC(grouped_true).
+        if self._uniform is not None:
+            channeled_true = bsc_transform_rows(grouped_true, width, self._uniform)
+            accuracy = self._uniform
+        else:
+            channeled_true = channel_transform_rows(grouped_true, state.bit_accuracies)
+            accuracy = self.accuracy_for(fact_id)
+        # Linearity of the channel: Chan(grouped_false) = Chan(grouped) − Chan(grouped_true).
         # The subtraction can leave ~1e-16 negative residue; clamp it so the
         # entropy kernel treats it as the zero it mathematically is.
         channeled_false = state.table - channeled_true
         np.maximum(channeled_false, 0.0, out=channeled_false)
-        accuracy = self._crowd.accuracy
-        error = self._crowd.error_rate
+        error = 1.0 - accuracy
         answer_true = accuracy * channeled_true + error * channeled_false
         answer_false = error * channeled_true + accuracy * channeled_false
-        return answer_false, answer_true
+        return answer_false, answer_true, accuracy
 
     def extension_entropies(
         self, state: SelectionState, fact_id: str
     ) -> Tuple[float, float]:
         """Return ``(H(T ∪ {f}), H(I, T ∪ {f}))`` without mutating the state."""
         self.evaluations += 1
-        answer_false, answer_true = self._convolve_extension(state, fact_id)
+        answer_false, answer_true, _ = self._convolve_extension(state, fact_id)
         joint_entropy = entropy_bits(answer_false) + entropy_bits(answer_true)
         if self._num_cells == 1:
             return joint_entropy, joint_entropy
@@ -227,7 +324,7 @@ class EntropyEngine:
                 f"or {_MAX_TASK_BITS} tasks ({self._num_cells} cells x 2^{width} "
                 "answer vectors)"
             )
-        answer_false, answer_true = self._convolve_extension(state, fact_id)
+        answer_false, answer_true, accuracy = self._convolve_extension(state, fact_id)
         table = np.empty((self._num_cells, 1 << width))
         # The new task takes the least significant answer bit, matching the
         # projection refinement below.
@@ -241,6 +338,10 @@ class EntropyEngine:
                 answer_true.sum(axis=0)
             )
         projection = (state.projection << 1) | self.bits(fact_id)
+        if state.bit_accuracies is None:
+            bit_accuracies = None
+        else:
+            bit_accuracies = np.concatenate(([accuracy], state.bit_accuracies))
         return SelectionState(
             task_ids=state.task_ids + (fact_id,),
             width=width,
@@ -249,6 +350,7 @@ class EntropyEngine:
             projection=projection,
             combined=(self._cell_index << width) | projection,
             table=table,
+            bit_accuracies=bit_accuracies,
         )
 
     # -- from-scratch path ----------------------------------------------------------
@@ -269,4 +371,8 @@ class EntropyEngine:
         self.evaluations += 1
         projected = project_columns(self._masks, positions)
         grouped = np.bincount(projected, weights=self._probabilities, minlength=1 << k)
-        return entropy_bits(bsc_transform(grouped, k, self._crowd.accuracy))
+        if self._uniform is not None:
+            return entropy_bits(bsc_transform(grouped, k, self._uniform))
+        return entropy_bits(
+            channel_transform(grouped, self._crowd.accuracies(task_ids))
+        )

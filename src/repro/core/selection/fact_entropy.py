@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from typing import List, Sequence
 
-from repro.core.crowd import CrowdModel
+from repro.core.crowd import ChannelModel
 from repro.core.distribution import JointDistribution
 from repro.core.selection.base import (
     TIE_TOLERANCE,
@@ -38,7 +38,7 @@ class FactEntropySelector(TaskSelector):
     def _select(
         self,
         distribution: JointDistribution,
-        crowd: CrowdModel,
+        crowd: ChannelModel,
         k: int,
         candidates: Sequence[str],
     ) -> SelectionResult:

@@ -6,18 +6,28 @@ achieves a ``(1 − 1/e)`` approximation of the optimum (Nemhauser et al.).
 The selector stops early (``K* < k``) when no candidate yields a positive
 gain, exactly as lines 5–6 of Algorithm 1 prescribe.
 
-All greedy variants share :func:`run_engine_greedy`, one scan loop over the
+All greedy variants share :func:`run_greedy_on_engine`, one scan loop over a
 vectorized incremental :class:`~repro.core.selection.engine.EntropyEngine`;
-they differ only in whether the Theorem-3 pruning rule is applied.  The
+they differ only in whether the Theorem-3 pruning rule is applied, and in
+whether the engine is built fresh (:func:`run_engine_greedy`) or borrowed
+warm from a :class:`~repro.core.selection.session.RefinementSession`.  The
 historical per-candidate-from-scratch implementation survives as
 :class:`~repro.core.selection.reference.ReferenceGreedySelector`.
+
+Under a **heterogeneous** channel model the per-task crowd noise is no longer
+a constant: the expected utility gain of adding task ``f`` is
+``H(T ∪ {f}) − H(T) − H(Crowd_f)``, so candidates are ranked by the net score
+``H(T ∪ {f}) − H(Crowd_f)`` (the objective ``H(T) − Σ_f H(Crowd_f)`` stays
+monotone-submodular because the noise term is modular).  Uniform models keep
+the original raw-entropy ranking — the two are identical there, and keeping
+the original comparison sequence preserves bit-level tie behaviour.
 """
 
 from __future__ import annotations
 
 from typing import Sequence, Set
 
-from repro.core.crowd import CrowdModel
+from repro.core.crowd import ChannelModel
 from repro.core.distribution import JointDistribution
 from repro.core.selection.base import (
     TIE_TOLERANCE,
@@ -32,35 +42,36 @@ from repro.core.utility import crowd_entropy
 GAIN_TOLERANCE = 1e-9
 
 
-def run_engine_greedy(
-    distribution: JointDistribution,
-    crowd: CrowdModel,
+def run_greedy_on_engine(
+    engine: EntropyEngine,
     k: int,
     candidates: Sequence[str],
     use_pruning: bool = False,
 ) -> SelectionResult:
-    """One engine-backed run of Algorithm 1, optionally with Theorem-3 pruning.
+    """One run of Algorithm 1 on a (possibly warm) engine, optionally with pruning.
 
-    Candidates are ranked by the answer-set entropy ``H(T ∪ {f})``; the early
-    stop (lines 5–6) uses the *net* gain ``ρ − H(Crowd)``, i.e. the expected
+    Candidates are ranked by the answer-set entropy ``H(T ∪ {f})`` (uniform
+    channels) or by the net score ``H(T ∪ {f}) − H(Crowd_f)`` (heterogeneous
+    channels); the early stop (lines 5–6) uses the *net* gain — the expected
     utility improvement ``ΔQ`` of adding one more task.  A noisy crowd adds
-    exactly ``H(Crowd)`` of answer entropy even for a fact that is already
+    exactly ``H(Crowd_f)`` of answer entropy even for a fact that is already
     certain, so subtracting it is what makes "no benefit from asking one more
     task" detect certainty (Theorem 2: the net gain is positive exactly while
     an uncertain fact remains).
     """
     stats = SelectionStats()
-    engine = EntropyEngine(distribution, crowd)
     state = engine.initial_state()
     remaining = list(candidates)
     pruned: Set[str] = set()
-    noise_entropy = crowd_entropy(crowd.accuracy)
+    uniform = engine.uniform_accuracy
+    uniform_noise = crowd_entropy(uniform) if uniform is not None else 0.0
 
     for _iteration in range(k):
         stats.iterations += 1
         slack_bits = float(k - state.width - 1)
         best_id = None
         best_entropy = float("-inf")
+        best_score = float("-inf")
         newly_pruned: Set[str] = set()
 
         for fact_id in remaining:
@@ -73,20 +84,30 @@ def run_engine_greedy(
                 # partition and channel table instead of a from-scratch pass.
                 stats.cache_hits += 1
             entropy = engine.extension_entropy(state, fact_id)
-            if entropy > best_entropy + TIE_TOLERANCE:
+            score = (
+                entropy if uniform is not None else entropy - engine.noise_entropy(fact_id)
+            )
+            if score > best_score + TIE_TOLERANCE:
+                best_score = score
                 best_entropy = entropy
                 best_id = fact_id
             # Theorem 3: if even adding the remaining slack cannot reach the
             # current best, this fact can never be part of a better greedy
-            # trajectory — drop it for all future iterations too.
-            if use_pruning and entropy + slack_bits < best_entropy:
+            # trajectory — drop it for all future iterations too.  (Each
+            # future task adds at most one bit of entropy and never a
+            # negative noise term, so the slack bound still holds for net
+            # scores.)
+            if use_pruning and score + slack_bits < best_score:
                 newly_pruned.add(fact_id)
 
         pruned.update(newly_pruned)
         stats.pruned_facts = len(pruned)
         if best_id is None:
             break
-        gain = best_entropy - state.entropy - noise_entropy
+        if uniform is not None:
+            gain = best_entropy - state.entropy - uniform_noise
+        else:
+            gain = best_score - state.entropy
         if gain <= GAIN_TOLERANCE:
             # No candidate improves the expected utility: stop with K* < k.
             break
@@ -100,16 +121,39 @@ def run_engine_greedy(
     )
 
 
+def run_engine_greedy(
+    distribution: JointDistribution,
+    crowd: ChannelModel,
+    k: int,
+    candidates: Sequence[str],
+    use_pruning: bool = False,
+) -> SelectionResult:
+    """Build a fresh engine for ``distribution`` and run Algorithm 1 on it."""
+    return run_greedy_on_engine(
+        EntropyEngine(distribution, crowd), k, candidates, use_pruning=use_pruning
+    )
+
+
 class GreedySelector(TaskSelector):
     """Algorithm 1: iterative greedy selection maximising ``H(T)``."""
 
     name = "greedy"
 
+    #: Whether the Theorem-3 pruning rule is applied (overridden by subclasses).
+    use_pruning = False
+
     def _select(
         self,
         distribution: JointDistribution,
-        crowd: CrowdModel,
+        crowd: ChannelModel,
         k: int,
         candidates: Sequence[str],
     ) -> SelectionResult:
-        return run_engine_greedy(distribution, crowd, k, candidates, use_pruning=False)
+        return run_engine_greedy(
+            distribution, crowd, k, candidates, use_pruning=self.use_pruning
+        )
+
+    def _select_with_session(self, session, k, candidates) -> SelectionResult:
+        return run_greedy_on_engine(
+            session.engine, k, candidates, use_pruning=self.use_pruning
+        )

@@ -19,6 +19,15 @@ would have used as interim tie-blockers are refreshed too; only task sets
 whose *mathematically distinct* gains are spaced inside that ~2e-12 window —
 pure floating-point noise territory, where any choice is arbitrary — could
 in principle diverge.
+
+Heterogeneous channels fold the per-task noise into the tracked gain itself
+(``ρ_f(T) − H(Crowd_f)``, still submodular because the noise is modular and
+still bounded by one bit), so the CELF bound logic is unchanged; uniform
+models keep the original raw-gain arithmetic bit-for-bit.
+
+Like the other greedy variants, the scan runs on a vectorized incremental
+engine that may be built fresh per call or borrowed warm from a
+:class:`~repro.core.selection.session.RefinementSession`.
 """
 
 from __future__ import annotations
@@ -26,7 +35,7 @@ from __future__ import annotations
 import heapq
 from typing import List, Sequence
 
-from repro.core.crowd import CrowdModel
+from repro.core.crowd import ChannelModel
 from repro.core.distribution import JointDistribution
 from repro.core.selection.base import (
     TIE_TOLERANCE,
@@ -39,8 +48,78 @@ from repro.core.selection.greedy import GAIN_TOLERANCE
 from repro.core.utility import crowd_entropy
 
 #: A single binary answer carries at most one bit, so 1.0 upper-bounds every
-#: marginal gain before anything has been evaluated.
+#: marginal gain before anything has been evaluated (net gains subtract a
+#: non-negative noise term and are bounded by the same constant).
 _INITIAL_GAIN_BOUND = 1.0
+
+
+def run_lazy_greedy_on_engine(
+    engine: EntropyEngine, k: int, candidates: Sequence[str]
+) -> SelectionResult:
+    """Algorithm 1 with CELF lazy evaluation, on a (possibly warm) engine."""
+    stats = SelectionStats()
+    state = engine.initial_state()
+    uniform = engine.uniform_accuracy
+    uniform_noise = crowd_entropy(uniform) if uniform is not None else 0.0
+
+    # Max-heap of (−stale_gain, candidate_index, fact_id); the index makes
+    # exact ties pop in candidate order, mirroring plain greedy.  Entries
+    # are only re-inserted after a refresh round ends, so every pop below
+    # carries a stale bound and is re-evaluated.
+    heap: List[tuple] = [
+        (-_INITIAL_GAIN_BOUND, index, fact_id)
+        for index, fact_id in enumerate(candidates)
+    ]
+
+    for _iteration in range(k):
+        stats.iterations += 1
+        refreshed: List[list] = []
+        best_gain = float("-inf")
+
+        # Refresh until every remaining stale bound sits below the best
+        # fresh gain: those candidates cannot win this iteration, and by
+        # submodularity never need a look.  The 2x tolerance margin also
+        # refreshes would-be interim tie-blockers of plain greedy's scan,
+        # keeping the re-ranking below faithful to it.
+        while heap and -heap[0][0] >= best_gain - 2 * TIE_TOLERANCE:
+            _stale, index, fact_id = heapq.heappop(heap)
+            stats.candidate_evaluations += 1
+            if state.width:
+                stats.cache_hits += 1
+            gain = engine.extension_entropy(state, fact_id) - state.entropy
+            if uniform is None:
+                gain -= engine.noise_entropy(fact_id)
+            refreshed.append([gain, index, fact_id])
+            if gain > best_gain:
+                best_gain = gain
+        stats.skipped_evaluations += len(heap)
+
+        # Re-rank the refreshed candidates exactly like plain greedy's
+        # in-order scan so tie-breaking matches.
+        refreshed.sort(key=lambda item: item[1])
+        best_id = None
+        best_score = float("-inf")
+        for gain, _index, fact_id in refreshed:
+            score = state.entropy + gain
+            if score > best_score + TIE_TOLERANCE:
+                best_score = score
+                best_id = fact_id
+        for gain, index, fact_id in refreshed:
+            if fact_id != best_id:
+                heapq.heappush(heap, (-gain, index, fact_id))
+
+        if best_id is None:
+            break
+        net_gain = best_score - state.entropy - uniform_noise
+        if net_gain <= GAIN_TOLERANCE:
+            break
+        state = engine.extend(state, best_id)
+        if not heap:
+            break
+
+    return SelectionResult(
+        task_ids=state.task_ids, objective=state.entropy, stats=stats
+    )
 
 
 class LazyGreedySelector(TaskSelector):
@@ -51,68 +130,13 @@ class LazyGreedySelector(TaskSelector):
     def _select(
         self,
         distribution: JointDistribution,
-        crowd: CrowdModel,
+        crowd: ChannelModel,
         k: int,
         candidates: Sequence[str],
     ) -> SelectionResult:
-        stats = SelectionStats()
-        engine = EntropyEngine(distribution, crowd)
-        state = engine.initial_state()
-        noise_entropy = crowd_entropy(crowd.accuracy)
-
-        # Max-heap of (−stale_gain, candidate_index, fact_id); the index makes
-        # exact ties pop in candidate order, mirroring plain greedy.  Entries
-        # are only re-inserted after a refresh round ends, so every pop below
-        # carries a stale bound and is re-evaluated.
-        heap: List[tuple] = [
-            (-_INITIAL_GAIN_BOUND, index, fact_id)
-            for index, fact_id in enumerate(candidates)
-        ]
-
-        for _iteration in range(k):
-            stats.iterations += 1
-            refreshed: List[list] = []
-            best_gain = float("-inf")
-
-            # Refresh until every remaining stale bound sits below the best
-            # fresh gain: those candidates cannot win this iteration, and by
-            # submodularity never need a look.  The 2x tolerance margin also
-            # refreshes would-be interim tie-blockers of plain greedy's scan,
-            # keeping the re-ranking below faithful to it.
-            while heap and -heap[0][0] >= best_gain - 2 * TIE_TOLERANCE:
-                _stale, index, fact_id = heapq.heappop(heap)
-                stats.candidate_evaluations += 1
-                if state.width:
-                    stats.cache_hits += 1
-                gain = engine.extension_entropy(state, fact_id) - state.entropy
-                refreshed.append([gain, index, fact_id])
-                if gain > best_gain:
-                    best_gain = gain
-            stats.skipped_evaluations += len(heap)
-
-            # Re-rank the refreshed candidates exactly like plain greedy's
-            # in-order scan so tie-breaking matches.
-            refreshed.sort(key=lambda item: item[1])
-            best_id = None
-            best_entropy = float("-inf")
-            for gain, _index, fact_id in refreshed:
-                entropy = state.entropy + gain
-                if entropy > best_entropy + TIE_TOLERANCE:
-                    best_entropy = entropy
-                    best_id = fact_id
-            for gain, index, fact_id in refreshed:
-                if fact_id != best_id:
-                    heapq.heappush(heap, (-gain, index, fact_id))
-
-            if best_id is None:
-                break
-            net_gain = best_entropy - state.entropy - noise_entropy
-            if net_gain <= GAIN_TOLERANCE:
-                break
-            state = engine.extend(state, best_id)
-            if not heap:
-                break
-
-        return SelectionResult(
-            task_ids=state.task_ids, objective=state.entropy, stats=stats
+        return run_lazy_greedy_on_engine(
+            EntropyEngine(distribution, crowd), k, candidates
         )
+
+    def _select_with_session(self, session, k, candidates) -> SelectionResult:
+        return run_lazy_greedy_on_engine(session.engine, k, candidates)

@@ -14,30 +14,19 @@ as ``log(k − |T| − 1)``; the dimensionally sound bound for binary answers is
 ``k − |T| − 1`` bits, which is what we use — it is never smaller, so pruning
 remains safe and the selected set is identical to plain greedy.)
 
-The scan itself runs on the shared vectorized incremental engine; see
-:func:`repro.core.selection.greedy.run_engine_greedy`.
+The scan itself runs on the shared vectorized incremental engine — fresh or
+borrowed from a refinement session; see
+:func:`repro.core.selection.greedy.run_greedy_on_engine`.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
-
-from repro.core.crowd import CrowdModel
-from repro.core.distribution import JointDistribution
-from repro.core.selection.base import SelectionResult, TaskSelector
-from repro.core.selection.greedy import run_engine_greedy
+from repro.core.selection.greedy import GreedySelector
 
 
-class PruningGreedySelector(TaskSelector):
+class PruningGreedySelector(GreedySelector):
     """Algorithm 1 plus permanent candidate pruning (Theorem 3)."""
 
     name = "greedy_prune"
 
-    def _select(
-        self,
-        distribution: JointDistribution,
-        crowd: CrowdModel,
-        k: int,
-        candidates: Sequence[str],
-    ) -> SelectionResult:
-        return run_engine_greedy(distribution, crowd, k, candidates, use_pruning=True)
+    use_pruning = True

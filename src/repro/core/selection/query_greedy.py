@@ -15,14 +15,17 @@ whole point of the extension.
 The scan runs on the shared vectorized engine with the support additionally
 partitioned into facts-of-interest cells, so each candidate costs one grouped
 sum and one channel pass per cell — both ``H(T ∪ {f})`` and ``H(I, T ∪ {f})``
-fall out of the same cached table.
+fall out of the same cached table.  The channels may be heterogeneous (the
+conditional-utility objective already absorbs per-task noise, so no ranking
+adjustment is needed), and a :class:`~repro.core.selection.session.RefinementSession`
+built with the same facts of interest lends its warm engine across rounds.
 """
 
 from __future__ import annotations
 
 from typing import Sequence
 
-from repro.core.crowd import CrowdModel
+from repro.core.crowd import ChannelModel
 from repro.core.distribution import JointDistribution
 from repro.core.query import Query
 from repro.core.selection.base import (
@@ -52,7 +55,7 @@ class QueryGreedySelector(TaskSelector):
     def _query_utility(
         self,
         distribution: JointDistribution,
-        crowd: CrowdModel,
+        crowd: ChannelModel,
         task_ids: Sequence[str],
     ) -> float:
         """Compute ``Q(I | T) = H(T) − H(I, T)`` (``−H(I)`` when ``T`` is empty)."""
@@ -63,23 +66,17 @@ class QueryGreedySelector(TaskSelector):
         joint_entropy = crowd.joint_fact_answer_entropy(distribution, interest, task_ids)
         return task_entropy - joint_entropy
 
-    def _select(
-        self,
-        distribution: JointDistribution,
-        crowd: CrowdModel,
-        k: int,
-        candidates: Sequence[str],
-    ) -> SelectionResult:
+    def _check_query_facts(self, fact_ids: Sequence[str]) -> None:
         missing = [
-            fact_id
-            for fact_id in self._query.fact_ids
-            if fact_id not in distribution.fact_ids
+            fact_id for fact_id in self._query.fact_ids if fact_id not in fact_ids
         ]
         if missing:
             raise QueryError(f"query references unknown facts: {missing}")
 
+    def _run_on_engine(
+        self, engine: EntropyEngine, k: int, candidates: Sequence[str]
+    ) -> SelectionResult:
         stats = SelectionStats()
-        engine = EntropyEngine(distribution, crowd, interest_ids=self._query.fact_ids)
         state = engine.initial_state()
         remaining = list(candidates)
         current_utility = state.entropy - state.joint_entropy
@@ -111,3 +108,22 @@ class QueryGreedySelector(TaskSelector):
         return SelectionResult(
             task_ids=state.task_ids, objective=current_utility, stats=stats
         )
+
+    def _select(
+        self,
+        distribution: JointDistribution,
+        crowd: ChannelModel,
+        k: int,
+        candidates: Sequence[str],
+    ) -> SelectionResult:
+        self._check_query_facts(distribution.fact_ids)
+        engine = EntropyEngine(distribution, crowd, interest_ids=self._query.fact_ids)
+        return self._run_on_engine(engine, k, candidates)
+
+    def _select_with_session(self, session, k, candidates) -> SelectionResult:
+        self._check_query_facts(session.fact_ids)
+        if session.interest_ids != tuple(self._query.fact_ids):
+            # The session's cells were built for a different (or no) interest
+            # set; fall back to a fresh engine over the materialised posterior.
+            return super()._select_with_session(session, k, candidates)
+        return self._run_on_engine(session.engine, k, candidates)

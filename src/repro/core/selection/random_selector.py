@@ -6,7 +6,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.core.crowd import CrowdModel
+from repro.core.crowd import ChannelModel
 from repro.core.distribution import JointDistribution
 from repro.core.selection.base import SelectionResult, SelectionStats, TaskSelector
 
@@ -27,7 +27,7 @@ class RandomSelector(TaskSelector):
     def _select(
         self,
         distribution: JointDistribution,
-        crowd: CrowdModel,
+        crowd: ChannelModel,
         k: int,
         candidates: Sequence[str],
     ) -> SelectionResult:

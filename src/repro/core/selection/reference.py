@@ -4,7 +4,8 @@ These are the seed implementations that predate the vectorized
 :class:`~repro.core.selection.engine.EntropyEngine`: ``O(2^k · |O|)`` dict
 arithmetic per entropy evaluation and a greedy loop that rebuilds every
 candidate task set from scratch.  They are kept verbatim (modulo the shared
-popcount helper) for two purposes:
+popcount helper, and a guard that refuses the heterogeneous channel models
+the seed never knew about) for two purposes:
 
 * **equivalence testing** — the engine and every selector built on it must
   reproduce these numbers to within floating-point noise, which the property
@@ -40,6 +41,14 @@ def reference_answer_distribution(
     Returns the unnormalised ``answer mask -> mass`` mapping (the masses sum
     to one up to rounding because the support does).
     """
+    accuracy = getattr(crowd, "uniform_accuracy", None)
+    if accuracy is None:
+        # The seed predates heterogeneous channels; refuse clearly instead of
+        # silently computing with the wrong noise model.
+        raise SelectionError(
+            "the reference path models a uniform crowd only; "
+            "use an engine-backed selector for heterogeneous channel models"
+        )
     if not task_ids:
         raise SelectionError("task set must contain at least one fact")
     if len(set(task_ids)) != len(task_ids):
@@ -52,8 +61,7 @@ def reference_answer_distribution(
         sub = project_mask(mask, positions)
         projected[sub] = projected.get(sub, 0.0) + probability
 
-    accuracy = crowd.accuracy
-    error = crowd.error_rate
+    error = 1.0 - accuracy
     answer_probs: Dict[int, float] = {}
     for answer_mask in range(1 << k):
         total = 0.0
@@ -89,11 +97,17 @@ class ReferenceGreedySelector(TaskSelector):
         k: int,
         candidates: Sequence[str],
     ) -> SelectionResult:
+        accuracy = getattr(crowd, "uniform_accuracy", None)
+        if accuracy is None:
+            raise SelectionError(
+                "greedy_reference models a uniform crowd only; "
+                "use an engine-backed selector for heterogeneous channel models"
+            )
         stats = SelectionStats()
         selected: List[str] = []
         remaining = list(candidates)
         current_entropy = 0.0
-        noise_entropy = crowd_entropy(crowd.accuracy)
+        noise_entropy = crowd_entropy(accuracy)
         # Import here: greedy.py defines the shared gain tolerance and itself
         # imports the engine machinery this module must stay independent of.
         from repro.core.selection.greedy import GAIN_TOLERANCE

@@ -1,0 +1,225 @@
+"""Persistent refinement sessions: one engine amortised over many rounds.
+
+A multi-round CrowdFusion run repeats select → collect → merge on the *same*
+output support: Bayesian merging only reweights the probability of each
+support row, it never adds or removes rows.  Rebuilding a fresh
+:class:`~repro.core.selection.engine.EntropyEngine` every round therefore
+throws away every structural cache — the contiguous support arrays, the
+per-fact 0/1 bit columns, the facts-of-interest cells — and, on the fresh
+path, also round-trips the posterior through a Python dict twice per round
+(once to build the merged :class:`JointDistribution`, once to re-extract its
+arrays).
+
+A :class:`RefinementSession` owns one engine for the lifetime of a run:
+
+* :meth:`RefinementSession.select` hands the live engine to any session-aware
+  selector (all greedy variants), so every round's scan starts from warm
+  caches;
+* :meth:`RefinementSession.merge` applies a round's answers as a pure array
+  reweight (:meth:`EntropyEngine.reweight`) — no dict materialisation at all;
+* marginals, entropy/utility and predicted labels are computed directly from
+  the cached arrays, and a full :class:`JointDistribution` posterior is only
+  materialised on demand (:attr:`RefinementSession.distribution`).
+
+A :class:`SessionPool` keys sessions by entity so batched experiments (one
+refinement problem per book, rounds interleaved in lock-step) reuse every
+entity's cached state across all global passes instead of building one engine
+per entity per pass.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Sequence
+
+import numpy as np
+
+from repro.core.answers import AnswerSet
+from repro.core.crowd import ChannelModel
+from repro.core.distribution import JointDistribution
+from repro.core.entropy import entropy_bits
+from repro.core.merging import answer_likelihood_array
+from repro.core.selection.base import SelectionResult, TaskSelector
+from repro.core.selection.engine import EntropyEngine
+from repro.exceptions import SelectionError
+
+
+class RefinementSession:
+    """Cached selection/merging state for one multi-round refinement run.
+
+    Parameters
+    ----------
+    distribution:
+        The prior joint output distribution.  Its support — and therefore
+        every structural cache — is fixed for the session's lifetime.
+    channel:
+        The :class:`~repro.core.crowd.ChannelModel` used both to score
+        candidate task sets and to merge the received answers, so what
+        selection expects is exactly what merging applies.
+    interest_ids:
+        Optional facts of interest; when given, the session's engine also
+        tracks ``H(I, T)`` and session-aware query selectors reuse it.
+    """
+
+    def __init__(
+        self,
+        distribution: JointDistribution,
+        channel: ChannelModel,
+        interest_ids: Optional[Sequence[str]] = None,
+    ):
+        self._initial = distribution
+        self._channel = channel
+        self._interest_ids = tuple(interest_ids) if interest_ids else ()
+        self._engine = EntropyEngine(
+            distribution, channel, interest_ids=interest_ids
+        )
+        self._materialized: Optional[JointDistribution] = distribution
+        self._rounds_merged = 0
+
+    # -- structure -------------------------------------------------------------------
+
+    @property
+    def engine(self) -> EntropyEngine:
+        """The live engine; selectors score candidates against it directly."""
+        return self._engine
+
+    @property
+    def channel(self) -> ChannelModel:
+        """The channel model shared by selection and merging."""
+        return self._channel
+
+    @property
+    def interest_ids(self) -> "tuple[str, ...]":
+        """Facts of interest the session was built with (empty if none)."""
+        return self._interest_ids
+
+    @property
+    def fact_ids(self) -> "tuple[str, ...]":
+        """Ordered fact ids of the underlying distribution."""
+        return self._initial.fact_ids
+
+    @property
+    def num_facts(self) -> int:
+        return self._initial.num_facts
+
+    @property
+    def rounds_merged(self) -> int:
+        """Number of answer sets merged into this session so far."""
+        return self._rounds_merged
+
+    # -- current posterior -----------------------------------------------------------
+
+    @property
+    def distribution(self) -> JointDistribution:
+        """The current posterior, materialised on demand and cached until the
+        next merge.  Support rows whose mass reached exactly zero are dropped
+        from the materialised object (matching :func:`merge_answers`), while
+        the session itself keeps them for row alignment."""
+        if self._materialized is None:
+            self._materialized = JointDistribution.from_support_arrays(
+                self._initial.fact_ids,
+                self._engine.support_masks,
+                self._engine.probabilities,
+            )
+        return self._materialized
+
+    def entropy(self) -> float:
+        """Shannon entropy ``H(F)`` of the current posterior, from the arrays."""
+        return entropy_bits(self._engine.probabilities)
+
+    def utility(self) -> float:
+        """PWS-quality ``Q(F) = −H(F)`` of the current posterior."""
+        return -self.entropy()
+
+    def marginal(self, fact_id: str) -> float:
+        """Marginal truth probability of one fact (a cached-column dot product)."""
+        return float(self._engine.weighted_bits(fact_id).sum())
+
+    def marginals(self) -> Dict[str, float]:
+        """Per-fact marginal truth probabilities of the current posterior."""
+        return {fact_id: self.marginal(fact_id) for fact_id in self.fact_ids}
+
+    def predicted_labels(self, threshold: float = 0.5) -> Dict[str, bool]:
+        """Threshold the marginals into boolean labels (strictly greater wins)."""
+        return {
+            fact_id: probability > threshold
+            for fact_id, probability in self.marginals().items()
+        }
+
+    # -- the select / merge cycle ----------------------------------------------------
+
+    def select(
+        self, selector: TaskSelector, k: int, exclude: Sequence[str] = ()
+    ) -> SelectionResult:
+        """Select up to ``k`` tasks against the session's cached state."""
+        return selector.select_with_session(self, k, exclude=exclude)
+
+    def merge(self, answers: AnswerSet) -> None:
+        """Fold one round's answers into the posterior (Equation 3).
+
+        A pure array update: the per-row likelihoods are computed against the
+        session's fixed support and multiplied into the engine's probability
+        vector.  Invalidates the materialised posterior.
+        """
+        weights = answer_likelihood_array(self._initial, answers, self._channel)
+        self._engine.reweight(weights)
+        self._materialized = None
+        self._rounds_merged += 1
+
+
+class SessionPool:
+    """A keyed pool of refinement sessions sharing one lifecycle.
+
+    The batched-experiment consumer: one session per entity (book, flight),
+    built once before the first global pass and reused — warm bit columns,
+    warm partitions — for every subsequent pass.  Aggregate quality metrics
+    (summed utility, pooled predicted labels) are computed straight from the
+    sessions' cached arrays.
+    """
+
+    def __init__(self) -> None:
+        self._sessions: Dict[str, RefinementSession] = {}
+
+    def add(
+        self,
+        key: str,
+        distribution: JointDistribution,
+        channel: ChannelModel,
+        interest_ids: Optional[Sequence[str]] = None,
+    ) -> RefinementSession:
+        """Create, register and return the session for ``key``."""
+        if key in self._sessions:
+            raise SelectionError(f"session pool already contains key {key!r}")
+        session = RefinementSession(distribution, channel, interest_ids=interest_ids)
+        self._sessions[key] = session
+        return session
+
+    def __getitem__(self, key: str) -> RefinementSession:
+        try:
+            return self._sessions[key]
+        except KeyError:
+            raise SelectionError(f"session pool has no key {key!r}") from None
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._sessions
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def __iter__(self) -> Iterator[RefinementSession]:
+        return iter(self._sessions.values())
+
+    def keys(self) -> "tuple[str, ...]":
+        return tuple(self._sessions)
+
+    # -- aggregates ------------------------------------------------------------------
+
+    def total_utility(self) -> float:
+        """Summed PWS-quality over all sessions (the experiment curves' y-axis)."""
+        return float(sum(session.utility() for session in self._sessions.values()))
+
+    def predicted_labels(self, threshold: float = 0.5) -> Dict[str, bool]:
+        """Pooled per-fact labels across all sessions."""
+        labels: Dict[str, bool] = {}
+        for session in self._sessions.values():
+            labels.update(session.predicted_labels(threshold))
+        return labels

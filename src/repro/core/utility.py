@@ -10,7 +10,7 @@ from __future__ import annotations
 import math
 
 from repro.core.distribution import JointDistribution
-from repro.exceptions import InvalidCrowdModelError
+from repro.types import validate_accuracy
 
 
 def pws_quality(distribution: JointDistribution) -> float:
@@ -24,10 +24,7 @@ def crowd_entropy(accuracy: float) -> float:
     ``accuracy`` is the worker correctness probability ``Pc ∈ [0.5, 1]``.
     ``Pc = 1`` gives zero entropy (a perfectly reliable crowd).
     """
-    if not 0.5 <= accuracy <= 1.0:
-        raise InvalidCrowdModelError(
-            f"crowd accuracy must be in [0.5, 1.0], got {accuracy}"
-        )
+    validate_accuracy(accuracy, "crowd accuracy")
     if accuracy == 1.0:
         return 0.0
     wrong = 1.0 - accuracy

@@ -10,16 +10,27 @@ experiments) and a qualification pre-test for estimating ``Pc``.
 """
 
 from repro.crowdsim.platform import SimulatedPlatform
-from repro.crowdsim.qualification import QualificationTest, estimate_accuracy
+from repro.crowdsim.qualification import (
+    QualificationResult,
+    QualificationTest,
+    calibrate_domain_accuracies,
+    calibrate_worker_accuracies,
+    estimate_accuracy,
+    pooled_accuracy,
+)
 from repro.crowdsim.task import Task, TaskBatch
 from repro.crowdsim.worker import Worker, WorkerPool
 
 __all__ = [
+    "QualificationResult",
     "QualificationTest",
     "SimulatedPlatform",
     "Task",
     "TaskBatch",
     "Worker",
     "WorkerPool",
+    "calibrate_domain_accuracies",
+    "calibrate_worker_accuracies",
     "estimate_accuracy",
+    "pooled_accuracy",
 ]

@@ -6,15 +6,31 @@ groundtruth"), and notes that under- or over-estimating ``Pc`` degrades the
 refinement.  :class:`QualificationTest` runs such a pre-test against a
 simulated platform and returns a point estimate plus a Wilson confidence
 interval, clipped into the model's legal range ``[0.5, 1.0]``.
+
+Beyond the single pooled ``Pc``, the pre-test machinery also feeds the
+heterogeneous channel models of :mod:`repro.core.crowd`:
+
+* :func:`calibrate_worker_accuracies` pre-tests every worker of a pool
+  individually, giving per-worker estimates whose pooled mean
+  (:func:`pooled_accuracy`) is the calibrated default channel accuracy;
+* :func:`calibrate_domain_accuracies` groups the gold sample by task domain
+  and pre-tests each group through the platform, estimating one accuracy per
+  domain — exactly the "workers reliable only in some domains" signal that
+  :meth:`repro.core.crowd.CalibratedCrowdModel.from_domain_estimates` turns
+  into per-fact channels.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Mapping, Sequence, Tuple
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.crowdsim.platform import SimulatedPlatform
+from repro.crowdsim.task import Task
+from repro.crowdsim.worker import WorkerPool
 from repro.exceptions import PlatformError
 
 
@@ -103,13 +119,97 @@ class QualificationTest:
                 total += 1
                 if answers[fact_id] == self._gold[fact_id]:
                     correct += 1
-        raw = correct / total
-        low, high = wilson_interval(correct, total)
-        estimate = min(1.0, max(0.5, raw))
-        return QualificationResult(
-            estimated_accuracy=estimate,
-            raw_accuracy=raw,
-            sample_size=total,
-            interval_low=low,
-            interval_high=high,
-        )
+        return _result_from_counts(correct, total)
+
+
+def _result_from_counts(correct: int, total: int) -> QualificationResult:
+    """Build a :class:`QualificationResult` from raw pre-test counts."""
+    raw = correct / total
+    low, high = wilson_interval(correct, total)
+    return QualificationResult(
+        estimated_accuracy=min(1.0, max(0.5, raw)),
+        raw_accuracy=raw,
+        sample_size=total,
+        interval_low=low,
+        interval_high=high,
+    )
+
+
+def calibrate_worker_accuracies(
+    pool: WorkerPool,
+    gold: Mapping[str, bool],
+    repetitions: int = 1,
+    seed: Optional[int] = None,
+) -> Dict[str, QualificationResult]:
+    """Pre-test every worker of a pool individually against gold tasks.
+
+    Unlike :class:`QualificationTest` — which measures the *pool* through the
+    platform's anonymous task routing — this routes the same gold sample to
+    each worker separately, the way a real platform calibrates workers before
+    admitting them.  Returns one :class:`QualificationResult` per worker id;
+    feed the estimates to :func:`pooled_accuracy` for a calibrated default
+    channel, or inspect them to blocklist unreliable workers.
+    """
+    if not gold:
+        raise PlatformError("a qualification test needs at least one gold fact")
+    if repetitions <= 0:
+        raise PlatformError(f"repetitions must be positive, got {repetitions}")
+    rng = np.random.default_rng(seed)
+    estimates: Dict[str, QualificationResult] = {}
+    for worker in pool:
+        correct = 0
+        total = 0
+        for _ in range(repetitions):
+            for fact_id, truth in gold.items():
+                task = Task(
+                    fact_id=fact_id,
+                    question=f"Is the statement {fact_id!r} true?",
+                    ground_truth=truth,
+                )
+                total += 1
+                if worker.answer(task, truth, rng) == truth:
+                    correct += 1
+        estimates[worker.worker_id] = _result_from_counts(correct, total)
+    return estimates
+
+
+def pooled_accuracy(estimates: Mapping[str, QualificationResult]) -> float:
+    """Mean of per-worker estimated accuracies, clipped to ``[0.5, 1.0]``.
+
+    The single number a uniform selection channel would assume for a pool
+    whose workers were calibrated individually.
+    """
+    if not estimates:
+        raise PlatformError("cannot pool zero worker estimates")
+    mean = sum(result.estimated_accuracy for result in estimates.values()) / len(
+        estimates
+    )
+    return min(1.0, max(0.5, mean))
+
+
+def calibrate_domain_accuracies(
+    platform: SimulatedPlatform,
+    gold: Mapping[str, bool],
+    domains: Mapping[str, str],
+    repetitions: int = 1,
+) -> Dict[str, QualificationResult]:
+    """Estimate one crowd accuracy per task domain from a gold pre-test.
+
+    The gold sample is partitioned by the ``domains`` tagging (facts without
+    a tag are ignored) and each partition is pre-tested through the platform,
+    so domain-skilled worker pools show up as per-domain accuracy differences.
+    The resulting mapping plugs straight into
+    :meth:`repro.core.crowd.CalibratedCrowdModel.from_domain_estimates`.
+    """
+    by_domain: Dict[str, Dict[str, bool]] = {}
+    for fact_id, truth in gold.items():
+        domain = domains.get(fact_id)
+        if domain is None:
+            continue
+        by_domain.setdefault(domain, {})[fact_id] = truth
+    if not by_domain:
+        raise PlatformError("no gold facts carry a domain tag")
+    return {
+        domain: QualificationTest(sample, repetitions=repetitions).run(platform)
+        for domain, sample in sorted(by_domain.items())
+    }

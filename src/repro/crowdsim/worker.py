@@ -17,7 +17,8 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence
 import numpy as np
 
 from repro.crowdsim.task import Task
-from repro.exceptions import InvalidCrowdModelError, PlatformError
+from repro.exceptions import PlatformError
+from repro.types import validate_accuracy
 
 
 @dataclass
@@ -41,15 +42,9 @@ class Worker:
     domain_skills: Dict[str, float] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
-        if not 0.5 <= self.accuracy <= 1.0:
-            raise InvalidCrowdModelError(
-                f"worker accuracy must be in [0.5, 1.0], got {self.accuracy}"
-            )
+        validate_accuracy(self.accuracy, "worker accuracy")
         for domain, accuracy in self.domain_skills.items():
-            if not 0.5 <= accuracy <= 1.0:
-                raise InvalidCrowdModelError(
-                    f"domain skill for {domain!r} must be in [0.5, 1.0], got {accuracy}"
-                )
+            validate_accuracy(accuracy, f"domain skill for {domain!r}")
 
     def effective_accuracy(self, task: Task, domain: Optional[str] = None) -> float:
         """Accuracy applied to one task after difficulty and domain adjustment."""

@@ -6,6 +6,25 @@ budget ``B`` and a per-round task count ``k``; rounds are executed for all
 entities in lock-step and after every global pass the summed utility and the
 F1-score of the thresholded labels are recorded, producing the
 quality-vs-cost curves of the figures.
+
+The lock-step loop runs on a batched
+:class:`~repro.core.selection.session.SessionPool`: one persistent
+:class:`~repro.core.selection.session.RefinementSession` per entity, built
+before the first pass and reweighted in place after every merge, so all
+entities' candidate sets are scored against shared cached state (warm bit
+columns and partitions) in every global pass instead of rebuilding one
+selection engine per entity per pass.  Curve points come straight from the
+sessions' cached arrays — no per-pass distribution materialisation at all.
+
+The crowd may be modelled at three fidelities (``ExperimentConfig.crowd_model``):
+
+* ``"uniform"`` — the paper's shared-``Pc`` :class:`CrowdModel`;
+* ``"difficulty"`` — per-fact channels lowered by the platform's known task
+  difficulties (:class:`DifficultyAdjustedCrowdModel`);
+* ``"calibrated"`` — a per-entity qualification pre-test estimates the pool's
+  accuracy (spending real platform answers, which are counted into the
+  quality-vs-cost curve), optionally combined with the difficulty adjustment
+  (:class:`CalibratedCrowdModel`).
 """
 
 from __future__ import annotations
@@ -13,19 +32,28 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
-from repro.core.crowd import CrowdModel
+from repro.core.crowd import (
+    CalibratedCrowdModel,
+    ChannelModel,
+    CrowdModel,
+    DifficultyAdjustedCrowdModel,
+)
 from repro.core.distribution import JointDistribution
 from repro.core.facts import FactSet
-from repro.core.merging import merge_answers
 from repro.core.selection import TaskSelector, get_selector
+from repro.core.selection.session import RefinementSession, SessionPool
 from repro.correlation.builder import JointDistributionBuilder
 from repro.correlation.rules import CorrelationRule
 from repro.crowdsim.platform import SimulatedPlatform
+from repro.crowdsim.qualification import QualificationTest
 from repro.crowdsim.worker import WorkerPool
-from repro.evaluation.metrics import classification_scores, total_utility
+from repro.evaluation.metrics import classification_scores
 from repro.exceptions import CrowdFusionError, DatasetError
 from repro.fusion.claims import ClaimDatabase
 from repro.fusion.pipeline import FusionMethod, claims_to_facts, fusion_prior
+
+#: The crowd-model fidelities :func:`run_quality_experiment` understands.
+CROWD_MODEL_KINDS = ("uniform", "difficulty", "calibrated")
 
 
 @dataclass
@@ -148,6 +176,17 @@ class ExperimentConfig:
         Whether the per-claim difficulties affect the simulated workers.
     seed:
         Base RNG seed; each entity derives its own stream from it.
+    crowd_model:
+        Channel-model fidelity assumed by selection and merging: ``"uniform"``
+        (one shared ``Pc``), ``"difficulty"`` (per-fact channels adjusted by
+        the known task difficulties, active when ``use_difficulties`` is on)
+        or ``"calibrated"`` (per-entity qualification pre-test estimates the
+        accuracy, plus the difficulty adjustment when active).
+    calibration_facts:
+        Size of the per-entity gold sample used by the ``"calibrated"``
+        pre-test.
+    calibration_repetitions:
+        How many times each calibration sample task is asked.
     """
 
     selector: str = "greedy_prune_pre"
@@ -158,6 +197,9 @@ class ExperimentConfig:
     answers_per_task: int = 1
     use_difficulties: bool = False
     seed: int = 0
+    crowd_model: str = "uniform"
+    calibration_facts: int = 5
+    calibration_repetitions: int = 3
 
     @property
     def model_accuracy(self) -> float:
@@ -216,26 +258,64 @@ class _EntityState:
     """Mutable per-entity state while an experiment is running."""
 
     problem: EntityProblem
-    distribution: JointDistribution
+    session: RefinementSession
     platform: SimulatedPlatform
     selector: TaskSelector
     remaining_budget: int
 
 
+def _build_channel(
+    config: ExperimentConfig, problem: EntityProblem, platform: SimulatedPlatform
+) -> ChannelModel:
+    """Construct the channel model the system assumes for one entity.
+
+    The ``"calibrated"`` fidelity spends real (seeded) platform answers on a
+    qualification pre-test before the refinement starts, exactly as a real
+    deployment would, so its estimate varies with the worker RNG stream.
+    """
+    base = config.model_accuracy
+    difficulties = problem.difficulties if config.use_difficulties else {}
+    if config.crowd_model == "uniform":
+        return CrowdModel(base)
+    if config.crowd_model == "difficulty":
+        return DifficultyAdjustedCrowdModel(base, difficulties)
+    if config.crowd_model == "calibrated":
+        sample_ids = sorted(problem.gold)[: max(1, config.calibration_facts)]
+        sample = {fact_id: problem.gold[fact_id] for fact_id in sample_ids}
+        estimate = QualificationTest(
+            sample, repetitions=config.calibration_repetitions
+        ).run(platform)
+        # The pre-test measures the *effective* accuracy on its sample tasks,
+        # difficulties included; add the sample's mean difficulty back to
+        # recover the base accuracy before re-applying per-fact difficulties
+        # (otherwise hard statements would be discounted twice).
+        mean_difficulty = sum(
+            difficulties.get(fact_id, 0.0) for fact_id in sample_ids
+        ) / len(sample_ids)
+        calibrated = min(1.0, max(0.5, estimate.estimated_accuracy + mean_difficulty))
+        overrides = {
+            fact_id: max(0.5, calibrated - difficulty)
+            for fact_id, difficulty in difficulties.items()
+            if difficulty > 0.0
+        }
+        return CalibratedCrowdModel(calibrated, overrides)
+    raise CrowdFusionError(
+        f"unknown crowd model {config.crowd_model!r}; "
+        f"expected one of {CROWD_MODEL_KINDS}"
+    )
+
+
 def _measure(
-    states: Sequence[_EntityState], cost: int
+    pool: SessionPool, states: Sequence[_EntityState], cost: int
 ) -> QualityPoint:
-    """Compute one curve point from the current per-entity distributions."""
-    predicted: Dict[str, bool] = {}
+    """Compute one curve point straight from the session pool's cached arrays."""
     gold: Dict[str, bool] = {}
     for state in states:
-        predicted.update(state.distribution.predicted_labels())
         gold.update(state.problem.gold)
-    scores = classification_scores(predicted, gold)
-    utility = total_utility(state.distribution for state in states)
+    scores = classification_scores(pool.predicted_labels(), gold)
     return QualityPoint(
         cost=cost,
-        utility=utility,
+        utility=pool.total_utility(),
         f1=scores.f1,
         precision=scores.precision,
         recall=scores.recall,
@@ -253,7 +333,9 @@ def run_quality_experiment(
     Rounds are interleaved across entities (every entity runs its ``r``-th
     round before any entity runs round ``r + 1``), and a curve point is
     recorded after each global pass — matching how the paper accumulates cost
-    over the whole book collection.
+    over the whole book collection.  All entities refine through one
+    :class:`SessionPool`, so each global pass scores candidate sets against
+    the cached per-entity engines instead of rebuilding them.
 
     ``budgets`` optionally overrides the per-entity budget (keyed by entity
     id); entities not listed fall back to ``config.budget_per_entity``.  This
@@ -262,20 +344,21 @@ def run_quality_experiment(
     """
     if not problems:
         raise CrowdFusionError("cannot run an experiment without entity problems")
-    crowd = CrowdModel(config.model_accuracy)
     budget_overrides = dict(budgets or {})
 
+    pool = SessionPool()
     states: List[_EntityState] = []
     for index, problem in enumerate(problems):
-        pool = WorkerPool.homogeneous(
+        workers = WorkerPool.homogeneous(
             size=25, accuracy=config.worker_accuracy, seed=config.seed * 7919 + index
         )
         platform = SimulatedPlatform(
             ground_truth=problem.gold,
-            workers=pool,
+            workers=workers,
             difficulties=problem.difficulties if config.use_difficulties else None,
             answers_per_task=config.answers_per_task,
         )
+        channel = _build_channel(config, problem, platform)
         selector = get_selector(
             config.selector,
             **({"seed": config.seed * 104729 + index} if config.selector in ("random", "Random") else {}),
@@ -283,7 +366,7 @@ def run_quality_experiment(
         states.append(
             _EntityState(
                 problem=problem,
-                distribution=problem.prior,
+                session=pool.add(problem.entity, problem.prior, channel),
                 platform=platform,
                 selector=selector,
                 remaining_budget=budget_overrides.get(
@@ -293,26 +376,29 @@ def run_quality_experiment(
         )
 
     result = ExperimentResult(config=config)
-    total_cost = 0
-    result.points.append(_measure(states, total_cost))
+    # Calibration pre-tests spend real platform answers before the first
+    # refinement round; put that spend on the books so the quality-vs-cost
+    # curves of the three crowd-model fidelities are comparable.
+    total_cost = sum(state.platform.stats().answers_collected for state in states)
+    result.points.append(_measure(pool, states, total_cost))
 
     while any(state.remaining_budget > 0 for state in states):
         progressed = False
         for state in states:
             if state.remaining_budget <= 0:
                 continue
-            k = min(config.k, state.remaining_budget, state.distribution.num_facts)
-            selection = state.selector.select(state.distribution, crowd, k)
+            k = min(config.k, state.remaining_budget, state.session.num_facts)
+            selection = state.selector.select_with_session(state.session, k)
             if not selection.task_ids:
                 state.remaining_budget = 0
                 continue
             answers = state.platform.collect(selection.task_ids)
-            state.distribution = merge_answers(state.distribution, answers, crowd)
+            state.session.merge(answers)
             state.remaining_budget -= len(selection.task_ids)
             total_cost += len(selection.task_ids)
             progressed = True
         if not progressed:
             break
-        result.points.append(_measure(states, total_cost))
+        result.points.append(_measure(pool, states, total_cost))
 
     return result

@@ -1,8 +1,10 @@
-"""Shared typing aliases used across the CrowdFusion reproduction library."""
+"""Shared typing aliases and small validators used across the library."""
 
 from __future__ import annotations
 
 from typing import Mapping, Sequence, Tuple
+
+from repro.exceptions import InvalidCrowdModelError
 
 #: A truth assignment over ``n`` facts, ordered by fact index.
 TruthVector = Tuple[bool, ...]
@@ -12,3 +14,19 @@ MarginalMap = Mapping[str, float]
 
 #: A sequence of fact identifiers (e.g. a selected task set).
 FactIds = Sequence[str]
+
+
+def validate_accuracy(value: float, context: str = "accuracy") -> float:
+    """Check one worker-correctness probability against Definition 2's range.
+
+    Every accuracy the model consumes — shared crowd ``Pc``, per-worker base
+    accuracy, per-domain skill, per-fact channel accuracy — must lie in
+    ``[0.5, 1.0]``: below chance the crowd would be adversarial rather than
+    noisy, above one it would not be a probability.  Returns the value as a
+    plain ``float`` so dataclass fields normalise NumPy scalars.
+    """
+    if not 0.5 <= value <= 1.0:
+        raise InvalidCrowdModelError(
+            f"{context} must be in [0.5, 1.0], got {value}"
+        )
+    return float(value)

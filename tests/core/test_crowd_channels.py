@@ -1,0 +1,206 @@
+"""Unit tests for the heterogeneous channel-model hierarchy."""
+
+import numpy as np
+import pytest
+
+from repro.core.answers import AnswerSet
+from repro.core.crowd import (
+    CalibratedCrowdModel,
+    CrowdModel,
+    DifficultyAdjustedCrowdModel,
+    PerFactChannelModel,
+)
+from repro.core.distribution import JointDistribution
+from repro.core.merging import answer_likelihood_array, merge_answers
+from repro.exceptions import InvalidCrowdModelError
+
+
+@pytest.fixture
+def dist():
+    return JointDistribution.from_assignments(
+        ("a", "b", "c"),
+        {
+            (True, True, False): 0.4,
+            (True, False, False): 0.3,
+            (False, True, True): 0.2,
+            (False, False, False): 0.1,
+        },
+    )
+
+
+class TestCrowdModelChannelInterface:
+    def test_uniform_accuracy_is_shared_pc(self):
+        crowd = CrowdModel(0.8)
+        assert crowd.uniform_accuracy == 0.8
+        assert crowd.accuracy_for("anything") == 0.8
+        assert crowd.error_for("anything") == pytest.approx(0.2)
+
+    def test_accuracies_vector(self):
+        crowd = CrowdModel(0.9)
+        assert np.array_equal(crowd.accuracies(["a", "b"]), np.array([0.9, 0.9]))
+
+
+class TestPerFactChannelModel:
+    def test_default_and_overrides(self):
+        model = PerFactChannelModel(0.8, {"a": 0.6, "b": 0.95})
+        assert model.accuracy_for("a") == 0.6
+        assert model.accuracy_for("b") == 0.95
+        assert model.accuracy_for("c") == 0.8
+        assert model.uniform_accuracy is None
+
+    def test_all_equal_overrides_report_uniform(self):
+        model = PerFactChannelModel(0.8, {"a": 0.8, "b": 0.8})
+        assert model.uniform_accuracy == 0.8
+        assert PerFactChannelModel(0.7).uniform_accuracy == 0.7
+
+    def test_invalid_default_rejected(self):
+        with pytest.raises(InvalidCrowdModelError):
+            PerFactChannelModel(0.3)
+
+    def test_invalid_override_rejected(self):
+        with pytest.raises(InvalidCrowdModelError):
+            PerFactChannelModel(0.8, {"a": 1.2})
+
+    def test_uniform_answer_masses_match_crowd_model_bitwise(self, dist):
+        crowd = CrowdModel(0.8)
+        model = PerFactChannelModel(0.8, {"a": 0.8})
+        task_ids = ["a", "b", "c"]
+        assert np.array_equal(
+            model.answer_masses(dist, task_ids), crowd.answer_masses(dist, task_ids)
+        )
+        assert model.task_entropy(dist, task_ids) == crowd.task_entropy(dist, task_ids)
+
+    def test_heterogeneous_task_entropy_matches_dense_reference(self, dist):
+        model = PerFactChannelModel(0.8, {"a": 0.6, "c": 0.95})
+        task_ids = ["a", "b", "c"]
+        accuracies = [model.accuracy_for(fact_id) for fact_id in task_ids]
+        positions = dist.positions(task_ids)
+
+        expected = {}
+        for answer in range(1 << 3):
+            total = 0.0
+            for mask, probability in dist.items():
+                term = probability
+                for bit, accuracy in enumerate(accuracies):
+                    same = ((answer >> bit) & 1) == ((mask >> positions[bit]) & 1)
+                    term *= accuracy if same else 1.0 - accuracy
+                total += term
+            expected[answer] = total
+
+        masses = model.answer_masses(dist, task_ids)
+        for answer, mass in expected.items():
+            assert masses[answer] == pytest.approx(mass, abs=1e-12)
+
+    def test_joint_fact_answer_entropy_uniform_matches_crowd_model(self, dist):
+        crowd = CrowdModel(0.75)
+        model = PerFactChannelModel(0.75)
+        assert model.joint_fact_answer_entropy(
+            dist, ["a"], ["b", "c"]
+        ) == pytest.approx(
+            crowd.joint_fact_answer_entropy(dist, ["a"], ["b", "c"]), abs=1e-12
+        )
+
+
+class TestDifficultyAdjustedCrowdModel:
+    def test_difficulty_lowers_accuracy_with_floor(self):
+        model = DifficultyAdjustedCrowdModel(
+            0.8, {"easy": 0.0, "hard": 0.2, "brutal": 0.45}
+        )
+        assert model.accuracy_for("easy") == 0.8
+        assert model.accuracy_for("hard") == pytest.approx(0.6)
+        assert model.accuracy_for("brutal") == 0.5  # floored, not 0.35
+        assert model.uniform_accuracy is None
+        assert model.difficulties["hard"] == 0.2
+
+    def test_zero_difficulties_stay_uniform(self):
+        model = DifficultyAdjustedCrowdModel(0.85, {"a": 0.0, "b": 0.0})
+        assert model.uniform_accuracy == 0.85
+
+    def test_invalid_difficulty_rejected(self):
+        with pytest.raises(InvalidCrowdModelError):
+            DifficultyAdjustedCrowdModel(0.8, {"a": 0.7})
+        with pytest.raises(InvalidCrowdModelError):
+            DifficultyAdjustedCrowdModel(0.8, {"a": -0.1})
+
+
+class TestCalibratedCrowdModel:
+    def test_from_domain_estimates_accepts_floats_and_results(self):
+        class FakeResult:
+            estimated_accuracy = 0.9
+
+        model = CalibratedCrowdModel.from_domain_estimates(
+            {"title": 0.7, "author": FakeResult()},
+            {"f1": "title", "f2": "author", "f3": "publisher"},
+            default_accuracy=0.8,
+        )
+        assert model.accuracy_for("f1") == 0.7
+        assert model.accuracy_for("f2") == 0.9
+        assert model.accuracy_for("f3") == 0.8  # uncalibrated domain
+
+
+class TestReferencePathGuard:
+    def test_reference_selector_rejects_heterogeneous_models(self, dist):
+        from repro.core.selection import ReferenceGreedySelector
+        from repro.core.selection.reference import reference_task_entropy
+        from repro.exceptions import SelectionError
+
+        model = PerFactChannelModel(0.8, {"a": 0.6})
+        with pytest.raises(SelectionError):
+            ReferenceGreedySelector().select(dist, model, 2)
+        with pytest.raises(SelectionError):
+            reference_task_entropy(model, dist, ["a", "b"])
+
+    def test_reference_selector_accepts_uniform_per_fact_model(self, dist):
+        from repro.core.selection import GreedySelector, ReferenceGreedySelector
+
+        model = PerFactChannelModel(0.8)
+        reference = ReferenceGreedySelector().select(dist, model, 2)
+        engine = GreedySelector().select(dist, model, 2)
+        assert reference.task_ids == engine.task_ids
+
+
+class TestHeterogeneousMerging:
+    def test_uniform_likelihoods_match_crowd_model_bitwise(self, dist):
+        answers = AnswerSet.from_mapping({"a": True, "c": False})
+        crowd = CrowdModel(0.8)
+        model = PerFactChannelModel(0.8)
+        assert np.array_equal(
+            answer_likelihood_array(dist, answers, model),
+            answer_likelihood_array(dist, answers, crowd),
+        )
+
+    def test_heterogeneous_merge_matches_manual_bayes(self, dist):
+        model = PerFactChannelModel(0.8, {"a": 0.6, "b": 0.9})
+        answers = AnswerSet.from_mapping({"a": True, "b": False})
+        posterior = merge_answers(dist, answers, model)
+
+        manual = {}
+        for mask, probability in dist.items():
+            like_a = 0.6 if (mask & 1) else 0.4  # answered True
+            like_b = 0.1 if (mask >> 1) & 1 else 0.9  # answered False
+            manual[mask] = probability * like_a * like_b
+        total = sum(manual.values())
+        for mask, mass in manual.items():
+            assert posterior.probability(mask) == pytest.approx(
+                mass / total, abs=1e-12
+            )
+
+    def test_heterogeneous_selection_expects_what_merging_applies(self, dist):
+        # The same channel model drives Equation 2 and Equation 3: the
+        # answer-set masses must equal the total probability of each answer
+        # under the merge likelihoods.
+        model = PerFactChannelModel(0.8, {"a": 0.55})
+        task_ids = ["a", "b"]
+        masses = model.answer_masses(dist, task_ids)
+        for answer_mask in range(4):
+            answers = AnswerSet.from_mapping(
+                {
+                    "a": bool(answer_mask & 1),
+                    "b": bool(answer_mask & 2),
+                }
+            )
+            likelihoods = answer_likelihood_array(dist, answers, model)
+            _, probabilities = dist.support_arrays()
+            assert masses[answer_mask] == pytest.approx(
+                float((probabilities * likelihoods).sum()), abs=1e-12
+            )

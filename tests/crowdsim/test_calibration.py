@@ -1,0 +1,96 @@
+"""Per-worker and per-domain calibration pre-tests."""
+
+import pytest
+
+from repro.core.crowd import CalibratedCrowdModel
+from repro.crowdsim.platform import SimulatedPlatform
+from repro.crowdsim.qualification import (
+    calibrate_domain_accuracies,
+    calibrate_worker_accuracies,
+    pooled_accuracy,
+)
+from repro.crowdsim.worker import Worker, WorkerPool
+from repro.exceptions import PlatformError
+
+GOLD = {f"g{i}": i % 2 == 0 for i in range(12)}
+
+
+class TestWorkerCalibration:
+    def test_estimates_every_worker(self):
+        pool = WorkerPool.heterogeneous(6, mean_accuracy=0.8, spread=0.05, seed=11)
+        estimates = calibrate_worker_accuracies(pool, GOLD, repetitions=4, seed=5)
+        assert set(estimates) == {worker.worker_id for worker in pool}
+        for result in estimates.values():
+            assert 0.5 <= result.estimated_accuracy <= 1.0
+            assert result.sample_size == len(GOLD) * 4
+            assert result.interval_low <= result.raw_accuracy <= result.interval_high
+
+    def test_deterministic_given_seed(self):
+        pool = WorkerPool.homogeneous(4, accuracy=0.75, seed=0)
+        first = calibrate_worker_accuracies(pool, GOLD, repetitions=3, seed=9)
+        second = calibrate_worker_accuracies(pool, GOLD, repetitions=3, seed=9)
+        assert {k: v.raw_accuracy for k, v in first.items()} == {
+            k: v.raw_accuracy for k, v in second.items()
+        }
+
+    def test_perfect_workers_score_one(self):
+        pool = WorkerPool.homogeneous(3, accuracy=1.0, seed=0)
+        estimates = calibrate_worker_accuracies(pool, GOLD, seed=1)
+        assert all(r.estimated_accuracy == 1.0 for r in estimates.values())
+        assert pooled_accuracy(estimates) == 1.0
+
+    def test_input_validation(self):
+        pool = WorkerPool.homogeneous(2, accuracy=0.8, seed=0)
+        with pytest.raises(PlatformError):
+            calibrate_worker_accuracies(pool, {})
+        with pytest.raises(PlatformError):
+            calibrate_worker_accuracies(pool, GOLD, repetitions=0)
+        with pytest.raises(PlatformError):
+            pooled_accuracy({})
+
+
+class TestDomainCalibration:
+    def make_platform(self):
+        workers = [
+            Worker(
+                worker_id=f"w{i}",
+                accuracy=0.75,
+                domain_skills={"title": 0.99, "author": 0.55},
+            )
+            for i in range(8)
+        ]
+        domains = {
+            fact_id: ("title" if index % 2 == 0 else "author")
+            for index, fact_id in enumerate(GOLD)
+        }
+        platform = SimulatedPlatform(
+            ground_truth=GOLD,
+            workers=WorkerPool(workers, seed=23),
+            domains=domains,
+        )
+        return platform, domains
+
+    def test_recovers_domain_skill_ordering(self):
+        platform, domains = self.make_platform()
+        estimates = calibrate_domain_accuracies(
+            platform, GOLD, domains, repetitions=30
+        )
+        assert set(estimates) == {"title", "author"}
+        assert (
+            estimates["title"].estimated_accuracy
+            > estimates["author"].estimated_accuracy
+        )
+
+    def test_estimates_feed_calibrated_channel_model(self):
+        platform, domains = self.make_platform()
+        estimates = calibrate_domain_accuracies(platform, GOLD, domains, repetitions=10)
+        model = CalibratedCrowdModel.from_domain_estimates(
+            estimates, domains, default_accuracy=0.75
+        )
+        for fact_id, domain in domains.items():
+            assert model.accuracy_for(fact_id) == estimates[domain].estimated_accuracy
+
+    def test_untagged_gold_rejected(self):
+        platform, _ = self.make_platform()
+        with pytest.raises(PlatformError):
+            calibrate_domain_accuracies(platform, GOLD, {}, repetitions=1)

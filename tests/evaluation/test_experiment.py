@@ -146,3 +146,53 @@ class TestRunQualityExperiment:
         config = ExperimentConfig(k=2, budget_per_entity=4, worker_accuracy=0.8, seed=4)
         result = run_quality_experiment(problems, config)
         assert len(result.costs()) == len(result.f1_series()) == len(result.utility_series())
+
+
+class TestCrowdModelFidelities:
+    def test_every_crowd_model_kind_runs(self, problems):
+        for kind in ("uniform", "difficulty", "calibrated"):
+            config = ExperimentConfig(
+                k=2, budget_per_entity=4, worker_accuracy=0.85,
+                use_difficulties=True, seed=6, crowd_model=kind,
+            )
+            result = run_quality_experiment(problems, config)
+            assert result.final_point.cost > 0
+
+    def test_calibration_spend_is_on_the_books(self, problems):
+        config = ExperimentConfig(
+            k=2, budget_per_entity=4, worker_accuracy=0.85, seed=6,
+            crowd_model="calibrated", calibration_facts=3, calibration_repetitions=2,
+        )
+        result = run_quality_experiment(problems, config)
+        # Each entity's pre-test asked 3 facts x 2 repetitions before round 1.
+        assert result.initial_point.cost == 6 * len(problems)
+
+    def test_unknown_crowd_model_rejected(self, problems):
+        config = ExperimentConfig(crowd_model="psychic", budget_per_entity=2)
+        with pytest.raises(CrowdFusionError):
+            run_quality_experiment(problems, config)
+
+    def test_difficulty_model_without_difficulties_matches_uniform(self, problems):
+        base = ExperimentConfig(
+            k=2, budget_per_entity=4, worker_accuracy=0.85,
+            use_difficulties=False, seed=9, crowd_model="uniform",
+        )
+        adjusted = ExperimentConfig(
+            k=2, budget_per_entity=4, worker_accuracy=0.85,
+            use_difficulties=False, seed=9, crowd_model="difficulty",
+        )
+        # With difficulties disabled the per-fact channels collapse to the
+        # shared Pc, so the two fidelities are the same experiment.
+        assert run_quality_experiment(problems, base).f1_series() == (
+            run_quality_experiment(problems, adjusted).f1_series()
+        )
+
+    def test_crowd_models_deterministic_given_seed(self, problems):
+        for kind in ("difficulty", "calibrated"):
+            config = ExperimentConfig(
+                k=2, budget_per_entity=4, worker_accuracy=0.85,
+                use_difficulties=True, seed=13, crowd_model=kind,
+            )
+            first = run_quality_experiment(problems, config)
+            second = run_quality_experiment(problems, config)
+            assert first.utility_series() == second.utility_series()

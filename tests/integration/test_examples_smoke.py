@@ -1,0 +1,47 @@
+"""Smoke-run every example script headless under pytest.
+
+The examples double as executable documentation; this test keeps them from
+rotting by running each one in a subprocess (with ``src/`` on the path, the
+way the README invokes them) and asserting a clean exit with non-empty
+output.  New ``examples/*.py`` files are picked up automatically.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+EXAMPLES = sorted((REPO_ROOT / "examples").glob("*.py"))
+
+
+def test_examples_are_discovered():
+    assert EXAMPLES, "no example scripts found under examples/"
+
+
+@pytest.mark.parametrize(
+    "script", EXAMPLES, ids=[script.stem for script in EXAMPLES]
+)
+def test_example_runs_headless(script):
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    # Examples must not depend on a display or an interactive terminal.
+    env.pop("DISPLAY", None)
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, (
+        f"{script.name} failed with exit code {completed.returncode}:\n"
+        f"{completed.stderr}"
+    )
+    assert completed.stdout.strip(), f"{script.name} printed no output"

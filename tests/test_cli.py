@@ -24,6 +24,14 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["experiment", "--selector", "magic"])
 
+    def test_crowd_model_choices(self):
+        args = build_parser().parse_args(["experiment"])
+        assert args.crowd_model == "uniform"
+        args = build_parser().parse_args(["experiment", "--crowd-model", "calibrated"])
+        assert args.crowd_model == "calibrated"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "--crowd-model", "psychic"])
+
 
 class TestCommands:
     def test_quickstart_runs(self, capsys):
@@ -61,6 +69,16 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "allocation entropy" in output
         assert "F1:" in output
+
+    def test_experiment_with_difficulty_crowd_model(self, capsys):
+        code = main(
+            [
+                "experiment", "--books", "6", "--sources", "10", "--seed", "2",
+                "--budget", "6", "--crowd-model", "difficulty",
+            ]
+        )
+        assert code == 0
+        assert "crowd model difficulty" in capsys.readouterr().out
 
     def test_timing_outputs_selector_rows(self, capsys):
         code = main(
