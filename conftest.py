@@ -1,13 +1,40 @@
-"""Test-session path setup.
+"""Test-session path setup and environment guards.
 
 Ensures ``src/`` is importable even when the package has not been installed
 (e.g. in offline environments where ``pip install -e .`` cannot bootstrap its
-build dependencies).
+build dependencies), and skips multiprocess selection tests on hosts where a
+worker pool cannot help (a single CPU) or cannot fork at all.
 """
 
+import os
 import sys
 from pathlib import Path
+
+import pytest
 
 _SRC = Path(__file__).parent / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
+
+
+def _parallel_tests_supported() -> bool:
+    """Whether ``parallel``-marked tests are worth running on this host."""
+    if os.environ.get("REPRO_FORCE_PARALLEL_TESTS"):
+        return True
+    import multiprocessing
+
+    if "fork" not in multiprocessing.get_all_start_methods():
+        return False
+    return (os.cpu_count() or 1) >= 2
+
+
+def pytest_collection_modifyitems(config, items):
+    if _parallel_tests_supported():
+        return
+    skip_parallel = pytest.mark.skip(
+        reason="multiprocess selection tests need fork support and >= 2 CPUs "
+        "(set REPRO_FORCE_PARALLEL_TESTS=1 to run anyway)"
+    )
+    for item in items:
+        if "parallel" in item.keywords:
+            item.add_marker(skip_parallel)

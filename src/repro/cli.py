@@ -125,16 +125,24 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         use_difficulties=True,
         seed=args.seed,
         crowd_model=args.crowd_model,
+        recalibrate_channels=args.recalibrate,
+        workers=args.workers,
+        parallel_threshold=args.parallel_threshold,
     )
     budgets = None
     if args.allocation != "fixed":
         total = args.budget * len(problems)
         budgets = allocate_budget(problems, total, strategy=args.allocation)
     result = run_quality_experiment(problems, config, budgets=budgets)
+    extras = ""
+    if args.workers is not None:
+        extras += f", workers {args.workers}"
+    if args.recalibrate:
+        extras += ", recalibrating"
     print(
         f"Selector {args.selector}, k={args.k}, budget {args.budget}/book, "
         f"Pc={args.pc} (assumed {config.model_accuracy}), allocation {args.allocation}, "
-        f"crowd model {args.crowd_model}"
+        f"crowd model {args.crowd_model}{extras}"
     )
     rows = [
         ["initial", result.initial_point.cost, result.initial_point.f1,
@@ -213,6 +221,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--crowd-model", default="uniform", choices=list(CROWD_MODEL_KINDS),
         help="channel model assumed by selection and merging: one shared Pc, "
         "per-fact difficulty-adjusted channels, or a calibrated pre-test estimate",
+    )
+    experiment.add_argument(
+        "--recalibrate", action="store_true",
+        help="adaptively re-estimate per-fact channel accuracies from "
+        "answer/posterior agreement as rounds accumulate",
+    )
+    experiment.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="shard candidate scans over N worker processes (greedy-family "
+        "selectors; default: no parallelism)",
+    )
+    experiment.add_argument(
+        "--parallel-threshold", type=int, default=None, metavar="WORK",
+        help="minimum scan size (candidates x support rows) before the worker "
+        "pool is used; smaller scans always run serially",
     )
     experiment.add_argument("--curve", action="store_true", help="print the full quality curve")
     experiment.set_defaults(handler=_cmd_experiment)

@@ -19,6 +19,7 @@ from repro.core.crowd import (
     CrowdModel,
     DifficultyAdjustedCrowdModel,
     PerFactChannelModel,
+    RecalibratedChannelModel,
 )
 from repro.core.distribution import JointDistribution
 from repro.core.engine import CrowdFusionEngine, EngineResult, RoundRecord
@@ -36,6 +37,7 @@ __all__ = [
     "CrowdModel",
     "DifficultyAdjustedCrowdModel",
     "PerFactChannelModel",
+    "RecalibratedChannelModel",
     "CrowdFusionEngine",
     "EngineResult",
     "Fact",

@@ -337,6 +337,51 @@ class DifficultyAdjustedCrowdModel(PerFactChannelModel):
         return dict(self._difficulties)
 
 
+class RecalibratedChannelModel(ChannelModel):
+    """A base channel model overlaid with online re-estimated accuracies.
+
+    Adaptive re-calibration (see
+    :class:`~repro.core.selection.session.RefinementSession`) watches how
+    often the crowd's answers agree with the Bayesian posterior as rounds
+    accumulate, and replaces the per-fact accuracies of the facts it has
+    evidence about.  Facts never asked keep the base model's channel, so the
+    overlay composes with any fidelity (uniform, difficulty-adjusted,
+    pre-test calibrated).
+    """
+
+    def __init__(self, base: ChannelModel, fact_accuracies: Mapping[str, float]):
+        self._base = base
+        self._overrides: Dict[str, float] = {
+            fact_id: validate_accuracy(value, f"re-calibrated accuracy for {fact_id!r}")
+            for fact_id, value in fact_accuracies.items()
+        }
+
+    @property
+    def base(self) -> ChannelModel:
+        """The channel model the re-estimates are overlaid on."""
+        return self._base
+
+    @property
+    def fact_accuracies(self) -> Dict[str, float]:
+        """A copy of the per-fact re-estimated accuracies."""
+        return dict(self._overrides)
+
+    @property
+    def uniform_accuracy(self) -> Optional[float]:
+        if not self._overrides:
+            return self._base.uniform_accuracy
+        return None
+
+    def accuracy_for(self, fact_id: str) -> float:
+        accuracy = self._overrides.get(fact_id)
+        if accuracy is not None:
+            return accuracy
+        return self._base.accuracy_for(fact_id)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(base={self._base!r}, overrides={len(self._overrides)})"
+
+
 class CalibratedCrowdModel(PerFactChannelModel):
     """Per-fact channels calibrated from qualification pre-test estimates.
 

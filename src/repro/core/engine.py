@@ -19,6 +19,7 @@ materialise-and-select path.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Protocol, Sequence, Tuple
 
@@ -26,6 +27,7 @@ from repro.core.answers import AnswerSet
 from repro.core.crowd import ChannelModel
 from repro.core.distribution import JointDistribution
 from repro.core.selection.base import SelectionResult, SelectionStats, TaskSelector
+from repro.core.selection.parallel import ParallelPolicy
 from repro.core.selection.session import RefinementSession
 from repro.core.utility import pws_quality
 from repro.exceptions import BudgetError
@@ -140,6 +142,15 @@ class CrowdFusionEngine:
         Whether facts asked in earlier rounds may be selected again.  The
         paper allows re-asking (the posterior keeps them uncertain if the
         crowd disagreed with the prior), which is the default.
+    parallel:
+        Optional :class:`~repro.core.selection.parallel.ParallelPolicy`
+        applied to the selector (when it supports parallel candidate scans):
+        each round's scan may then be sharded across a fork-shared worker
+        pool, with the policy's auto-serial threshold protecting small runs.
+    recalibrate_channels:
+        When true, the run's :class:`RefinementSession` re-estimates per-fact
+        channel accuracies from answer/posterior agreement as rounds
+        accumulate (adaptive re-calibration).
     """
 
     def __init__(
@@ -149,16 +160,27 @@ class CrowdFusionEngine:
         budget: int,
         tasks_per_round: int,
         reselect_asked_facts: bool = True,
+        parallel: Optional[ParallelPolicy] = None,
+        recalibrate_channels: bool = False,
     ):
         if budget <= 0:
             raise BudgetError(f"budget must be positive, got {budget}")
         if tasks_per_round <= 0:
             raise BudgetError(f"tasks_per_round must be positive, got {tasks_per_round}")
+        if parallel is not None and not hasattr(selector, "parallel"):
+            warnings.warn(
+                f"selector {type(selector).__name__} does not support parallel "
+                "candidate scans; the parallel policy is ignored",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         self._selector = selector
         self._crowd = crowd
         self._budget = budget
         self._tasks_per_round = tasks_per_round
         self._reselect = reselect_asked_facts
+        self._parallel = parallel
+        self._recalibrate = recalibrate_channels
 
     @property
     def budget(self) -> int:
@@ -195,10 +217,30 @@ class CrowdFusionEngine:
         if collect is None:
             collect = answer_provider
 
+        # Apply the engine's parallel policy for the duration of this run
+        # only: the selector object belongs to the caller and may serve other
+        # engines with different (or no) policies.
+        if self._parallel is not None and hasattr(self._selector, "parallel"):
+            previous_policy = self._selector.parallel
+            self._selector.parallel = self._parallel
+            try:
+                return self._run_rounds(distribution, collect, round_callback)
+            finally:
+                self._selector.parallel = previous_policy
+        return self._run_rounds(distribution, collect, round_callback)
+
+    def _run_rounds(
+        self,
+        distribution: JointDistribution,
+        collect: Callable[[Sequence[str]], AnswerSet],
+        round_callback: Optional[Callable[[RoundRecord, JointDistribution], None]],
+    ) -> EngineResult:
         result = EngineResult(
             initial_distribution=distribution, final_distribution=distribution
         )
-        session = RefinementSession(distribution, self._crowd)
+        session = RefinementSession(
+            distribution, self._crowd, recalibrate=self._recalibrate
+        )
         asked: set = set()
         remaining_budget = self._budget
         round_index = 0

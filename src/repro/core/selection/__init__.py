@@ -25,6 +25,13 @@ channels — and can run either on a fresh engine per call or against a
 persistent :class:`RefinementSession` that amortises one engine across the
 rounds of a multi-round refinement (``TaskSelector.select_with_session``).
 :class:`SessionPool` keys such sessions by entity for batched experiments.
+
+The greedy family additionally accepts a :class:`ParallelPolicy`: candidate
+scans past a work threshold are sharded across a fork-shared
+``multiprocessing`` pool (:mod:`repro.core.selection.parallel`) with
+selections bit-for-bit identical to the serial path, and sessions score many
+queries in one batch off shared cached bit columns
+(``RefinementSession.select_queries``).
 """
 
 from repro.core.selection.base import SelectionResult, SelectionStats, TaskSelector
@@ -33,6 +40,7 @@ from repro.core.selection.engine import EntropyEngine, SelectionState
 from repro.core.selection.fact_entropy import FactEntropySelector
 from repro.core.selection.greedy import GreedySelector
 from repro.core.selection.lazy import LazyGreedySelector
+from repro.core.selection.parallel import ParallelEvaluator, ParallelPolicy
 from repro.core.selection.preprocessing import (
     PreprocessingGreedySelector,
     PrunedPreprocessingGreedySelector,
@@ -50,6 +58,8 @@ __all__ = [
     "FactEntropySelector",
     "GreedySelector",
     "LazyGreedySelector",
+    "ParallelEvaluator",
+    "ParallelPolicy",
     "PreprocessingGreedySelector",
     "PrunedPreprocessingGreedySelector",
     "PruningGreedySelector",

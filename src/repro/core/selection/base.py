@@ -45,6 +45,16 @@ class SelectionStats:
         Number of candidate evaluations avoided entirely by lazy (CELF-style)
         submodular bounds: the candidate's stale gain already proved it could
         not win the iteration.
+    workers:
+        Worker processes forked for this selection (0 when every candidate
+        scan ran serially — including parallel-configured selections that the
+        auto-serial threshold kept in process).
+    chunk_size:
+        Candidates per dispatched chunk of the most recent parallel scan
+        (0 when no scan went parallel).
+    parallel_evaluations:
+        Number of candidate evaluations served by pool workers rather than
+        the selecting process (a subset of ``candidate_evaluations``).
     """
 
     candidate_evaluations: int = 0
@@ -54,6 +64,9 @@ class SelectionStats:
     iterations: int = 0
     cache_hits: int = 0
     skipped_evaluations: int = 0
+    workers: int = 0
+    chunk_size: int = 0
+    parallel_evaluations: int = 0
 
 
 @dataclass(frozen=True)

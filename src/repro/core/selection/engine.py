@@ -67,6 +67,13 @@ _MAX_TABLE_ENTRIES = 1 << 26
 #: crowd model refuse the same workloads.
 _MAX_TASK_BITS = 24
 
+#: Supports larger than this do not cache the per-fact ``probabilities × bits``
+#: products: on a 2^20-row support each cached product costs 8 MB, so a
+#: hundreds-of-candidates scan would hold gigabytes for a multiply that takes
+#: ~1 ms to redo.  The recomputed product is the identical float array, so
+#: results are unchanged either way.
+_WEIGHTED_CACHE_MAX_SUPPORT = 1 << 18
+
 
 @dataclass(frozen=True)
 class SelectionState:
@@ -126,6 +133,10 @@ class EntropyEngine:
         from the same cached table.
     """
 
+    #: Whether this engine is an :meth:`interest_view` snapshot (views share
+    #: the parent's probability vector and therefore refuse to reweight).
+    _is_view = False
+
     def __init__(
         self,
         distribution: JointDistribution,
@@ -138,15 +149,7 @@ class EntropyEngine:
         masks, probabilities = distribution.support_arrays()
         self._masks = masks
         self._probabilities = probabilities
-        if interest_ids:
-            interest_positions = distribution.positions(interest_ids)
-            interest_sub = project_columns(masks, interest_positions)
-            _, cell_index = np.unique(interest_sub, return_inverse=True)
-            self._cell_index = cell_index.astype(np.int64)
-            self._num_cells = int(self._cell_index.max()) + 1
-        else:
-            self._cell_index = np.zeros(masks.shape[0], dtype=np.int64)
-            self._num_cells = 1
+        self._cell_index, self._num_cells = self._build_interest_cells(interest_ids)
         self._bits: Dict[str, np.ndarray] = {}
         self._weighted_bits: Dict[str, np.ndarray] = {}
         self._accuracy: Dict[str, float] = {}
@@ -155,6 +158,23 @@ class EntropyEngine:
         self.evaluations = 0
         #: Number of Bayesian reweights applied (rounds served by this engine).
         self.reweights = 0
+
+    def _build_interest_cells(
+        self, interest_ids: Optional[Sequence[str]]
+    ) -> "Tuple[np.ndarray, int]":
+        """Dense cell index of the support's projections onto ``interest_ids``.
+
+        One cell per distinct interest projection present in the support
+        (a single cell holding everything when there is no interest set);
+        shared by the constructor and :meth:`interest_view`.
+        """
+        if interest_ids:
+            interest_positions = self._distribution.positions(interest_ids)
+            interest_sub = project_columns(self._masks, interest_positions)
+            _, cell_index = np.unique(interest_sub, return_inverse=True)
+            cell_index = cell_index.astype(np.int64)
+            return cell_index, int(cell_index.max()) + 1
+        return np.zeros(self._masks.shape[0], dtype=np.int64), 1
 
     @property
     def distribution(self) -> JointDistribution:
@@ -185,22 +205,34 @@ class EntropyEngine:
         return self._probabilities
 
     def bits(self, fact_id: str) -> np.ndarray:
-        """0/1 truth column of ``fact_id`` over the support (cached)."""
+        """0/1 truth column of ``fact_id`` over the support (cached).
+
+        Stored as ``int8`` — one byte per support row — so a scale corpus
+        (2^20 rows, hundreds of candidate facts) keeps its whole column cache
+        in tens of megabytes; every consumer (``|`` into an ``int64``
+        projection, ``×`` into a float64 product) promotes losslessly.
+        """
         column = self._bits.get(fact_id)
         if column is None:
             position = self._distribution.position(fact_id)
             # astype also re-packs the object-dtype masks of 64+-fact
             # distributions into a plain integer 0/1 column.
-            column = ((self._masks >> position) & 1).astype(np.int64, copy=False)
+            column = ((self._masks >> position) & 1).astype(np.int8, copy=False)
             self._bits[fact_id] = column
         return column
 
     def weighted_bits(self, fact_id: str) -> np.ndarray:
-        """Support probabilities masked to rows where ``fact_id`` is true (cached)."""
+        """Support probabilities masked to rows where ``fact_id`` is true.
+
+        Cached per fact on ordinarily sized supports; past
+        :data:`_WEIGHTED_CACHE_MAX_SUPPORT` rows the product is recomputed on
+        demand (same floats, a fraction of the memory).
+        """
         weighted = self._weighted_bits.get(fact_id)
         if weighted is None:
             weighted = self._probabilities * self.bits(fact_id)
-            self._weighted_bits[fact_id] = weighted
+            if self._probabilities.shape[0] <= _WEIGHTED_CACHE_MAX_SUPPORT:
+                self._weighted_bits[fact_id] = weighted
         return weighted
 
     def accuracy_for(self, fact_id: str) -> float:
@@ -221,6 +253,60 @@ class EntropyEngine:
 
     # -- cross-round reuse ----------------------------------------------------------
 
+    def set_channel(self, crowd: ChannelModel) -> None:
+        """Swap the channel model in place, keeping every structural cache.
+
+        Used by adaptive re-calibration: as rounds accumulate, a session may
+        re-estimate per-fact accuracies and hand the engine the updated model.
+        Support masks, bit columns and interest cells are untouched; only the
+        per-fact accuracy / noise-entropy caches reset.  Existing interest
+        views are snapshots of the *old* channel (they copy the accuracy
+        caches at creation) — discard and rebuild them after a swap, as
+        sessions do on every merge.
+        """
+        self._crowd = crowd
+        self._uniform = crowd.uniform_accuracy
+        self._accuracy.clear()
+        self._noise.clear()
+
+    def interest_view(self, interest_ids: Sequence[str]) -> "EntropyEngine":
+        """A facts-of-interest view sharing this engine's cached arrays.
+
+        Batched multi-query selection scores many queries' task sets against
+        one entity: every query needs its own interest-cell partition, but
+        the expensive per-fact state — support masks, probability vector and
+        the cached 0/1 bit columns — is interest-independent.  The returned
+        engine *shares* those by reference (the bit-column cache is the same
+        dict object, so a column materialised for one query is warm for
+        every other) and only computes the view's own cell index.
+
+        The view is a snapshot of the current probabilities: it must not be
+        reweighted (sessions rebuild their views after each merge), and its
+        evaluation counters are independent of the parent's.
+        """
+        view = EntropyEngine.__new__(EntropyEngine)
+        view._distribution = self._distribution
+        view._crowd = self._crowd
+        view._uniform = self._uniform
+        view._masks = self._masks
+        view._probabilities = self._probabilities
+        # The bit columns are channel- and probability-independent, so the
+        # cache is shared as the same dict object: a column materialised for
+        # one query is warm for every other (and for the parent).
+        view._bits = self._bits
+        # Everything that depends on the snapshot — the probability products,
+        # the channel accuracies — is seeded from the parent but kept
+        # private, so a later reweight or channel swap on the parent can
+        # never be poisoned by a stale view (nor vice versa).
+        view._accuracy = dict(self._accuracy)
+        view._noise = dict(self._noise)
+        view._weighted_bits = dict(self._weighted_bits)
+        view._cell_index, view._num_cells = view._build_interest_cells(interest_ids)
+        view._is_view = True
+        view.evaluations = 0
+        view.reweights = 0
+        return view
+
     def reweight(self, weights: np.ndarray) -> None:
         """Apply a Bayesian update to the cached probabilities, in place.
 
@@ -232,6 +318,11 @@ class EntropyEngine:
         exactly zero are kept (every consumer ignores non-positive mass),
         preserving row alignment for later reweights.
         """
+        if self._is_view:
+            raise SelectionError(
+                "interest views share their parent's probability vector and "
+                "cannot be reweighted; reweight the owning engine instead"
+            )
         weights = np.asarray(weights, dtype=np.float64)
         if weights.shape != self._probabilities.shape:
             raise SelectionError(

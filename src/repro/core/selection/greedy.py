@@ -25,7 +25,7 @@ the original comparison sequence preserves bit-level tie behaviour.
 
 from __future__ import annotations
 
-from typing import Sequence, Set
+from typing import List, Optional, Sequence, Set
 
 from repro.core.crowd import ChannelModel
 from repro.core.distribution import JointDistribution
@@ -36,6 +36,7 @@ from repro.core.selection.base import (
     TaskSelector,
 )
 from repro.core.selection.engine import EntropyEngine
+from repro.core.selection.parallel import ParallelEvaluator, ParallelPolicy
 from repro.core.utility import crowd_entropy
 
 #: Gains smaller than this are treated as zero ("no benefit from one more task").
@@ -47,6 +48,7 @@ def run_greedy_on_engine(
     k: int,
     candidates: Sequence[str],
     use_pruning: bool = False,
+    evaluator: Optional[ParallelEvaluator] = None,
 ) -> SelectionResult:
     """One run of Algorithm 1 on a (possibly warm) engine, optionally with pruning.
 
@@ -58,6 +60,13 @@ def run_greedy_on_engine(
     certain, so subtracting it is what makes "no benefit from asking one more
     task" detect certainty (Theorem 2: the net gain is positive exactly while
     an uncertain fact remains).
+
+    When a :class:`ParallelEvaluator` is supplied, each iteration's candidate
+    entropies may be computed by its worker pool (the evaluator's policy
+    decides per scan; small scans stay in process).  The ranking below runs
+    over one entropy per candidate *in candidate order* either way, so the
+    selected set, the tie-breaking and the pruning decisions are bit-for-bit
+    those of the serial path.
     """
     stats = SelectionStats()
     state = engine.initial_state()
@@ -69,21 +78,30 @@ def run_greedy_on_engine(
     for _iteration in range(k):
         stats.iterations += 1
         slack_bits = float(k - state.width - 1)
+
+        if use_pruning:
+            active = [fact_id for fact_id in remaining if fact_id not in pruned]
+            stats.pruned_candidates += len(remaining) - len(active)
+        else:
+            active = remaining
+        entropies: Optional[List[float]] = None
+        if evaluator is not None:
+            entropies = evaluator.evaluate(state, active)
+        if entropies is None:
+            entropies = [
+                engine.extension_entropy(state, fact_id) for fact_id in active
+            ]
+        stats.candidate_evaluations += len(active)
+        if state.width:
+            # Every evaluation past the first iteration reuses the cached
+            # partition and channel table instead of a from-scratch pass.
+            stats.cache_hits += len(active)
+
         best_id = None
         best_entropy = float("-inf")
         best_score = float("-inf")
         newly_pruned: Set[str] = set()
-
-        for fact_id in remaining:
-            if use_pruning and fact_id in pruned:
-                stats.pruned_candidates += 1
-                continue
-            stats.candidate_evaluations += 1
-            if state.width:
-                # Every evaluation past the first iteration reuses the cached
-                # partition and channel table instead of a from-scratch pass.
-                stats.cache_hits += 1
-            entropy = engine.extension_entropy(state, fact_id)
+        for fact_id, entropy in zip(active, entropies):
             score = (
                 entropy if uniform is not None else entropy - engine.noise_entropy(fact_id)
             )
@@ -135,12 +153,51 @@ def run_engine_greedy(
 
 
 class GreedySelector(TaskSelector):
-    """Algorithm 1: iterative greedy selection maximising ``H(T)``."""
+    """Algorithm 1: iterative greedy selection maximising ``H(T)``.
+
+    Parameters
+    ----------
+    parallel:
+        Optional :class:`~repro.core.selection.parallel.ParallelPolicy`.
+        When set, each iteration's candidate scan may be sharded across a
+        fork-shared worker pool; the policy's auto-serial threshold keeps
+        small rounds in process.  Selections are bit-for-bit identical to
+        the serial path either way.
+    """
 
     name = "greedy"
 
     #: Whether the Theorem-3 pruning rule is applied (overridden by subclasses).
     use_pruning = False
+
+    def __init__(self, parallel: Optional[ParallelPolicy] = None):
+        self._parallel = parallel
+
+    @property
+    def parallel(self) -> Optional[ParallelPolicy]:
+        """The configured parallel-scan policy (``None`` means always serial)."""
+        return self._parallel
+
+    @parallel.setter
+    def parallel(self, policy: Optional[ParallelPolicy]) -> None:
+        self._parallel = policy
+
+    def _run(self, engine: EntropyEngine, k: int, candidates) -> SelectionResult:
+        if self._parallel is None:
+            return run_greedy_on_engine(
+                engine, k, candidates, use_pruning=self.use_pruning
+            )
+        with ParallelEvaluator(engine, self._parallel) as evaluator:
+            result = run_greedy_on_engine(
+                engine, k, candidates, use_pruning=self.use_pruning,
+                evaluator=evaluator,
+            )
+        # The evaluator is the single source of truth for the execution-mode
+        # bookkeeping: it alone knows what its pool actually served.
+        result.stats.workers = evaluator.workers
+        result.stats.chunk_size = evaluator.chunk_size
+        result.stats.parallel_evaluations = evaluator.parallel_evaluations
+        return result
 
     def _select(
         self,
@@ -149,11 +206,7 @@ class GreedySelector(TaskSelector):
         k: int,
         candidates: Sequence[str],
     ) -> SelectionResult:
-        return run_engine_greedy(
-            distribution, crowd, k, candidates, use_pruning=self.use_pruning
-        )
+        return self._run(EntropyEngine(distribution, crowd), k, candidates)
 
     def _select_with_session(self, session, k, candidates) -> SelectionResult:
-        return run_greedy_on_engine(
-            session.engine, k, candidates, use_pruning=self.use_pruning
-        )
+        return self._run(session.engine, k, candidates)

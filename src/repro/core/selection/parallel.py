@@ -1,0 +1,248 @@
+"""Parallel shared-memory candidate evaluation for greedy selection.
+
+One greedy iteration of Algorithm 1 scores every remaining candidate against
+the same :class:`~repro.core.selection.engine.EntropyEngine` state — a pure
+read-only array pass per candidate (one grouped ``np.bincount`` plus one
+channel transform), with no shared mutable state.  That makes the candidate
+scan embarrassingly parallel, and on scale corpora (supports past ``2^20``,
+hundreds of candidate facts) the scan is the system bottleneck the paper's
+Table V measures.
+
+This module shards the scan across a ``multiprocessing`` pool:
+
+* **Fork-inherited shared memory** — the pool is created with the ``fork``
+  start method *after* the live engine has been published to a module global,
+  so every worker inherits the engine's read-only state (support masks,
+  probability vector, cached per-fact bit columns, interest cells) via
+  copy-on-write pages.  Nothing about the support is ever pickled; the only
+  data crossing process boundaries are fact-id chunks going out and float
+  entropies coming back.
+* **State replay instead of state shipping** — the incremental
+  :class:`~repro.core.selection.engine.SelectionState` grows by one task per
+  iteration, and shipping its arrays (``O(|O|)`` per iteration) would undo
+  the sharing.  Workers instead keep their own state and replay the parent's
+  ``extend`` calls from the selected-task prefix — one extension per
+  iteration, the cost of a single candidate evaluation.  Because ``extend``
+  is deterministic over the shared arrays, the replayed state is bit-for-bit
+  the parent's state, so every worker-computed entropy is exactly the float
+  the serial scan would have produced.
+* **Chunked dispatch with an auto-serial policy** — candidates are dispatched
+  in order-preserving chunks (several per worker, for load balance), and a
+  :class:`ParallelPolicy` decides per iteration whether parallelism pays at
+  all: below a work threshold (candidates × support rows) the evaluator
+  reports "serial" and the caller runs the ordinary in-process scan, so
+  small Table-V-sized rounds never pay the fork or IPC overhead.
+
+Selection results are **bit-for-bit identical** to the serial path by
+construction: the parallel evaluator returns one entropy per candidate in
+candidate order, and the caller replays the exact serial ranking loop
+(same ``TIE_TOLERANCE`` first-index-wins comparison, same pruning bound)
+over those values.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import os
+import warnings
+from dataclasses import dataclass
+from functools import partial
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.selection.engine import EntropyEngine, SelectionState
+from repro.exceptions import SelectionError
+
+#: Default auto-serial threshold, in work units of candidates × support rows.
+#: One unit is roughly one support-row visit; forking a pool costs on the
+#: order of millions of row visits, so below ~2^22 units the serial scan wins
+#: (the Table-V hot path — tens of candidates over a few-thousand-row support
+#: — sits orders of magnitude under it and never leaves the serial path).
+DEFAULT_PARALLEL_THRESHOLD = 1 << 22
+
+#: Chunks dispatched per worker per iteration when no explicit chunk size is
+#: configured: more than one for load balance (candidate costs vary with the
+#: cached-partition width), few enough that IPC stays negligible.
+_CHUNKS_PER_WORKER = 4
+
+#: Published engine the pool workers inherit at fork time.  Set by
+#: :meth:`ParallelEvaluator._ensure_pool` immediately before the fork and
+#: cleared right after: the parent never keeps a module-level reference, the
+#: children each keep their inherited copy.
+_FORK_ENGINE: Optional[EntropyEngine] = None
+
+#: Per-worker replayed selection state (lives only in pool worker processes).
+_WORKER_STATE: Optional[SelectionState] = None
+
+
+def fork_available() -> bool:
+    """Whether this platform can share engine state via the ``fork`` method."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+@dataclass(frozen=True)
+class ParallelPolicy:
+    """When and how to shard candidate evaluations across processes.
+
+    Attributes
+    ----------
+    workers:
+        Worker processes to use; ``None`` means one per available CPU.
+        A resolved count below two always selects the serial path.
+    parallel_threshold:
+        Minimum work size (candidates × support rows) of one iteration's scan
+        before the pool is used; smaller scans run serially so that small
+        rounds never regress.  Zero forces parallelism whenever possible.
+    chunk_size:
+        Candidates per dispatched chunk; ``None`` derives a size giving each
+        worker several chunks for load balance.
+    """
+
+    workers: Optional[int] = None
+    parallel_threshold: int = DEFAULT_PARALLEL_THRESHOLD
+    chunk_size: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.workers is not None and self.workers < 1:
+            raise SelectionError(f"workers must be positive, got {self.workers}")
+        if self.parallel_threshold < 0:
+            raise SelectionError(
+                f"parallel_threshold must be non-negative, got {self.parallel_threshold}"
+            )
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise SelectionError(f"chunk_size must be positive, got {self.chunk_size}")
+
+    def resolved_workers(self) -> int:
+        """The worker count this policy resolves to on this machine."""
+        if self.workers is not None:
+            return self.workers
+        return os.cpu_count() or 1
+
+    def should_parallelise(self, num_candidates: int, support_size: int) -> bool:
+        """Decide serial vs. parallel for one iteration's candidate scan."""
+        if self.resolved_workers() < 2 or not fork_available():
+            return False
+        if num_candidates < 2:
+            return False
+        return num_candidates * support_size >= self.parallel_threshold
+
+    def resolved_chunk_size(self, num_candidates: int) -> int:
+        """Candidates per chunk for a scan of ``num_candidates``."""
+        if self.chunk_size is not None:
+            return self.chunk_size
+        per_worker = self.resolved_workers() * _CHUNKS_PER_WORKER
+        return max(1, math.ceil(num_candidates / per_worker))
+
+
+def _replay_state(engine: EntropyEngine, task_ids: Tuple[str, ...]) -> SelectionState:
+    """Rebuild the parent's selection state inside a pool worker.
+
+    The worker keeps the state of the previous iteration; committing the
+    parent's newly selected task is one ``extend`` call.  A non-prefix state
+    (first call, or a fresh selection on a reused pool) restarts from the
+    empty state.
+    """
+    global _WORKER_STATE
+    state = _WORKER_STATE
+    if state is None or state.task_ids != task_ids[: state.width]:
+        state = engine.initial_state()
+    for fact_id in task_ids[state.width:]:
+        state = engine.extend(state, fact_id)
+    _WORKER_STATE = state
+    return state
+
+
+def _evaluate_chunk(task_ids: Tuple[str, ...], chunk: Sequence[str]) -> List[float]:
+    """Worker entry point: ``H(T ∪ {f})`` for every candidate in ``chunk``."""
+    engine = _FORK_ENGINE
+    if engine is None:  # pragma: no cover - defensive: fork contract broken
+        raise SelectionError("parallel worker started without a fork-shared engine")
+    state = _replay_state(engine, task_ids)
+    return [engine.extension_entropy(state, fact_id) for fact_id in chunk]
+
+
+class ParallelEvaluator:
+    """Shards one engine's candidate evaluations across a fork pool.
+
+    The evaluator is scoped to one selection call: the pool is forked lazily
+    on the first iteration whose scan clears the policy threshold (so the
+    engine's probability vector is current at fork time) and reused for the
+    remaining iterations of that call.  Use as a context manager so the pool
+    is always reclaimed.
+
+    Attributes
+    ----------
+    workers:
+        Worker processes actually forked (0 while every scan stayed serial).
+    chunk_size:
+        Chunk size of the most recent parallel dispatch (0 if none).
+    parallel_evaluations:
+        Total candidate evaluations served by the pool.
+    """
+
+    def __init__(self, engine: EntropyEngine, policy: ParallelPolicy):
+        if policy.resolved_workers() >= 2 and not fork_available():
+            warnings.warn(
+                "this platform has no fork start method, so the configured "
+                "parallel policy cannot engage; all candidate scans will run "
+                "serially",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        self._engine = engine
+        self._policy = policy
+        self._pool = None
+        self.workers = 0
+        self.chunk_size = 0
+        self.parallel_evaluations = 0
+
+    def __enter__(self) -> "ParallelEvaluator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Terminate the worker pool (no-op if it was never forked)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            global _FORK_ENGINE
+            context = multiprocessing.get_context("fork")
+            self.workers = self._policy.resolved_workers()
+            # Publish the engine for the duration of the fork only: workers
+            # inherit it through copy-on-write memory, the parent keeps no
+            # module-level reference.
+            _FORK_ENGINE = self._engine
+            try:
+                self._pool = context.Pool(processes=self.workers)
+            finally:
+                _FORK_ENGINE = None
+        return self._pool
+
+    def evaluate(
+        self, state: SelectionState, candidates: Sequence[str]
+    ) -> Optional[List[float]]:
+        """Score all ``candidates`` against ``state``, in candidate order.
+
+        Returns ``None`` when the policy elects the serial path for this scan
+        (too little work, too few workers, or no ``fork`` support); the caller
+        then runs its ordinary in-process loop.
+        """
+        support_size = self._engine.support_masks.shape[0]
+        if not self._policy.should_parallelise(len(candidates), support_size):
+            return None
+        pool = self._ensure_pool()
+        chunk_size = self._policy.resolved_chunk_size(len(candidates))
+        self.chunk_size = chunk_size
+        chunks = [
+            list(candidates[start:start + chunk_size])
+            for start in range(0, len(candidates), chunk_size)
+        ]
+        scored = pool.map(partial(_evaluate_chunk, state.task_ids), chunks)
+        self.parallel_evaluations += len(candidates)
+        return [entropy for part in scored for entropy in part]

@@ -122,8 +122,10 @@ class QueryGreedySelector(TaskSelector):
 
     def _select_with_session(self, session, k, candidates) -> SelectionResult:
         self._check_query_facts(session.fact_ids)
-        if session.interest_ids != tuple(self._query.fact_ids):
-            # The session's cells were built for a different (or no) interest
-            # set; fall back to a fresh engine over the materialised posterior.
-            return super()._select_with_session(session, k, candidates)
-        return self._run_on_engine(session.engine, k, candidates)
+        # A session built for this exact interest set lends its engine
+        # directly; any other query runs on an interest *view* — same support
+        # arrays, same shared bit-column cache, its own interest cells — so
+        # batches of queries against one entity never rebuild per-fact state.
+        return self._run_on_engine(
+            session.engine_for_interest(self._query.fact_ids), k, candidates
+        )

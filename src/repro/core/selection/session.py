@@ -25,19 +25,33 @@ A :class:`SessionPool` keys sessions by entity so batched experiments (one
 refinement problem per book, rounds interleaved in lock-step) reuse every
 entity's cached state across all global passes instead of building one engine
 per entity per pass.
+
+Two extensions ride on the same cached arrays:
+
+* **Batched multi-query scoring** — :meth:`RefinementSession.select_queries`
+  scores many queries' task sets against one entity off a *single* shared set
+  of cached per-fact bit columns: each query gets an interest *view* of the
+  session engine (:meth:`EntropyEngine.interest_view` — own interest cells,
+  shared everything else) instead of one full engine per query.
+* **Adaptive channel re-calibration** — with ``recalibrate=True`` the session
+  re-estimates per-fact channel accuracies from answer/posterior agreement as
+  rounds accumulate and swaps the updated
+  :class:`~repro.core.crowd.RecalibratedChannelModel` into both selection and
+  merging, keeping every structural cache warm.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.answers import AnswerSet
-from repro.core.crowd import ChannelModel
+from repro.core.crowd import ChannelModel, RecalibratedChannelModel
 from repro.core.distribution import JointDistribution
 from repro.core.entropy import entropy_bits
 from repro.core.merging import answer_likelihood_array
+from repro.core.query import Query
 from repro.core.selection.base import SelectionResult, TaskSelector
 from repro.core.selection.engine import EntropyEngine
 from repro.exceptions import SelectionError
@@ -58,6 +72,16 @@ class RefinementSession:
     interest_ids:
         Optional facts of interest; when given, the session's engine also
         tracks ``H(I, T)`` and session-aware query selectors reuse it.
+    recalibrate:
+        When true, each merge re-estimates the channel accuracy of every
+        answered fact from the posterior's agreement with the received
+        answers and swaps the updated channel into the engine (selection)
+        and the merge path, so later rounds price crowd noise with the
+        evidence accumulated so far.
+    recalibration_smoothing:
+        Pseudo-observation weight anchoring each re-estimate to the base
+        channel's accuracy, so one or two rounds of answers cannot swing a
+        channel to an extreme.
     """
 
     def __init__(
@@ -65,8 +89,15 @@ class RefinementSession:
         distribution: JointDistribution,
         channel: ChannelModel,
         interest_ids: Optional[Sequence[str]] = None,
+        recalibrate: bool = False,
+        recalibration_smoothing: float = 4.0,
     ):
+        if recalibration_smoothing <= 0.0:
+            raise SelectionError(
+                f"recalibration smoothing must be positive, got {recalibration_smoothing}"
+            )
         self._initial = distribution
+        self._base_channel = channel
         self._channel = channel
         self._interest_ids = tuple(interest_ids) if interest_ids else ()
         self._engine = EntropyEngine(
@@ -74,6 +105,11 @@ class RefinementSession:
         )
         self._materialized: Optional[JointDistribution] = distribution
         self._rounds_merged = 0
+        self._views: Dict[Tuple[str, ...], EntropyEngine] = {}
+        self._recalibrate = recalibrate
+        self._smoothing = recalibration_smoothing
+        self._agreement_mass: Dict[str, float] = {}
+        self._agreement_count: Dict[str, int] = {}
 
     # -- structure -------------------------------------------------------------------
 
@@ -84,8 +120,35 @@ class RefinementSession:
 
     @property
     def channel(self) -> ChannelModel:
-        """The channel model shared by selection and merging."""
+        """The channel model shared by selection and merging.
+
+        With re-calibration enabled this is the *current* overlay; the model
+        the session was constructed with stays available as the overlay's
+        base.
+        """
         return self._channel
+
+    @property
+    def recalibrates(self) -> bool:
+        """Whether this session re-estimates channel accuracies as it merges."""
+        return self._recalibrate
+
+    def engine_for_interest(self, interest_ids: Sequence[str]) -> EntropyEngine:
+        """The engine to score one query's candidates on.
+
+        The session's own engine when it was built for exactly this interest
+        set; otherwise a cached :meth:`EntropyEngine.interest_view` — shared
+        support arrays and bit columns, per-query interest cells.  Views are
+        snapshots of the current posterior and are rebuilt after each merge.
+        """
+        key = tuple(interest_ids)
+        if key == self._interest_ids:
+            return self._engine
+        view = self._views.get(key)
+        if view is None:
+            view = self._engine.interest_view(key)
+            self._views[key] = view
+        return view
 
     @property
     def interest_ids(self) -> "tuple[str, ...]":
@@ -153,17 +216,88 @@ class RefinementSession:
         """Select up to ``k`` tasks against the session's cached state."""
         return selector.select_with_session(self, k, exclude=exclude)
 
+    def select_queries(
+        self,
+        queries: Sequence[Query],
+        k: int,
+        exclude: Sequence[str] = (),
+    ) -> List[SelectionResult]:
+        """Batched multi-query selection: one task set per query, shared caches.
+
+        Every query is scored through the session (so interest views share
+        this entity's cached per-fact bit columns and probability snapshot)
+        rather than through one fresh engine per query.  Results are aligned
+        with ``queries`` and identical to running each query's
+        :class:`~repro.core.selection.query_greedy.QueryGreedySelector`
+        against the materialised posterior on its own engine.
+        """
+        # Imported here: query_greedy imports the selection base modules this
+        # module also feeds, and the registry wires both — a lazy import keeps
+        # the package import order immaterial.
+        from repro.core.selection.query_greedy import QueryGreedySelector
+
+        return [
+            QueryGreedySelector(query).select_with_session(self, k, exclude=exclude)
+            for query in queries
+        ]
+
     def merge(self, answers: AnswerSet) -> None:
         """Fold one round's answers into the posterior (Equation 3).
 
         A pure array update: the per-row likelihoods are computed against the
         session's fixed support and multiplied into the engine's probability
-        vector.  Invalidates the materialised posterior.
+        vector.  Invalidates the materialised posterior and every interest
+        view (they snapshot the pre-merge probabilities).  When
+        re-calibration is on, each answer's agreement with the *pre-merge*
+        posterior is recorded first — prequential scoring: the answer is
+        judged by the belief state that existed before it was folded in, so
+        it can never endorse itself — and the per-fact accuracy estimates
+        are refreshed afterwards.
         """
+        if self._recalibrate:
+            self._observe_agreement(answers)
         weights = answer_likelihood_array(self._initial, answers, self._channel)
         self._engine.reweight(weights)
         self._materialized = None
+        self._views.clear()
         self._rounds_merged += 1
+        if self._recalibrate:
+            self._apply_recalibration()
+
+    # -- adaptive channel re-calibration ----------------------------------------------
+
+    def _observe_agreement(self, answers: AnswerSet) -> None:
+        """Accumulate how strongly the current posterior predicts each answer.
+
+        Called *before* the answers are merged: the probability the pre-merge
+        posterior assigns to the answered value is a soft agreement count.
+        Answers the accumulated evidence keeps predicting push the fact's
+        channel estimate up, answers it keeps contradicting push the estimate
+        toward the coin-flip floor — and an answer about a fact the posterior
+        is agnostic on (marginal 0.5) contributes no signal either way.
+        """
+        for fact_id in answers:
+            marginal = self.marginal(fact_id)
+            agreement = marginal if answers[fact_id] else 1.0 - marginal
+            self._agreement_mass[fact_id] = (
+                self._agreement_mass.get(fact_id, 0.0) + agreement
+            )
+            self._agreement_count[fact_id] = self._agreement_count.get(fact_id, 0) + 1
+
+    def _apply_recalibration(self) -> None:
+        """Swap a freshly estimated channel overlay into selection and merging."""
+        overrides: Dict[str, float] = {}
+        for fact_id, count in self._agreement_count.items():
+            prior = self._base_channel.accuracy_for(fact_id)
+            estimate = (prior * self._smoothing + self._agreement_mass[fact_id]) / (
+                self._smoothing + count
+            )
+            # Definition 2 bounds channels to [0.5, 1]: a crowd that the
+            # posterior overrules more often than not is modelled as random,
+            # not adversarial.
+            overrides[fact_id] = min(1.0, max(0.5, estimate))
+        self._channel = RecalibratedChannelModel(self._base_channel, overrides)
+        self._engine.set_channel(self._channel)
 
 
 class SessionPool:
@@ -185,13 +319,29 @@ class SessionPool:
         distribution: JointDistribution,
         channel: ChannelModel,
         interest_ids: Optional[Sequence[str]] = None,
+        recalibrate: bool = False,
     ) -> RefinementSession:
         """Create, register and return the session for ``key``."""
         if key in self._sessions:
             raise SelectionError(f"session pool already contains key {key!r}")
-        session = RefinementSession(distribution, channel, interest_ids=interest_ids)
+        session = RefinementSession(
+            distribution,
+            channel,
+            interest_ids=interest_ids,
+            recalibrate=recalibrate,
+        )
         self._sessions[key] = session
         return session
+
+    def select_queries(
+        self,
+        key: str,
+        queries: Sequence[Query],
+        k: int,
+        exclude: Sequence[str] = (),
+    ) -> List[SelectionResult]:
+        """Batched multi-query selection against one entity's session."""
+        return self[key].select_queries(queries, k, exclude=exclude)
 
     def __getitem__(self, key: str) -> RefinementSession:
         try:

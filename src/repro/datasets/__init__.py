@@ -22,6 +22,7 @@ from repro.datasets.running_example import (
     running_example_distribution,
     running_example_facts,
 )
+from repro.datasets.scale import ScaleCorpusConfig, generate_scale_distribution
 
 __all__ = [
     "Book",
@@ -29,9 +30,11 @@ __all__ = [
     "BookCorpusConfig",
     "FlightCorpus",
     "FlightCorpusConfig",
+    "ScaleCorpusConfig",
     "add_organization",
     "generate_book_corpus",
     "generate_flight_corpus",
+    "generate_scale_distribution",
     "misspell_name",
     "reorder_authors",
     "running_example_answer_table",

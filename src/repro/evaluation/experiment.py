@@ -29,6 +29,7 @@ The crowd may be modelled at three fidelities (``ExperimentConfig.crowd_model``)
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -41,6 +42,7 @@ from repro.core.crowd import (
 from repro.core.distribution import JointDistribution
 from repro.core.facts import FactSet
 from repro.core.selection import TaskSelector, get_selector
+from repro.core.selection.parallel import DEFAULT_PARALLEL_THRESHOLD, ParallelPolicy
 from repro.core.selection.session import RefinementSession, SessionPool
 from repro.correlation.builder import JointDistributionBuilder
 from repro.correlation.rules import CorrelationRule
@@ -187,6 +189,19 @@ class ExperimentConfig:
         pre-test.
     calibration_repetitions:
         How many times each calibration sample task is asked.
+    recalibrate_channels:
+        Adaptive re-calibration: every entity's session re-estimates per-fact
+        channel accuracies from answer/posterior agreement as rounds
+        accumulate, on top of whichever ``crowd_model`` fidelity it started
+        from.
+    workers:
+        Worker processes for parallel candidate scans (``None`` disables
+        parallelism entirely; selectors then never fork).  Only selectors of
+        the greedy family honour it.
+    parallel_threshold:
+        Auto-serial threshold (candidates × support rows) below which a
+        configured parallel scan still runs in process; ``None`` uses the
+        library default.
     """
 
     selector: str = "greedy_prune_pre"
@@ -200,6 +215,9 @@ class ExperimentConfig:
     crowd_model: str = "uniform"
     calibration_facts: int = 5
     calibration_repetitions: int = 3
+    recalibrate_channels: bool = False
+    workers: Optional[int] = None
+    parallel_threshold: Optional[int] = None
 
     @property
     def model_accuracy(self) -> float:
@@ -208,6 +226,20 @@ class ExperimentConfig:
             self.assumed_accuracy
             if self.assumed_accuracy is not None
             else self.worker_accuracy
+        )
+
+    @property
+    def parallel_policy(self) -> Optional[ParallelPolicy]:
+        """The parallel-scan policy this configuration implies (or ``None``)."""
+        if self.workers is None:
+            return None
+        return ParallelPolicy(
+            workers=self.workers,
+            parallel_threshold=(
+                self.parallel_threshold
+                if self.parallel_threshold is not None
+                else DEFAULT_PARALLEL_THRESHOLD
+            ),
         )
 
 
@@ -348,6 +380,7 @@ def run_quality_experiment(
 
     pool = SessionPool()
     states: List[_EntityState] = []
+    parallel_policy = config.parallel_policy
     for index, problem in enumerate(problems):
         workers = WorkerPool.homogeneous(
             size=25, accuracy=config.worker_accuracy, seed=config.seed * 7919 + index
@@ -363,10 +396,26 @@ def run_quality_experiment(
             config.selector,
             **({"seed": config.seed * 104729 + index} if config.selector in ("random", "Random") else {}),
         )
+        if parallel_policy is not None:
+            if hasattr(selector, "parallel"):
+                selector.parallel = parallel_policy
+            elif index == 0:
+                warnings.warn(
+                    f"selector {config.selector!r} does not support parallel "
+                    "candidate scans; the workers/parallel_threshold settings "
+                    "are ignored",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
         states.append(
             _EntityState(
                 problem=problem,
-                session=pool.add(problem.entity, problem.prior, channel),
+                session=pool.add(
+                    problem.entity,
+                    problem.prior,
+                    channel,
+                    recalibrate=config.recalibrate_channels,
+                ),
                 platform=platform,
                 selector=selector,
                 remaining_budget=budget_overrides.get(
