@@ -1,0 +1,34 @@
+# Developer entry points for the CrowdFusion reproduction.
+#
+# The library is import-run from src/ (no install step needed); every target
+# works in a fresh checkout.
+
+PYTHON ?= python
+PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
+
+.PHONY: test bench bench-smoke
+
+# Tier-1 suite: the fast default (excludes the slow 2^20-support scenarios).
+test:
+	$(PYTEST) -x -q
+
+# All benchmark modules except the slow scale scenarios.  (The bench files
+# deliberately do not match pytest's test_*.py pattern, so they must be
+# passed explicitly.)
+bench:
+	$(PYTEST) -q benchmarks/bench_*.py
+
+# CI-sized exercise of the multiprocess selection paths.  The parallel
+# markers are normally skipped on constrained hosts, so this forces them on
+# (2-CPU runners included): the full parallel equivalence suites — per-call
+# sharding, persistent pools, entity fan-out, CLI flags — plus one tiny
+# persistent-pool benchmark scenario, keeping the fork paths exercised
+# outside manual multi-core runs.
+bench-smoke:
+	REPRO_FORCE_PARALLEL_TESTS=1 $(PYTEST) -q -m "parallel and not slow" \
+		tests/core/selection/test_parallel.py \
+		tests/core/selection/test_persistent_pool.py \
+		tests/evaluation/test_parallel_entities.py \
+		tests/test_cli.py
+	REPRO_FORCE_PARALLEL_TESTS=1 $(PYTEST) -q -m "parallel and not slow" \
+		benchmarks/bench_selection_hotpath.py -k persistent_pool_smoke

@@ -37,6 +37,7 @@ from repro.evaluation import (
     run_quality_experiment,
 )
 from repro.evaluation.experiment import CROWD_MODEL_KINDS
+from repro.exceptions import CrowdFusionError
 from repro.fusion import BayesianVote, MajorityVote, ModifiedCRH, TruthFinder
 from repro.fusion.pipeline import accuracy_against_gold
 
@@ -46,6 +47,25 @@ _FUSION_METHODS = {
     "truthfinder": TruthFinder,
     "bayesian": BayesianVote,
 }
+
+
+def _bounded_int(minimum: int, requirement: str):
+    """An argparse type enforcing an integer lower bound with a clear message."""
+
+    def parse(text: str) -> int:
+        try:
+            value = int(text)
+        except ValueError:
+            raise argparse.ArgumentTypeError(f"{text!r} is not an integer")
+        if value < minimum:
+            raise argparse.ArgumentTypeError(f"must be {requirement}, got {value}")
+        return value
+
+    return parse
+
+
+_positive_int = _bounded_int(1, "a positive integer")
+_nonnegative_int = _bounded_int(0, "non-negative")
 
 
 def _add_corpus_arguments(parser: argparse.ArgumentParser) -> None:
@@ -116,19 +136,27 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         difficulties=corpus.difficulties,
         max_facts_per_entity=args.max_facts,
     )
-    config = ExperimentConfig(
-        selector=args.selector,
-        k=args.k,
-        budget_per_entity=args.budget,
-        worker_accuracy=args.pc,
-        assumed_accuracy=args.assumed_pc,
-        use_difficulties=True,
-        seed=args.seed,
-        crowd_model=args.crowd_model,
-        recalibrate_channels=args.recalibrate,
-        workers=args.workers,
-        parallel_threshold=args.parallel_threshold,
-    )
+    try:
+        config = ExperimentConfig(
+            selector=args.selector,
+            k=args.k,
+            budget_per_entity=args.budget,
+            worker_accuracy=args.pc,
+            assumed_accuracy=args.assumed_pc,
+            use_difficulties=True,
+            seed=args.seed,
+            crowd_model=args.crowd_model,
+            recalibrate_channels=args.recalibrate,
+            workers=args.workers,
+            parallel_threshold=args.parallel_threshold,
+            persistent_pool=args.persistent_pool,
+            parallel_entities=args.parallel_entities,
+        )
+    except CrowdFusionError as error:
+        # Bad flag combinations and missing platform support surface as one
+        # clear line; failures past this point keep their tracebacks.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     budgets = None
     if args.allocation != "fixed":
         total = args.budget * len(problems)
@@ -137,6 +165,10 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     extras = ""
     if args.workers is not None:
         extras += f", workers {args.workers}"
+        if args.persistent_pool:
+            extras += " (persistent pool)"
+    if args.parallel_entities is not None:
+        extras += f", {args.parallel_entities} entity workers"
     if args.recalibrate:
         extras += ", recalibrating"
     print(
@@ -228,14 +260,27 @@ def build_parser() -> argparse.ArgumentParser:
         "answer/posterior agreement as rounds accumulate",
     )
     experiment.add_argument(
-        "--workers", type=int, default=None, metavar="N",
+        "--workers", type=_positive_int, default=None, metavar="N",
         help="shard candidate scans over N worker processes (greedy-family "
         "selectors; default: no parallelism)",
     )
     experiment.add_argument(
-        "--parallel-threshold", type=int, default=None, metavar="WORK",
+        "--parallel-threshold", type=_nonnegative_int, default=None, metavar="WORK",
         help="minimum scan size (candidates x support rows) before the worker "
         "pool is used; smaller scans always run serially",
+    )
+    experiment.add_argument(
+        "--persistent-pool", action="store_true",
+        help="keep one worker pool alive per entity for the whole run "
+        "(posteriors travel through a shared-memory snapshot ring instead of "
+        "re-forking after every merge); requires --workers and a platform "
+        "with the fork start method",
+    )
+    experiment.add_argument(
+        "--parallel-entities", type=_positive_int, default=None, metavar="N",
+        help="fan whole entities out across N processes (each runs one "
+        "entity's complete refinement trajectory; curves are identical to "
+        "the serial loop); mutually exclusive with --workers",
     )
     experiment.add_argument("--curve", action="store_true", help="print the full quality curve")
     experiment.set_defaults(handler=_cmd_experiment)

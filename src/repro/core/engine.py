@@ -27,10 +27,10 @@ from repro.core.answers import AnswerSet
 from repro.core.crowd import ChannelModel
 from repro.core.distribution import JointDistribution
 from repro.core.selection.base import SelectionResult, SelectionStats, TaskSelector
-from repro.core.selection.parallel import ParallelPolicy
+from repro.core.selection.parallel import ParallelPolicy, fork_available
 from repro.core.selection.session import RefinementSession
 from repro.core.utility import pws_quality
-from repro.exceptions import BudgetError
+from repro.exceptions import BudgetError, SelectionError
 
 
 class AnswerProvider(Protocol):
@@ -151,6 +151,12 @@ class CrowdFusionEngine:
         When true, the run's :class:`RefinementSession` re-estimates per-fact
         channel accuracies from answer/posterior agreement as rounds
         accumulate (adaptive re-calibration).
+    persistent_pool:
+        When true (requires ``parallel``), the run's session owns one
+        *persistent* worker pool that survives every round's Bayesian merge —
+        posteriors are shipped to the already-forked workers through a
+        shared-memory snapshot ring — instead of the selector re-forking a
+        pool per selection call.  Needs the ``fork`` start method.
     """
 
     def __init__(
@@ -162,11 +168,24 @@ class CrowdFusionEngine:
         reselect_asked_facts: bool = True,
         parallel: Optional[ParallelPolicy] = None,
         recalibrate_channels: bool = False,
+        persistent_pool: bool = False,
     ):
         if budget <= 0:
             raise BudgetError(f"budget must be positive, got {budget}")
         if tasks_per_round <= 0:
             raise BudgetError(f"tasks_per_round must be positive, got {tasks_per_round}")
+        if persistent_pool:
+            if parallel is None:
+                raise SelectionError(
+                    "persistent_pool requires a parallel policy (pass "
+                    "parallel=ParallelPolicy(...) alongside persistent_pool=True)"
+                )
+            if not fork_available():
+                raise SelectionError(
+                    "persistent worker pools need the 'fork' start method, "
+                    "which this platform does not provide; drop "
+                    "persistent_pool or run on a fork-capable OS"
+                )
         if parallel is not None and not hasattr(selector, "parallel"):
             warnings.warn(
                 f"selector {type(selector).__name__} does not support parallel "
@@ -181,6 +200,7 @@ class CrowdFusionEngine:
         self._reselect = reselect_asked_facts
         self._parallel = parallel
         self._recalibrate = recalibrate_channels
+        self._persistent_pool = persistent_pool
 
     @property
     def budget(self) -> int:
@@ -219,8 +239,13 @@ class CrowdFusionEngine:
 
         # Apply the engine's parallel policy for the duration of this run
         # only: the selector object belongs to the caller and may serve other
-        # engines with different (or no) policies.
-        if self._parallel is not None and hasattr(self._selector, "parallel"):
+        # engines with different (or no) policies.  With a persistent pool
+        # the session owns the policy instead, so the selector is untouched.
+        if (
+            self._parallel is not None
+            and not self._persistent_pool
+            and hasattr(self._selector, "parallel")
+        ):
             previous_policy = self._selector.parallel
             self._selector.parallel = self._parallel
             try:
@@ -239,8 +264,25 @@ class CrowdFusionEngine:
             initial_distribution=distribution, final_distribution=distribution
         )
         session = RefinementSession(
-            distribution, self._crowd, recalibrate=self._recalibrate
+            distribution,
+            self._crowd,
+            recalibrate=self._recalibrate,
+            parallel=self._parallel if self._persistent_pool else None,
         )
+        try:
+            return self._refine(session, result, collect, round_callback)
+        finally:
+            # Releases the persistent worker pool (a no-op for serial runs)
+            # even when a selector or the answer provider raises mid-round.
+            session.close()
+
+    def _refine(
+        self,
+        session: RefinementSession,
+        result: EngineResult,
+        collect: Callable[[Sequence[str]], AnswerSet],
+        round_callback: Optional[Callable[[RoundRecord, JointDistribution], None]],
+    ) -> EngineResult:
         asked: set = set()
         remaining_budget = self._budget
         round_index = 0

@@ -31,7 +31,12 @@ scans past a work threshold are sharded across a fork-shared
 ``multiprocessing`` pool (:mod:`repro.core.selection.parallel`) with
 selections bit-for-bit identical to the serial path, and sessions score many
 queries in one batch off shared cached bit columns
-(``RefinementSession.select_queries``).
+(``RefinementSession.select_queries``).  A :class:`RefinementSession` built
+with a parallel policy owns a *persistent* worker pool for its whole
+multi-round run: reweighted posteriors are shipped to the long-lived workers
+through a shared-memory snapshot ring (and channel swaps are replayed),
+instead of the pool being re-forked after every merge.  The CELF lazy
+selector shards its refresh loop in batch waves through the same evaluator.
 """
 
 from repro.core.selection.base import SelectionResult, SelectionStats, TaskSelector
@@ -40,7 +45,11 @@ from repro.core.selection.engine import EntropyEngine, SelectionState
 from repro.core.selection.fact_entropy import FactEntropySelector
 from repro.core.selection.greedy import GreedySelector
 from repro.core.selection.lazy import LazyGreedySelector
-from repro.core.selection.parallel import ParallelEvaluator, ParallelPolicy
+from repro.core.selection.parallel import (
+    ParallelEvaluator,
+    ParallelPolicy,
+    ParallelSelectorMixin,
+)
 from repro.core.selection.preprocessing import (
     PreprocessingGreedySelector,
     PrunedPreprocessingGreedySelector,
@@ -60,6 +69,7 @@ __all__ = [
     "LazyGreedySelector",
     "ParallelEvaluator",
     "ParallelPolicy",
+    "ParallelSelectorMixin",
     "PreprocessingGreedySelector",
     "PrunedPreprocessingGreedySelector",
     "PruningGreedySelector",

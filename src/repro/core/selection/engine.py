@@ -158,6 +158,11 @@ class EntropyEngine:
         self.evaluations = 0
         #: Number of Bayesian reweights applied (rounds served by this engine).
         self.reweights = 0
+        #: Number of channel-model swaps applied (:meth:`set_channel` calls).
+        #: Together with :attr:`reweights` this is the engine's *generation*:
+        #: persistent pool workers compare both counters against the parent's
+        #: to decide whether their inherited state needs a re-sync.
+        self.channel_swaps = 0
 
     def _build_interest_cells(
         self, interest_ids: Optional[Sequence[str]]
@@ -268,6 +273,7 @@ class EntropyEngine:
         self._uniform = crowd.uniform_accuracy
         self._accuracy.clear()
         self._noise.clear()
+        self.channel_swaps += 1
 
     def interest_view(self, interest_ids: Sequence[str]) -> "EntropyEngine":
         """A facts-of-interest view sharing this engine's cached arrays.
@@ -305,6 +311,7 @@ class EntropyEngine:
         view._is_view = True
         view.evaluations = 0
         view.reweights = 0
+        view.channel_swaps = 0
         return view
 
     def reweight(self, weights: np.ndarray) -> None:
@@ -338,6 +345,32 @@ class EntropyEngine:
         self._probabilities = masses / total
         self._weighted_bits.clear()
         self.reweights += 1
+
+    def load_probabilities(self, probabilities: np.ndarray, reweights: int) -> None:
+        """Replace the probability vector verbatim with a peer's snapshot.
+
+        The persistent-pool sync primitive: a fork-inherited worker engine
+        catches up with its parent by copying the parent's already-normalised
+        posterior byte for byte (no renormalisation, so every later float
+        operation is bit-identical to the parent's) and adopting the parent's
+        :attr:`reweights` generation.  Structural caches (masks, bit columns,
+        interest cells) stay valid exactly as they do across
+        :meth:`reweight`; only the ``weighted_bits`` products are dropped.
+        """
+        if self._is_view:
+            raise SelectionError(
+                "interest views share their parent's probability vector and "
+                "cannot load snapshots; sync the owning engine instead"
+            )
+        probabilities = np.asarray(probabilities, dtype=np.float64)
+        if probabilities.shape != self._probabilities.shape:
+            raise SelectionError(
+                f"expected a snapshot of {self._probabilities.shape[0]} "
+                f"probabilities aligned to the support, got {probabilities.shape}"
+            )
+        self._probabilities = probabilities.copy()
+        self._weighted_bits.clear()
+        self.reweights = reweights
 
     # -- incremental path -----------------------------------------------------------
 

@@ -36,7 +36,11 @@ from repro.core.selection.base import (
     TaskSelector,
 )
 from repro.core.selection.engine import EntropyEngine
-from repro.core.selection.parallel import ParallelEvaluator, ParallelPolicy
+from repro.core.selection.parallel import (
+    ParallelEvaluator,
+    ParallelPolicy,
+    ParallelSelectorMixin,
+)
 from repro.core.utility import crowd_entropy
 
 #: Gains smaller than this are treated as zero ("no benefit from one more task").
@@ -152,7 +156,7 @@ def run_engine_greedy(
     )
 
 
-class GreedySelector(TaskSelector):
+class GreedySelector(ParallelSelectorMixin, TaskSelector):
     """Algorithm 1: iterative greedy selection maximising ``H(T)``.
 
     Parameters
@@ -162,7 +166,9 @@ class GreedySelector(TaskSelector):
         When set, each iteration's candidate scan may be sharded across a
         fork-shared worker pool; the policy's auto-serial threshold keeps
         small rounds in process.  Selections are bit-for-bit identical to
-        the serial path either way.
+        the serial path either way.  Selections against a
+        :class:`~repro.core.selection.session.RefinementSession` that owns a
+        persistent evaluator use the session's long-lived pool instead.
     """
 
     name = "greedy"
@@ -170,34 +176,16 @@ class GreedySelector(TaskSelector):
     #: Whether the Theorem-3 pruning rule is applied (overridden by subclasses).
     use_pruning = False
 
-    def __init__(self, parallel: Optional[ParallelPolicy] = None):
-        self._parallel = parallel
-
-    @property
-    def parallel(self) -> Optional[ParallelPolicy]:
-        """The configured parallel-scan policy (``None`` means always serial)."""
-        return self._parallel
-
-    @parallel.setter
-    def parallel(self, policy: Optional[ParallelPolicy]) -> None:
-        self._parallel = policy
-
-    def _run(self, engine: EntropyEngine, k: int, candidates) -> SelectionResult:
-        if self._parallel is None:
-            return run_greedy_on_engine(
-                engine, k, candidates, use_pruning=self.use_pruning
-            )
-        with ParallelEvaluator(engine, self._parallel) as evaluator:
-            result = run_greedy_on_engine(
-                engine, k, candidates, use_pruning=self.use_pruning,
-                evaluator=evaluator,
-            )
-        # The evaluator is the single source of truth for the execution-mode
-        # bookkeeping: it alone knows what its pool actually served.
-        result.stats.workers = evaluator.workers
-        result.stats.chunk_size = evaluator.chunk_size
-        result.stats.parallel_evaluations = evaluator.parallel_evaluations
-        return result
+    def _runner(
+        self,
+        engine: EntropyEngine,
+        k: int,
+        candidates: Sequence[str],
+        evaluator: Optional[ParallelEvaluator],
+    ) -> SelectionResult:
+        return run_greedy_on_engine(
+            engine, k, candidates, use_pruning=self.use_pruning, evaluator=evaluator
+        )
 
     def _select(
         self,
@@ -206,7 +194,15 @@ class GreedySelector(TaskSelector):
         k: int,
         candidates: Sequence[str],
     ) -> SelectionResult:
-        return self._run(EntropyEngine(distribution, crowd), k, candidates)
+        return self._scan(
+            EntropyEngine(distribution, crowd), k, candidates, self._runner
+        )
 
     def _select_with_session(self, session, k, candidates) -> SelectionResult:
-        return self._run(session.engine, k, candidates)
+        return self._scan(
+            session.engine,
+            k,
+            candidates,
+            self._runner,
+            shared_evaluator=session.shared_evaluator(),
+        )

@@ -25,15 +25,29 @@ Heterogeneous channels fold the per-task noise into the tracked gain itself
 still bounded by one bit), so the CELF bound logic is unchanged; uniform
 models keep the original raw-gain arithmetic bit-for-bit.
 
+With a :class:`~repro.core.selection.parallel.ParallelEvaluator` the refresh
+loop runs in **waves**: instead of popping one stale entry at a time, a batch
+of entries whose bounds clear the current cut-off is popped together and
+scored through the evaluator's worker pool.  Waves may refresh a few more
+candidates than the strictly sequential loop (the cut-off only tightens as
+results come back), but the *selection* is provably unchanged: any candidate
+the sequential loop would have left stale has ``bound < best − 2·tol``, and
+since its true gain is bounded by that stale bound it can neither win the
+first-index-wins re-rank nor block another candidate.  The stopping rule —
+every remaining stale bound below the best refreshed gain minus the margin —
+is the same in both forms, so the same winner (and the same tie behaviour)
+falls out of the same re-rank, with the refresh work sharded across cores.
+
 Like the other greedy variants, the scan runs on a vectorized incremental
 engine that may be built fresh per call or borrowed warm from a
-:class:`~repro.core.selection.session.RefinementSession`.
+:class:`~repro.core.selection.session.RefinementSession` (whose persistent
+pool, when configured, also serves the refresh waves).
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import List, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.crowd import ChannelModel
 from repro.core.distribution import JointDistribution
@@ -43,8 +57,9 @@ from repro.core.selection.base import (
     SelectionStats,
     TaskSelector,
 )
-from repro.core.selection.engine import EntropyEngine
+from repro.core.selection.engine import EntropyEngine, SelectionState
 from repro.core.selection.greedy import GAIN_TOLERANCE
+from repro.core.selection.parallel import ParallelEvaluator, ParallelSelectorMixin
 from repro.core.utility import crowd_entropy
 
 #: A single binary answer carries at most one bit, so 1.0 upper-bounds every
@@ -53,8 +68,98 @@ from repro.core.utility import crowd_entropy
 _INITIAL_GAIN_BOUND = 1.0
 
 
+def _refresh_sequential(
+    engine: EntropyEngine,
+    state: SelectionState,
+    heap: List[tuple],
+    stats: SelectionStats,
+    uniform: Optional[float],
+) -> List[list]:
+    """The original one-pop-at-a-time CELF refresh loop for one iteration."""
+    refreshed: List[list] = []
+    best_gain = float("-inf")
+
+    # Refresh until every remaining stale bound sits below the best
+    # fresh gain: those candidates cannot win this iteration, and by
+    # submodularity never need a look.  The 2x tolerance margin also
+    # refreshes would-be interim tie-blockers of plain greedy's scan,
+    # keeping the re-ranking below faithful to it.
+    while heap and -heap[0][0] >= best_gain - 2 * TIE_TOLERANCE:
+        _stale, index, fact_id = heapq.heappop(heap)
+        stats.candidate_evaluations += 1
+        if state.width:
+            stats.cache_hits += 1
+        gain = engine.extension_entropy(state, fact_id) - state.entropy
+        if uniform is None:
+            gain -= engine.noise_entropy(fact_id)
+        refreshed.append([gain, index, fact_id])
+        if gain > best_gain:
+            best_gain = gain
+    return refreshed
+
+
+def _refresh_waves(
+    engine: EntropyEngine,
+    state: SelectionState,
+    heap: List[tuple],
+    stats: SelectionStats,
+    uniform: Optional[float],
+    evaluator: ParallelEvaluator,
+) -> List[list]:
+    """Batch-refresh CELF: pop stale entries in waves, score them in parallel.
+
+    Each wave pops up to :meth:`ParallelEvaluator.refresh_batch_size` entries
+    whose stale bounds clear the *current* cut-off and scores the whole batch
+    through the evaluator.  A wave may overshoot the strictly sequential
+    refresh set (the cut-off only tightens as results come back); see the
+    module docstring for why the selection is unchanged.  Overshoot is only
+    accepted when it buys parallelism: a wave the policy would score
+    in-process anyway (too little work left, small support) is popped one
+    entry at a time, which *is* the sequential loop — so below the parallel
+    threshold CELF's lazy savings are fully preserved.
+    """
+    refreshed: List[list] = []
+    best_gain = float("-inf")
+    wave_size = evaluator.refresh_batch_size()
+
+    while heap and -heap[0][0] >= best_gain - 2 * TIE_TOLERANCE:
+        cap = (
+            wave_size
+            if evaluator.would_parallelise(min(wave_size, len(heap)))
+            else 1
+        )
+        batch: List[Tuple[int, str]] = []
+        while (
+            heap
+            and len(batch) < cap
+            and -heap[0][0] >= best_gain - 2 * TIE_TOLERANCE
+        ):
+            _stale, index, fact_id = heapq.heappop(heap)
+            batch.append((index, fact_id))
+        fact_ids = [fact_id for _, fact_id in batch]
+        entropies = evaluator.evaluate(state, fact_ids)
+        if entropies is None:
+            entropies = [
+                engine.extension_entropy(state, fact_id) for fact_id in fact_ids
+            ]
+        stats.candidate_evaluations += len(batch)
+        if state.width:
+            stats.cache_hits += len(batch)
+        for (index, fact_id), extension in zip(batch, entropies):
+            gain = extension - state.entropy
+            if uniform is None:
+                gain -= engine.noise_entropy(fact_id)
+            refreshed.append([gain, index, fact_id])
+            if gain > best_gain:
+                best_gain = gain
+    return refreshed
+
+
 def run_lazy_greedy_on_engine(
-    engine: EntropyEngine, k: int, candidates: Sequence[str]
+    engine: EntropyEngine,
+    k: int,
+    candidates: Sequence[str],
+    evaluator: Optional[ParallelEvaluator] = None,
 ) -> SelectionResult:
     """Algorithm 1 with CELF lazy evaluation, on a (possibly warm) engine."""
     stats = SelectionStats()
@@ -73,25 +178,10 @@ def run_lazy_greedy_on_engine(
 
     for _iteration in range(k):
         stats.iterations += 1
-        refreshed: List[list] = []
-        best_gain = float("-inf")
-
-        # Refresh until every remaining stale bound sits below the best
-        # fresh gain: those candidates cannot win this iteration, and by
-        # submodularity never need a look.  The 2x tolerance margin also
-        # refreshes would-be interim tie-blockers of plain greedy's scan,
-        # keeping the re-ranking below faithful to it.
-        while heap and -heap[0][0] >= best_gain - 2 * TIE_TOLERANCE:
-            _stale, index, fact_id = heapq.heappop(heap)
-            stats.candidate_evaluations += 1
-            if state.width:
-                stats.cache_hits += 1
-            gain = engine.extension_entropy(state, fact_id) - state.entropy
-            if uniform is None:
-                gain -= engine.noise_entropy(fact_id)
-            refreshed.append([gain, index, fact_id])
-            if gain > best_gain:
-                best_gain = gain
+        if evaluator is None:
+            refreshed = _refresh_sequential(engine, state, heap, stats, uniform)
+        else:
+            refreshed = _refresh_waves(engine, state, heap, stats, uniform, evaluator)
         stats.skipped_evaluations += len(heap)
 
         # Re-rank the refreshed candidates exactly like plain greedy's
@@ -122,10 +212,29 @@ def run_lazy_greedy_on_engine(
     )
 
 
-class LazyGreedySelector(TaskSelector):
-    """Algorithm 1 with CELF lazy evaluation of submodular marginal gains."""
+class LazyGreedySelector(ParallelSelectorMixin, TaskSelector):
+    """Algorithm 1 with CELF lazy evaluation of submodular marginal gains.
+
+    Parameters
+    ----------
+    parallel:
+        Optional :class:`~repro.core.selection.parallel.ParallelPolicy`: the
+        CELF refresh loop then runs in batch waves scored through a worker
+        pool (see the module docstring), with selections identical to the
+        sequential heap.  Sessions owning a persistent evaluator serve the
+        waves from their long-lived pool.
+    """
 
     name = "greedy_lazy"
+
+    def _runner(
+        self,
+        engine: EntropyEngine,
+        k: int,
+        candidates: Sequence[str],
+        evaluator: Optional[ParallelEvaluator],
+    ) -> SelectionResult:
+        return run_lazy_greedy_on_engine(engine, k, candidates, evaluator=evaluator)
 
     def _select(
         self,
@@ -134,9 +243,15 @@ class LazyGreedySelector(TaskSelector):
         k: int,
         candidates: Sequence[str],
     ) -> SelectionResult:
-        return run_lazy_greedy_on_engine(
-            EntropyEngine(distribution, crowd), k, candidates
+        return self._scan(
+            EntropyEngine(distribution, crowd), k, candidates, self._runner
         )
 
     def _select_with_session(self, session, k, candidates) -> SelectionResult:
-        return run_lazy_greedy_on_engine(session.engine, k, candidates)
+        return self._scan(
+            session.engine,
+            k,
+            candidates,
+            self._runner,
+            shared_evaluator=session.shared_evaluator(),
+        )

@@ -33,6 +33,22 @@ This module shards the scan across a ``multiprocessing`` pool:
   reports "serial" and the caller runs the ordinary in-process scan, so
   small Table-V-sized rounds never pay the fork or IPC overhead.
 
+* **Persistent pools across rounds** — a fork is only free of state shipping
+  while the engine's posterior matches the fork-time snapshot, which is why
+  the per-call evaluator re-forks after every ``EntropyEngine.reweight``.
+  The *persistent* mode instead keeps one pool alive for a whole multi-round
+  refinement run and ships each round's posterior through a
+  :class:`multiprocessing.shared_memory` ring of probability snapshots
+  (:class:`_SnapshotRing`): the parent writes the reweighted (already
+  normalised) vector into the next ring slot, and every dispatch carries a
+  tiny generation header ``(reweights, slot, channel_swaps, channel)``.  A
+  worker whose inherited engine is behind copies the snapshot byte for byte
+  (:meth:`EntropyEngine.load_probabilities` — no renormalisation, so all
+  later float operations stay bit-identical to the parent's) and replays any
+  ``set_channel`` swap (adaptive re-calibration) from the header, then
+  rebuilds its selection state exactly as on first contact.  Fork cost is
+  paid once per run instead of once per round.
+
 Selection results are **bit-for-bit identical** to the serial path by
 construction: the parallel evaluator returns one entropy per candidate in
 candidate order, and the caller replays the exact serial ranking loop
@@ -48,8 +64,13 @@ import os
 import warnings
 from dataclasses import dataclass
 from functools import partial
+from multiprocessing import shared_memory
 from typing import List, Optional, Sequence, Tuple
 
+import numpy as np
+
+from repro.core.crowd import ChannelModel
+from repro.core.selection.base import SelectionResult
 from repro.core.selection.engine import EntropyEngine, SelectionState
 from repro.exceptions import SelectionError
 
@@ -65,11 +86,22 @@ DEFAULT_PARALLEL_THRESHOLD = 1 << 22
 #: cached-partition width), few enough that IPC stays negligible.
 _CHUNKS_PER_WORKER = 4
 
+#: Slots in a persistent pool's shared-memory snapshot ring.  ``pool.map`` is
+#: synchronous, so one slot would suffice for correctness; a small ring keeps
+#: the parent from overwriting the page a straggling worker is still reading
+#: if dispatch ever becomes asynchronous.
+_SNAPSHOT_SLOTS = 4
+
 #: Published engine the pool workers inherit at fork time.  Set by
 #: :meth:`ParallelEvaluator._ensure_pool` immediately before the fork and
 #: cleared right after: the parent never keeps a module-level reference, the
 #: children each keep their inherited copy.
 _FORK_ENGINE: Optional[EntropyEngine] = None
+
+#: Published snapshot ring of a *persistent* pool, inherited the same way.
+#: The underlying shared-memory mapping is ``MAP_SHARED``, so parent writes
+#: after the fork are visible to every worker.
+_FORK_RING: Optional["_SnapshotRing"] = None
 
 #: Per-worker replayed selection state (lives only in pool worker processes).
 _WORKER_STATE: Optional[SelectionState] = None
@@ -78,6 +110,57 @@ _WORKER_STATE: Optional[SelectionState] = None
 def fork_available() -> bool:
     """Whether this platform can share engine state via the ``fork`` method."""
     return "fork" in multiprocessing.get_all_start_methods()
+
+
+class _SnapshotRing:
+    """A shared-memory ring of posterior snapshots for one persistent pool.
+
+    One float64 row per slot, each the full support-aligned probability
+    vector.  The parent owns the segment: it publishes a reweighted posterior
+    with :meth:`publish` (slot chosen by generation), workers read their slot
+    with :meth:`read`.  Workers inherit the mapped segment at fork time —
+    shared, not copy-on-write — so a publish after the fork is immediately
+    visible to every worker without any pickling or re-attach.
+    """
+
+    def __init__(self, support_size: int, slots: int = _SNAPSHOT_SLOTS):
+        self._slots = slots
+        self._support_size = support_size
+        self._shm = shared_memory.SharedMemory(
+            create=True, size=max(1, slots * support_size * 8)
+        )
+        self._array = np.ndarray(
+            (slots, support_size), dtype=np.float64, buffer=self._shm.buf
+        )
+
+    def publish(self, generation: int, probabilities: np.ndarray) -> int:
+        """Copy ``probabilities`` into the slot for ``generation``; return it."""
+        slot = generation % self._slots
+        self._array[slot, :] = probabilities
+        return slot
+
+    def read(self, slot: int) -> np.ndarray:
+        """The snapshot in ``slot``, as a *view* of the shared segment.
+
+        Callers must copy before keeping it (``EntropyEngine.
+        load_probabilities`` does) — a later :meth:`publish` to the same slot
+        would mutate the view in place.  Returning the view keeps the worker
+        sync path at exactly one full-support copy per generation.
+        """
+        return self._array[slot]
+
+    def close(self) -> None:
+        """Release the parent's mapping and unlink the segment (idempotent)."""
+        if self._shm is None:
+            return
+        # The ndarray view pins the exported buffer; drop it before closing.
+        self._array = None
+        self._shm.close()
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+        self._shm = None
 
 
 @dataclass(frozen=True)
@@ -161,14 +244,73 @@ def _evaluate_chunk(task_ids: Tuple[str, ...], chunk: Sequence[str]) -> List[flo
     return [engine.extension_entropy(state, fact_id) for fact_id in chunk]
 
 
+#: Generation header of one persistent-pool dispatch: the parent engine's
+#: ``reweights`` counter, the ring slot its posterior snapshot occupies,
+#: its ``channel_swaps`` counter, and the current channel model (``None``
+#: while no swap has happened since the fork).
+_SyncHeader = Tuple[int, int, int, Optional[ChannelModel]]
+
+
+def _sync_worker_engine(engine: EntropyEngine, header: _SyncHeader) -> None:
+    """Catch a fork-inherited worker engine up with the parent's generation.
+
+    A stale posterior is loaded byte for byte from the shared snapshot ring; a
+    stale channel model is replayed through ``set_channel`` (the same call the
+    parent's session made).  Either sync invalidates the worker's replayed
+    selection state — its cached tables embed the old probabilities and
+    channel accuracies — so the next :func:`_replay_state` restarts from the
+    empty state, exactly as on first contact after a fork.
+    """
+    global _WORKER_STATE
+    reweights, slot, channel_swaps, channel = header
+    if reweights != engine.reweights:
+        ring = _FORK_RING
+        if ring is None:  # pragma: no cover - defensive: fork contract broken
+            raise SelectionError(
+                "persistent parallel worker has no fork-shared snapshot ring"
+            )
+        engine.load_probabilities(ring.read(slot), reweights)
+        _WORKER_STATE = None
+    if channel_swaps != engine.channel_swaps:
+        if channel is None:  # pragma: no cover - defensive: header contract broken
+            raise SelectionError(
+                "persistent pool header advanced the channel generation "
+                "without shipping the channel model"
+            )
+        engine.set_channel(channel)
+        engine.channel_swaps = channel_swaps
+        _WORKER_STATE = None
+
+
+def _evaluate_chunk_persistent(
+    header: _SyncHeader, task_ids: Tuple[str, ...], chunk: Sequence[str]
+) -> List[float]:
+    """Persistent-pool worker entry point: sync generations, then score."""
+    engine = _FORK_ENGINE
+    if engine is None:  # pragma: no cover - defensive: fork contract broken
+        raise SelectionError("parallel worker started without a fork-shared engine")
+    _sync_worker_engine(engine, header)
+    state = _replay_state(engine, task_ids)
+    return [engine.extension_entropy(state, fact_id) for fact_id in chunk]
+
+
 class ParallelEvaluator:
     """Shards one engine's candidate evaluations across a fork pool.
 
-    The evaluator is scoped to one selection call: the pool is forked lazily
-    on the first iteration whose scan clears the policy threshold (so the
-    engine's probability vector is current at fork time) and reused for the
-    remaining iterations of that call.  Use as a context manager so the pool
-    is always reclaimed.
+    By default the evaluator is scoped to one selection call: the pool is
+    forked lazily on the first iteration whose scan clears the policy
+    threshold (so the engine's probability vector is current at fork time)
+    and reused for the remaining iterations of that call.  Use as a context
+    manager so the pool is always reclaimed — even when a selector raises
+    mid-scan.
+
+    With ``persistent=True`` the evaluator instead survives across rounds of
+    a multi-round refinement run (it is then owned by a
+    :class:`~repro.core.selection.session.RefinementSession`): before the
+    fork it allocates a shared-memory :class:`_SnapshotRing`, and every
+    dispatch carries a generation header so workers re-sync their inherited
+    engine with the parent's reweighted posterior and swapped channel model
+    instead of the pool being re-forked.
 
     Attributes
     ----------
@@ -177,10 +319,16 @@ class ParallelEvaluator:
     chunk_size:
         Chunk size of the most recent parallel dispatch (0 if none).
     parallel_evaluations:
-        Total candidate evaluations served by the pool.
+        Total candidate evaluations served by the pool (cumulative over the
+        evaluator's lifetime, i.e. over all rounds for a persistent pool).
     """
 
-    def __init__(self, engine: EntropyEngine, policy: ParallelPolicy):
+    def __init__(
+        self,
+        engine: EntropyEngine,
+        policy: ParallelPolicy,
+        persistent: bool = False,
+    ):
         if policy.resolved_workers() >= 2 and not fork_available():
             warnings.warn(
                 "this platform has no fork start method, so the configured "
@@ -191,10 +339,20 @@ class ParallelEvaluator:
             )
         self._engine = engine
         self._policy = policy
+        self._persistent = persistent
         self._pool = None
+        self._ring: Optional[_SnapshotRing] = None
+        self._published_reweights = 0
+        self._published_slot = -1
+        self._fork_channel_swaps = 0
         self.workers = 0
         self.chunk_size = 0
         self.parallel_evaluations = 0
+
+    @property
+    def persistent(self) -> bool:
+        """Whether this evaluator survives posterior reweights between scans."""
+        return self._persistent
 
     def __enter__(self) -> "ParallelEvaluator":
         return self
@@ -203,26 +361,82 @@ class ParallelEvaluator:
         self.close()
 
     def close(self) -> None:
-        """Terminate the worker pool (no-op if it was never forked)."""
-        if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
-            self._pool = None
+        """Terminate the worker pool and release the snapshot ring (idempotent)."""
+        try:
+            if self._pool is not None:
+                self._pool.terminate()
+                self._pool.join()
+                self._pool = None
+        finally:
+            if self._ring is not None:
+                self._ring.close()
+                self._ring = None
+
+    def refresh_batch_size(self) -> int:
+        """Candidates a lazy (CELF) selector should refresh per wave.
+
+        Enough to hand every worker its configured chunk share, so a wave
+        that clears the policy threshold saturates the pool; small enough
+        that lazy evaluation still skips the long tail of stale candidates.
+        """
+        workers = self._policy.resolved_workers()
+        chunk = self._policy.chunk_size or _CHUNKS_PER_WORKER
+        return max(1, workers * chunk)
+
+    def would_parallelise(self, num_candidates: int) -> bool:
+        """Whether a scan of ``num_candidates`` would engage the pool.
+
+        Lets batching callers (the CELF wave loop) avoid assembling a batch
+        that :meth:`evaluate` would only hand back for in-process scoring.
+        """
+        return self._policy.should_parallelise(
+            num_candidates, self._engine.support_masks.shape[0]
+        )
 
     def _ensure_pool(self):
         if self._pool is None:
-            global _FORK_ENGINE
+            global _FORK_ENGINE, _FORK_RING
             context = multiprocessing.get_context("fork")
             self.workers = self._policy.resolved_workers()
-            # Publish the engine for the duration of the fork only: workers
-            # inherit it through copy-on-write memory, the parent keeps no
-            # module-level reference.
+            if self._persistent:
+                # The ring must exist before the fork so workers inherit the
+                # shared mapping; the generation counters pin the fork-time
+                # state every worker starts from.
+                self._ring = _SnapshotRing(self._engine.probabilities.shape[0])
+                self._published_reweights = self._engine.reweights
+                self._published_slot = -1
+                self._fork_channel_swaps = self._engine.channel_swaps
+            # Publish the engine (and ring) for the duration of the fork
+            # only: workers inherit them through copy-on-write memory, the
+            # parent keeps no module-level reference.
             _FORK_ENGINE = self._engine
+            _FORK_RING = self._ring
             try:
                 self._pool = context.Pool(processes=self.workers)
             finally:
                 _FORK_ENGINE = None
+                _FORK_RING = None
         return self._pool
+
+    def _sync_header(self) -> _SyncHeader:
+        """Publish any pending posterior snapshot; return the dispatch header."""
+        engine = self._engine
+        if engine.reweights != self._published_reweights:
+            self._published_slot = self._ring.publish(
+                engine.reweights, engine.probabilities
+            )
+            self._published_reweights = engine.reweights
+        channel = (
+            engine.crowd
+            if engine.channel_swaps != self._fork_channel_swaps
+            else None
+        )
+        return (
+            engine.reweights,
+            self._published_slot,
+            engine.channel_swaps,
+            channel,
+        )
 
     def evaluate(
         self, state: SelectionState, candidates: Sequence[str]
@@ -243,6 +457,86 @@ class ParallelEvaluator:
             list(candidates[start:start + chunk_size])
             for start in range(0, len(candidates), chunk_size)
         ]
-        scored = pool.map(partial(_evaluate_chunk, state.task_ids), chunks)
+        if self._persistent:
+            worker = partial(
+                _evaluate_chunk_persistent, self._sync_header(), state.task_ids
+            )
+        else:
+            worker = partial(_evaluate_chunk, state.task_ids)
+        scored = pool.map(worker, chunks)
         self.parallel_evaluations += len(candidates)
         return [entropy for part in scored for entropy in part]
+
+
+class ParallelSelectorMixin:
+    """Parallel-scan wiring shared by the greedy selector family.
+
+    A selector mixing this in accepts a :class:`ParallelPolicy` (constructor
+    argument and ``parallel`` property) and funnels every scan through
+    :meth:`_scan`, which picks the evaluator in priority order:
+
+    1. a *session-owned persistent* evaluator, when the selection runs
+       against a :class:`~repro.core.selection.session.RefinementSession`
+       configured with a parallel policy (fork cost amortised over the whole
+       run; the selector does not close it);
+    2. the selector's own policy, wrapped in a per-call evaluator whose
+       context manager guarantees the pool is reclaimed even when the scan
+       raises;
+    3. the plain serial path when neither is configured.
+
+    Either way the per-selection ``SelectionStats`` report only what *this*
+    selection used: worker counts are zeroed when every scan of the call
+    stayed under the auto-serial threshold, and a persistent evaluator's
+    cumulative counters are differenced around the call.
+    """
+
+    _parallel: Optional[ParallelPolicy] = None
+
+    def __init__(self, parallel: Optional[ParallelPolicy] = None):
+        self._parallel = parallel
+
+    @property
+    def parallel(self) -> Optional[ParallelPolicy]:
+        """The configured parallel-scan policy (``None`` means always serial)."""
+        return self._parallel
+
+    @parallel.setter
+    def parallel(self, policy: Optional[ParallelPolicy]) -> None:
+        self._parallel = policy
+
+    def _scan(
+        self,
+        engine: EntropyEngine,
+        k: int,
+        candidates: Sequence[str],
+        runner,
+        shared_evaluator: Optional[ParallelEvaluator] = None,
+    ) -> SelectionResult:
+        """Run ``runner(engine, k, candidates, evaluator)`` with the right evaluator."""
+        if shared_evaluator is not None:
+            return self._instrumented(shared_evaluator, runner, engine, k, candidates)
+        if self._parallel is None:
+            return runner(engine, k, candidates, None)
+        with ParallelEvaluator(engine, self._parallel) as evaluator:
+            return self._instrumented(evaluator, runner, engine, k, candidates)
+
+    @staticmethod
+    def _instrumented(
+        evaluator: ParallelEvaluator,
+        runner,
+        engine: EntropyEngine,
+        k: int,
+        candidates: Sequence[str],
+    ) -> SelectionResult:
+        before = evaluator.parallel_evaluations
+        result = runner(engine, k, candidates, evaluator)
+        # The evaluator is the single source of truth for the execution-mode
+        # bookkeeping: it alone knows what its pool actually served.  For a
+        # persistent evaluator the counters span many selections, so report
+        # the delta — and a call whose scans all stayed auto-serial reports
+        # zero workers even though the long-lived pool exists.
+        served = evaluator.parallel_evaluations - before
+        result.stats.parallel_evaluations = served
+        result.stats.workers = evaluator.workers if served else 0
+        result.stats.chunk_size = evaluator.chunk_size if served else 0
+        return result

@@ -38,6 +38,17 @@ Two extensions ride on the same cached arrays:
   rounds accumulate and swaps the updated
   :class:`~repro.core.crowd.RecalibratedChannelModel` into both selection and
   merging, keeping every structural cache warm.
+
+The session is also the owner of the **persistent parallel runtime**: built
+with a :class:`~repro.core.selection.parallel.ParallelPolicy`, it hands every
+session-aware selector one long-lived
+:class:`~repro.core.selection.parallel.ParallelEvaluator` whose fork-shared
+worker pool survives the run's merges (each round's reweighted posterior is
+shipped through a shared-memory snapshot ring instead of re-forking).  The
+pool is acquired on the first scan that clears the policy threshold and
+released by :meth:`RefinementSession.close` — sessions (and
+:class:`SessionPool`) are context managers, so worker processes are reclaimed
+even when a selector raises mid-scan.
 """
 
 from __future__ import annotations
@@ -54,6 +65,7 @@ from repro.core.merging import answer_likelihood_array
 from repro.core.query import Query
 from repro.core.selection.base import SelectionResult, TaskSelector
 from repro.core.selection.engine import EntropyEngine
+from repro.core.selection.parallel import ParallelEvaluator, ParallelPolicy
 from repro.exceptions import SelectionError
 
 
@@ -82,6 +94,15 @@ class RefinementSession:
         Pseudo-observation weight anchoring each re-estimate to the base
         channel's accuracy, so one or two rounds of answers cannot swing a
         channel to an extreme.
+    parallel:
+        Optional :class:`~repro.core.selection.parallel.ParallelPolicy`.
+        When given, the session owns a *persistent*
+        :class:`~repro.core.selection.parallel.ParallelEvaluator` for its
+        engine: session-aware selectors of the greedy family shard their
+        candidate scans over one long-lived fork pool that survives every
+        :meth:`merge` (posteriors travel through a shared-memory snapshot
+        ring), instead of re-forking per selection call.  Release the pool
+        with :meth:`close` or by using the session as a context manager.
     """
 
     def __init__(
@@ -91,6 +112,7 @@ class RefinementSession:
         interest_ids: Optional[Sequence[str]] = None,
         recalibrate: bool = False,
         recalibration_smoothing: float = 4.0,
+        parallel: Optional[ParallelPolicy] = None,
     ):
         if recalibration_smoothing <= 0.0:
             raise SelectionError(
@@ -110,6 +132,50 @@ class RefinementSession:
         self._smoothing = recalibration_smoothing
         self._agreement_mass: Dict[str, float] = {}
         self._agreement_count: Dict[str, int] = {}
+        self._parallel_policy = parallel
+        self._evaluator: Optional[ParallelEvaluator] = None
+
+    # -- persistent parallel runtime ---------------------------------------------------
+
+    @property
+    def parallel_policy(self) -> Optional[ParallelPolicy]:
+        """The policy behind the session's persistent pool (``None`` = serial)."""
+        return self._parallel_policy
+
+    def shared_evaluator(self) -> Optional[ParallelEvaluator]:
+        """The session-owned persistent evaluator, or ``None`` without a policy.
+
+        Created lazily on first request; its worker pool forks lazily on the
+        first candidate scan that clears the policy threshold, so merely
+        configuring a policy costs nothing until parallelism actually pays.
+        The evaluator stays valid across merges and channel swaps — it ships
+        the engine's current generation to its workers on every dispatch —
+        and lives until :meth:`close`.
+        """
+        if self._parallel_policy is None:
+            return None
+        if self._evaluator is None:
+            self._evaluator = ParallelEvaluator(
+                self._engine, self._parallel_policy, persistent=True
+            )
+        return self._evaluator
+
+    def close(self) -> None:
+        """Release the persistent parallel runtime (idempotent).
+
+        Terminates the worker pool and unlinks the shared-memory snapshot
+        ring.  The session itself stays usable — selections simply run
+        serially afterwards until a new parallel scan re-acquires the pool.
+        """
+        if self._evaluator is not None:
+            self._evaluator.close()
+            self._evaluator = None
+
+    def __enter__(self) -> "RefinementSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- structure -------------------------------------------------------------------
 
@@ -308,6 +374,11 @@ class SessionPool:
     warm partitions — for every subsequent pass.  Aggregate quality metrics
     (summed utility, pooled predicted labels) are computed straight from the
     sessions' cached arrays.
+
+    Sessions added with a parallel policy own persistent worker pools; the
+    pool-level :meth:`close` (or the context manager) releases all of them in
+    one call, so a multi-entity experiment cannot leak worker processes even
+    when one entity's selection raises.
     """
 
     def __init__(self) -> None:
@@ -320,8 +391,15 @@ class SessionPool:
         channel: ChannelModel,
         interest_ids: Optional[Sequence[str]] = None,
         recalibrate: bool = False,
+        parallel: Optional[ParallelPolicy] = None,
     ) -> RefinementSession:
-        """Create, register and return the session for ``key``."""
+        """Create, register and return the session for ``key``.
+
+        ``parallel`` gives the new session its own persistent evaluator (one
+        long-lived worker pool per entity — each pool forks lazily, and only
+        for scans that clear the policy threshold, so small entities never
+        pay for it).
+        """
         if key in self._sessions:
             raise SelectionError(f"session pool already contains key {key!r}")
         session = RefinementSession(
@@ -329,9 +407,21 @@ class SessionPool:
             channel,
             interest_ids=interest_ids,
             recalibrate=recalibrate,
+            parallel=parallel,
         )
         self._sessions[key] = session
         return session
+
+    def close(self) -> None:
+        """Release every session's persistent parallel runtime (idempotent)."""
+        for session in self._sessions.values():
+            session.close()
+
+    def __enter__(self) -> "SessionPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def select_queries(
         self,

@@ -29,6 +29,7 @@ The crowd may be modelled at three fidelities (``ExperimentConfig.crowd_model``)
 
 from __future__ import annotations
 
+import multiprocessing
 import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
@@ -42,7 +43,11 @@ from repro.core.crowd import (
 from repro.core.distribution import JointDistribution
 from repro.core.facts import FactSet
 from repro.core.selection import TaskSelector, get_selector
-from repro.core.selection.parallel import DEFAULT_PARALLEL_THRESHOLD, ParallelPolicy
+from repro.core.selection.parallel import (
+    DEFAULT_PARALLEL_THRESHOLD,
+    ParallelPolicy,
+    fork_available,
+)
 from repro.core.selection.session import RefinementSession, SessionPool
 from repro.correlation.builder import JointDistributionBuilder
 from repro.correlation.rules import CorrelationRule
@@ -202,6 +207,25 @@ class ExperimentConfig:
         Auto-serial threshold (candidates × support rows) below which a
         configured parallel scan still runs in process; ``None`` uses the
         library default.
+    persistent_pool:
+        When true (requires ``workers``), every entity's session owns one
+        persistent worker pool surviving the whole run — reweighted
+        posteriors are shipped to the already-forked workers through a
+        shared-memory snapshot ring — instead of re-forking a pool per
+        selection call.  Needs the ``fork`` start method.  Note the
+        residency cost: pools are per entity (up to ``workers × entities``
+        processes if every entity's scans clear the threshold), forked
+        lazily and released as soon as an entity's budget is exhausted; on
+        many-entity corpora keep ``workers`` moderate, or use
+        ``parallel_entities`` instead.
+    parallel_entities:
+        Fan whole entities out across a process pool of this size: each
+        worker runs one entity's complete refinement trajectory (per-entity
+        RNG streams make that deterministic) and the lock-step curve is
+        reassembled from the per-round records, with points identical to the
+        serial loop's.  Mutually exclusive with ``workers`` — inside the
+        fan-out workers candidate scans stay serial (pool workers are
+        daemonic and cannot fork grandchildren).  Needs ``fork``.
     """
 
     selector: str = "greedy_prune_pre"
@@ -218,6 +242,41 @@ class ExperimentConfig:
     recalibrate_channels: bool = False
     workers: Optional[int] = None
     parallel_threshold: Optional[int] = None
+    persistent_pool: bool = False
+    parallel_entities: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.workers is not None and self.workers < 1:
+            raise CrowdFusionError(
+                f"workers must be a positive integer, got {self.workers}"
+            )
+        if self.parallel_threshold is not None and self.parallel_threshold < 0:
+            raise CrowdFusionError(
+                f"parallel_threshold must be non-negative, got {self.parallel_threshold}"
+            )
+        if self.parallel_entities is not None and self.parallel_entities < 1:
+            raise CrowdFusionError(
+                f"parallel_entities must be a positive integer, got "
+                f"{self.parallel_entities}"
+            )
+        if self.persistent_pool and self.workers is None:
+            raise CrowdFusionError(
+                "persistent_pool requires workers: set workers (--workers) to "
+                "the pool size the persistent runtime should keep alive"
+            )
+        if self.parallel_entities is not None and self.workers is not None:
+            raise CrowdFusionError(
+                "parallel_entities and workers are mutually exclusive: entity "
+                "fan-out workers are daemonic and cannot fork nested candidate-"
+                "scan pools; pick one parallelism axis"
+            )
+        if (self.persistent_pool or self.parallel_entities is not None) and (
+            not fork_available()
+        ):
+            raise CrowdFusionError(
+                "persistent worker pools and entity fan-out need the 'fork' "
+                "start method, which this platform does not provide"
+            )
 
     @property
     def model_accuracy(self) -> float:
@@ -337,6 +396,41 @@ def _build_channel(
     )
 
 
+def _prepare_entity(
+    problem: EntityProblem,
+    index: int,
+    config: ExperimentConfig,
+    budget_overrides: Mapping[str, int],
+) -> "Tuple[SimulatedPlatform, ChannelModel, TaskSelector, int]":
+    """Platform, channel, selector and budget for one entity.
+
+    Shared by the serial lock-step loop and the entity fan-out workers: both
+    derive every random stream from ``config.seed`` and the entity's global
+    ``index``, so an entity's whole trajectory is identical no matter which
+    process runs it.
+    """
+    workers = WorkerPool.homogeneous(
+        size=25, accuracy=config.worker_accuracy, seed=config.seed * 7919 + index
+    )
+    platform = SimulatedPlatform(
+        ground_truth=problem.gold,
+        workers=workers,
+        difficulties=problem.difficulties if config.use_difficulties else None,
+        answers_per_task=config.answers_per_task,
+    )
+    channel = _build_channel(config, problem, platform)
+    selector = get_selector(
+        config.selector,
+        **(
+            {"seed": config.seed * 104729 + index}
+            if config.selector in ("random", "Random")
+            else {}
+        ),
+    )
+    budget = budget_overrides.get(problem.entity, config.budget_per_entity)
+    return platform, channel, selector, budget
+
+
 def _measure(
     pool: SessionPool, states: Sequence[_EntityState], cost: int
 ) -> QualityPoint:
@@ -378,35 +472,30 @@ def run_quality_experiment(
         raise CrowdFusionError("cannot run an experiment without entity problems")
     budget_overrides = dict(budgets or {})
 
+    if config.parallel_entities is not None:
+        return _run_fanned_out(list(problems), config, budget_overrides)
+
     pool = SessionPool()
     states: List[_EntityState] = []
     parallel_policy = config.parallel_policy
     for index, problem in enumerate(problems):
-        workers = WorkerPool.homogeneous(
-            size=25, accuracy=config.worker_accuracy, seed=config.seed * 7919 + index
-        )
-        platform = SimulatedPlatform(
-            ground_truth=problem.gold,
-            workers=workers,
-            difficulties=problem.difficulties if config.use_difficulties else None,
-            answers_per_task=config.answers_per_task,
-        )
-        channel = _build_channel(config, problem, platform)
-        selector = get_selector(
-            config.selector,
-            **({"seed": config.seed * 104729 + index} if config.selector in ("random", "Random") else {}),
+        platform, channel, selector, budget = _prepare_entity(
+            problem, index, config, budget_overrides
         )
         if parallel_policy is not None:
-            if hasattr(selector, "parallel"):
+            if not hasattr(selector, "parallel"):
+                # Neither wiring can help this selector: it ignores per-call
+                # policies and never consumes a session's evaluator.
+                if index == 0:
+                    warnings.warn(
+                        f"selector {config.selector!r} does not support "
+                        "parallel candidate scans; the workers/"
+                        "parallel_threshold settings are ignored",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+            elif not config.persistent_pool:
                 selector.parallel = parallel_policy
-            elif index == 0:
-                warnings.warn(
-                    f"selector {config.selector!r} does not support parallel "
-                    "candidate scans; the workers/parallel_threshold settings "
-                    "are ignored",
-                    RuntimeWarning,
-                    stacklevel=2,
-                )
         states.append(
             _EntityState(
                 problem=problem,
@@ -415,12 +504,11 @@ def run_quality_experiment(
                     problem.prior,
                     channel,
                     recalibrate=config.recalibrate_channels,
+                    parallel=parallel_policy if config.persistent_pool else None,
                 ),
                 platform=platform,
                 selector=selector,
-                remaining_budget=budget_overrides.get(
-                    problem.entity, config.budget_per_entity
-                ),
+                remaining_budget=budget,
             )
         )
 
@@ -431,23 +519,171 @@ def run_quality_experiment(
     total_cost = sum(state.platform.stats().answers_collected for state in states)
     result.points.append(_measure(pool, states, total_cost))
 
-    while any(state.remaining_budget > 0 for state in states):
-        progressed = False
-        for state in states:
-            if state.remaining_budget <= 0:
-                continue
-            k = min(config.k, state.remaining_budget, state.session.num_facts)
-            selection = state.selector.select_with_session(state.session, k)
-            if not selection.task_ids:
-                state.remaining_budget = 0
-                continue
-            answers = state.platform.collect(selection.task_ids)
-            state.session.merge(answers)
-            state.remaining_budget -= len(selection.task_ids)
-            total_cost += len(selection.task_ids)
-            progressed = True
-        if not progressed:
-            break
-        result.points.append(_measure(pool, states, total_cost))
+    # The pool context releases every session's persistent worker pool on the
+    # way out — including when a selector raises mid-pass.
+    with pool:
+        while any(state.remaining_budget > 0 for state in states):
+            progressed = False
+            for state in states:
+                if state.remaining_budget <= 0:
+                    continue
+                k = min(config.k, state.remaining_budget, state.session.num_facts)
+                selection = state.selector.select_with_session(state.session, k)
+                if not selection.task_ids:
+                    state.remaining_budget = 0
+                    state.session.close()
+                    continue
+                answers = state.platform.collect(selection.task_ids)
+                state.session.merge(answers)
+                state.remaining_budget -= len(selection.task_ids)
+                total_cost += len(selection.task_ids)
+                progressed = True
+                if state.remaining_budget <= 0:
+                    # This entity will never scan again: release its persistent
+                    # workers now instead of holding them to the end of the run.
+                    state.session.close()
+            if not progressed:
+                break
+            result.points.append(_measure(pool, states, total_cost))
 
+    return result
+
+
+# -- cross-entity fan-out ---------------------------------------------------------
+
+
+@dataclass
+class _TrajectoryRound:
+    """One entity round as recorded by a fan-out worker."""
+
+    tasks_asked: int
+    utility: float
+    labels: Dict[str, bool]
+
+
+@dataclass
+class _EntityTrajectory:
+    """Everything the parent needs to splice one entity into the global curve."""
+
+    initial_cost: int
+    initial_utility: float
+    initial_labels: Dict[str, bool]
+    rounds: List[_TrajectoryRound]
+
+
+#: Fan-out work published to the fork pool: ``(problems, config, overrides)``.
+#: Set immediately before the pool forks and cleared right after — workers
+#: inherit the tuple through copy-on-write memory, nothing is pickled out.
+_FANOUT_CONTEXT: Optional[Tuple[List[EntityProblem], ExperimentConfig, Dict[str, int]]] = None
+
+
+def _entity_trajectory(index: int) -> _EntityTrajectory:
+    """Fan-out worker: run entity ``index``'s complete refinement trajectory.
+
+    Entities are independent for the whole run (the lock-step interleaving
+    only matters for when curve points are *recorded*), so a worker can run
+    every round of one entity back to back and return the per-round records;
+    the parent reassembles pass-aligned curve points from them.  All
+    randomness derives from ``config.seed`` and ``index`` exactly as in the
+    serial loop, so the records are bit-for-bit what the serial loop would
+    have produced.
+    """
+    problems, config, budget_overrides = _FANOUT_CONTEXT
+    problem = problems[index]
+    platform, channel, selector, budget = _prepare_entity(
+        problem, index, config, budget_overrides
+    )
+    session = RefinementSession(
+        problem.prior, channel, recalibrate=config.recalibrate_channels
+    )
+    trajectory = _EntityTrajectory(
+        # Only calibration pre-tests have spent platform answers at this
+        # point — the same spend the serial loop books into the cost-0 point.
+        initial_cost=platform.stats().answers_collected,
+        initial_utility=session.utility(),
+        initial_labels=session.predicted_labels(),
+        rounds=[],
+    )
+    remaining = budget
+    while remaining > 0:
+        k = min(config.k, remaining, session.num_facts)
+        selection = selector.select_with_session(session, k)
+        if not selection.task_ids:
+            break
+        answers = platform.collect(selection.task_ids)
+        session.merge(answers)
+        remaining -= len(selection.task_ids)
+        trajectory.rounds.append(
+            _TrajectoryRound(
+                tasks_asked=len(selection.task_ids),
+                utility=session.utility(),
+                labels=session.predicted_labels(),
+            )
+        )
+    return trajectory
+
+
+def _run_fanned_out(
+    problems: List[EntityProblem],
+    config: ExperimentConfig,
+    budget_overrides: Dict[str, int],
+) -> ExperimentResult:
+    """The lock-step experiment with whole entities fanned out across a pool.
+
+    Workers inherit the problem list through a fork (nothing is shipped out),
+    each runs its entities' full trajectories, and the parent reassembles the
+    global pass curve: the point after pass ``r`` aggregates every entity's
+    state after its ``min(r, rounds)``-th round, summing utilities and
+    pooling labels in entity order — the identical floats, in the identical
+    order, the serial loop produces.
+    """
+    global _FANOUT_CONTEXT
+    context = multiprocessing.get_context("fork")
+    processes = min(config.parallel_entities, len(problems))
+    _FANOUT_CONTEXT = (problems, config, budget_overrides)
+    try:
+        with context.Pool(processes=processes) as worker_pool:
+            trajectories = worker_pool.map(
+                _entity_trajectory, range(len(problems)), chunksize=1
+            )
+    finally:
+        _FANOUT_CONTEXT = None
+
+    gold: Dict[str, bool] = {}
+    for problem in problems:
+        gold.update(problem.gold)
+
+    def point(round_index: int, cost: int) -> QualityPoint:
+        utilities: List[float] = []
+        labels: Dict[str, bool] = {}
+        for trajectory in trajectories:
+            reached = min(round_index, len(trajectory.rounds))
+            if reached == 0:
+                utilities.append(trajectory.initial_utility)
+                labels.update(trajectory.initial_labels)
+            else:
+                record = trajectory.rounds[reached - 1]
+                utilities.append(record.utility)
+                labels.update(record.labels)
+        scores = classification_scores(labels, gold)
+        return QualityPoint(
+            cost=cost,
+            utility=float(sum(utilities)),
+            f1=scores.f1,
+            precision=scores.precision,
+            recall=scores.recall,
+            accuracy=scores.accuracy,
+        )
+
+    result = ExperimentResult(config=config)
+    total_cost = sum(trajectory.initial_cost for trajectory in trajectories)
+    result.points.append(point(0, total_cost))
+    max_rounds = max((len(t.rounds) for t in trajectories), default=0)
+    for round_index in range(1, max_rounds + 1):
+        total_cost += sum(
+            trajectory.rounds[round_index - 1].tasks_asked
+            for trajectory in trajectories
+            if len(trajectory.rounds) >= round_index
+        )
+        result.points.append(point(round_index, total_cost))
     return result

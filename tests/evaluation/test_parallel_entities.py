@@ -1,0 +1,158 @@
+"""Cross-entity fan-out: parallel experiment curves must equal serial ones.
+
+Entities are independent between curve points (each derives every random
+stream from ``config.seed`` and its global index), so fanning whole entity
+trajectories out across a fork pool and reassembling the lock-step curve
+must reproduce the serial loop's points exactly — same costs, same summed
+utilities, same classification scores, in the same order.  The suite also
+covers the configuration validation that guards the parallel flags.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.datasets import BookCorpusConfig, generate_book_corpus
+from repro.evaluation import (
+    ExperimentConfig,
+    build_problems,
+    run_quality_experiment,
+)
+from repro.exceptions import CrowdFusionError
+from repro.fusion import ModifiedCRH
+
+
+@pytest.fixture(scope="module")
+def problems():
+    corpus = generate_book_corpus(
+        BookCorpusConfig(
+            num_books=6, num_sources=10, max_sources_per_book=8, seed=3
+        )
+    )
+    return build_problems(
+        corpus.database,
+        corpus.gold,
+        ModifiedCRH(),
+        difficulties=corpus.difficulties,
+        max_facts_per_entity=8,
+    )
+
+
+class TestConfigValidation:
+    """Satellite: bad parallel settings fail fast with clear messages."""
+
+    def test_zero_workers_rejected(self):
+        with pytest.raises(CrowdFusionError, match="positive"):
+            ExperimentConfig(workers=0)
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(CrowdFusionError, match="workers"):
+            ExperimentConfig(workers=-2)
+
+    def test_negative_parallel_threshold_rejected(self):
+        with pytest.raises(CrowdFusionError, match="parallel_threshold"):
+            ExperimentConfig(workers=2, parallel_threshold=-1)
+
+    def test_nonpositive_parallel_entities_rejected(self):
+        with pytest.raises(CrowdFusionError, match="parallel_entities"):
+            ExperimentConfig(parallel_entities=0)
+
+    def test_persistent_pool_requires_workers(self):
+        with pytest.raises(CrowdFusionError, match="persistent_pool requires workers"):
+            ExperimentConfig(persistent_pool=True)
+
+    def test_parallel_entities_excludes_workers(self):
+        with pytest.raises(CrowdFusionError, match="mutually exclusive"):
+            ExperimentConfig(workers=2, parallel_entities=2)
+
+    def test_persistent_pool_needs_fork(self, monkeypatch):
+        monkeypatch.setattr(
+            "repro.evaluation.experiment.fork_available", lambda: False
+        )
+        with pytest.raises(CrowdFusionError, match="fork"):
+            ExperimentConfig(workers=2, persistent_pool=True)
+
+    def test_parallel_entities_needs_fork(self, monkeypatch):
+        monkeypatch.setattr(
+            "repro.evaluation.experiment.fork_available", lambda: False
+        )
+        with pytest.raises(CrowdFusionError, match="fork"):
+            ExperimentConfig(parallel_entities=2)
+
+    def test_valid_configs_pass(self):
+        ExperimentConfig(workers=2, parallel_threshold=0)
+        ExperimentConfig(parallel_entities=4)
+
+
+def assert_identical_curves(serial, fanned):
+    assert len(serial.points) == len(fanned.points)
+    for serial_point, fanned_point in zip(serial.points, fanned.points):
+        assert fanned_point == serial_point
+
+
+@pytest.mark.parallel
+class TestFanOutEquivalence:
+    @pytest.mark.parametrize("parallel_entities", [1, 2, 4])
+    def test_curves_identical_across_pool_sizes(self, problems, parallel_entities):
+        config = ExperimentConfig(
+            selector="greedy", k=2, budget_per_entity=8,
+            worker_accuracy=0.85, seed=5,
+        )
+        serial = run_quality_experiment(problems, config)
+        fanned = run_quality_experiment(
+            problems, replace(config, parallel_entities=parallel_entities)
+        )
+        assert_identical_curves(serial, fanned)
+
+    def test_calibrated_channels_and_difficulties(self, problems):
+        config = ExperimentConfig(
+            selector="greedy_lazy", k=2, budget_per_entity=6,
+            worker_accuracy=0.85, seed=7, crowd_model="calibrated",
+            use_difficulties=True,
+        )
+        serial = run_quality_experiment(problems, config)
+        fanned = run_quality_experiment(problems, replace(config, parallel_entities=3))
+        assert_identical_curves(serial, fanned)
+
+    def test_recalibration_and_seeded_random_selector(self, problems):
+        config = ExperimentConfig(
+            selector="random", k=2, budget_per_entity=6, seed=9,
+            recalibrate_channels=True,
+        )
+        serial = run_quality_experiment(problems, config)
+        fanned = run_quality_experiment(problems, replace(config, parallel_entities=4))
+        assert_identical_curves(serial, fanned)
+
+    def test_budget_overrides_respected(self, problems):
+        config = ExperimentConfig(selector="greedy", k=2, budget_per_entity=4, seed=1)
+        budgets = {problems[0].entity: 8, problems[1].entity: 0}
+        serial = run_quality_experiment(problems, config, budgets=budgets)
+        fanned = run_quality_experiment(
+            problems, replace(config, parallel_entities=2), budgets=budgets
+        )
+        assert_identical_curves(serial, fanned)
+
+
+@pytest.mark.parallel
+class TestPersistentPoolExperiment:
+    def test_non_parallel_selector_still_warns_with_persistent_pool(self, problems):
+        """Regression: the 'parallel settings ignored' warning must fire for
+        selectors outside the greedy family whether or not the pool is
+        persistent — fact_entropy consumes neither wiring."""
+        config = ExperimentConfig(
+            selector="fact_entropy", k=1, budget_per_entity=2,
+            workers=2, persistent_pool=True,
+        )
+        with pytest.warns(RuntimeWarning, match="does not support parallel"):
+            run_quality_experiment(problems[:2], config)
+
+    def test_persistent_pool_curves_match_serial(self, problems):
+        config = ExperimentConfig(
+            selector="greedy", k=2, budget_per_entity=6, seed=11,
+        )
+        serial = run_quality_experiment(problems, config)
+        persistent = run_quality_experiment(
+            problems,
+            replace(config, workers=2, parallel_threshold=0, persistent_pool=True),
+        )
+        assert_identical_curves(serial, persistent)

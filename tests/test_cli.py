@@ -92,3 +92,74 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "greedy_prune_pre" in output
         assert "mean seconds" in output
+
+
+class TestParallelFlags:
+    """The parallel runtime flags: validation at the parser and config layers."""
+
+    def test_negative_workers_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "--workers", "-1"])
+
+    def test_zero_workers_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "--workers", "0"])
+
+    def test_non_integer_workers_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "--workers", "two"])
+
+    def test_negative_parallel_threshold_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "--parallel-threshold", "-5"])
+
+    def test_nonpositive_parallel_entities_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "--parallel-entities", "0"])
+
+    def test_parallel_flag_defaults(self):
+        args = build_parser().parse_args(["experiment"])
+        assert args.workers is None
+        assert args.parallel_threshold is None
+        assert args.persistent_pool is False
+        assert args.parallel_entities is None
+
+    def test_persistent_pool_without_workers_is_a_clean_error(self, capsys):
+        code = main(
+            ["experiment", "--books", "4", "--sources", "8", "--persistent-pool"]
+        )
+        assert code == 2
+        assert "persistent_pool requires workers" in capsys.readouterr().err
+
+    def test_workers_and_parallel_entities_conflict_is_a_clean_error(self, capsys):
+        code = main(
+            [
+                "experiment", "--books", "4", "--sources", "8",
+                "--workers", "2", "--parallel-entities", "2",
+            ]
+        )
+        assert code == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+
+@pytest.mark.parallel
+class TestParallelCommands:
+    def test_experiment_with_persistent_pool(self, capsys):
+        code = main(
+            [
+                "experiment", "--books", "4", "--sources", "8", "--seed", "2",
+                "--budget", "4", "--workers", "2", "--persistent-pool",
+            ]
+        )
+        assert code == 0
+        assert "workers 2 (persistent pool)" in capsys.readouterr().out
+
+    def test_experiment_with_parallel_entities(self, capsys):
+        code = main(
+            [
+                "experiment", "--books", "4", "--sources", "8", "--seed", "2",
+                "--budget", "4", "--parallel-entities", "2",
+            ]
+        )
+        assert code == 0
+        assert "2 entity workers" in capsys.readouterr().out
