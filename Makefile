@@ -6,7 +6,7 @@
 PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test bench bench-smoke
+.PHONY: test bench bench-smoke serve-smoke
 
 # Tier-1 suite: the fast default (excludes the slow 2^20-support scenarios).
 test:
@@ -28,7 +28,15 @@ bench-smoke:
 	REPRO_FORCE_PARALLEL_TESTS=1 $(PYTEST) -q -m "parallel and not slow" \
 		tests/core/selection/test_parallel.py \
 		tests/core/selection/test_persistent_pool.py \
+		tests/core/selection/test_multiplex.py \
 		tests/evaluation/test_parallel_entities.py \
+		tests/service/test_shared_pool.py \
 		tests/test_cli.py
 	REPRO_FORCE_PARALLEL_TESTS=1 $(PYTEST) -q -m "parallel and not slow" \
 		benchmarks/bench_selection_hotpath.py -k persistent_pool_smoke
+
+# Boots a real refinement-service server on a loopback port, drives one full
+# create → select → post → posterior → close round-trip through the JSON
+# client, and asserts that no worker processes leaked.
+serve-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.service.smoke

@@ -1,0 +1,242 @@
+"""Refinement-service benchmarks: multi-tenant throughput and latency.
+
+Three scenarios for the ``service/*`` family of the shared selection
+artifact, all driving the in-process :class:`RefinementService` (no sockets,
+so the numbers isolate the service layer itself — queueing, batching,
+caching — from TCP noise):
+
+* **multi-tenant throughput** — N concurrent tenants each running a full
+  select → post round loop; wall-clock, requests/sec, and the service's own
+  selection-latency percentiles, with the per-tenant trajectories asserted
+  identical to standalone serial sessions (the service must add overhead,
+  never divergence);
+* **merge batching** — one chatty tenant enqueueing whole waves of answer
+  posts at once; the drainer must fold each wave into fewer executor hops
+  than merges (``merge_batches < merges``);
+* **shared-pool throughput** (``parallel`` marker) — the acceptance-style
+  four-tenants-one-pool run, timed, with pool utilisation recorded.
+
+Scenarios merge-append into ``benchmarks/results/BENCH_selection.json``
+under ``service/*`` keys; schema in ``benchmarks/README.md``.
+"""
+
+import asyncio
+import multiprocessing
+import time
+
+import numpy as np
+import pytest
+
+import _bench_utils  # noqa: F401  (sys.path setup for src/)
+
+from repro.core.answers import AnswerSet
+from repro.core.crowd import CrowdModel
+from repro.core.distribution import JointDistribution
+from repro.core.runtime import RuntimeOptions
+from repro.core.selection import RefinementSession, get_selector
+from repro.service import RefinementService
+
+from bench_selection_hotpath import _record_scenarios
+
+SELECTOR = "greedy_prune_pre"
+
+
+def service_distribution(num_facts, support, seed):
+    rng = np.random.default_rng(seed)
+    masks = rng.choice(1 << num_facts, size=support, replace=False)
+    probabilities = rng.uniform(0.05, 1.0, size=support)
+    return JointDistribution(
+        tuple(f"f{i}" for i in range(num_facts)),
+        dict(zip((int(mask) for mask in masks), probabilities)),
+    )
+
+
+def scripted_answers(task_ids, round_index):
+    return AnswerSet.from_mapping(
+        {fact_id: (round_index + position) % 2 == 0
+         for position, fact_id in enumerate(task_ids)}
+    )
+
+
+async def drive_tenant(service, session_id, tenant, rounds, k):
+    trajectory = []
+    for round_index in range(rounds):
+        reply = await service.select_next(session_id, batch=k)
+        await service.post_answers(
+            session_id, scripted_answers(reply.task_ids, round_index + tenant)
+        )
+        trajectory.append(tuple(reply.task_ids))
+    return trajectory
+
+
+def standalone_trajectory(distribution, channel, tenant, rounds, k):
+    session = RefinementSession(distribution, channel)
+    selector = get_selector(SELECTOR)
+    trajectory = []
+    for round_index in range(rounds):
+        result = session.select(selector, k)
+        session.merge(scripted_answers(result.task_ids, round_index + tenant))
+        trajectory.append(tuple(result.task_ids))
+    return trajectory
+
+
+def run_tenant_fleet(runtime, pools, tenants, rounds, k, num_facts, support):
+    """One timed fleet run; returns (trajectories, wall_seconds, metrics)."""
+    problems = [
+        (service_distribution(num_facts, support, seed=50 + t), CrowdModel(0.8))
+        for t in range(tenants)
+    ]
+
+    async def scenario():
+        async with RefinementService(runtime, pools=pools) as service:
+            sessions = []
+            for prior, channel in problems:
+                created = await service.create_session(
+                    prior, channel, budget=rounds * k, selector=SELECTOR
+                )
+                sessions.append(created.session_id)
+            started = time.perf_counter()
+            trajectories = await asyncio.gather(
+                *(
+                    drive_tenant(service, session_id, tenant, rounds, k)
+                    for tenant, session_id in enumerate(sessions)
+                )
+            )
+            elapsed = time.perf_counter() - started
+            return trajectories, elapsed, service.metrics()
+
+    trajectories, elapsed, metrics = asyncio.run(scenario())
+    for tenant, (prior, channel) in enumerate(problems):
+        expected = standalone_trajectory(prior, channel, tenant, rounds, k)
+        assert trajectories[tenant] == expected, (
+            f"tenant {tenant} diverged from its standalone session"
+        )
+    return trajectories, elapsed, metrics, problems
+
+
+def test_multi_tenant_throughput_serial_runtime():
+    tenants, rounds, k = 4, 4, 2
+    _, elapsed, metrics, problems = run_tenant_fleet(
+        runtime=None, pools=1, tenants=tenants, rounds=rounds, k=k,
+        num_facts=10, support=256,
+    )
+
+    # The non-service baseline: the same work as plain session loops.
+    started = time.perf_counter()
+    for tenant, (prior, channel) in enumerate(problems):
+        standalone_trajectory(prior, channel, tenant, rounds, k)
+    baseline = time.perf_counter() - started
+
+    requests = tenants * rounds * 2  # one select + one post per round
+    entry = {
+        "suite": "service",
+        "description": (
+            f"{tenants} concurrent tenants x {rounds} select/post rounds "
+            f"(k={k}) through the in-process async service (serial runtime), "
+            "trajectories asserted identical to standalone sessions; "
+            "baseline is the same work as plain session loops."
+        ),
+        "tenants": tenants,
+        "rounds": rounds,
+        "k": k,
+        "num_facts": 10,
+        "support": 256,
+        "requests": requests,
+        "wall_seconds": elapsed,
+        "requests_per_second": requests / elapsed,
+        "baseline_wall_seconds": baseline,
+        "service_overhead_factor": elapsed / baseline if baseline > 0 else None,
+        "merges_per_second": metrics["merges"]["per_second"],
+        "selection_latency_ms": metrics["selections"]["latency"],
+        "merge_latency_ms": metrics["merges"]["latency"],
+        "identical_task_sequences": True,
+    }
+    _record_scenarios({f"service/tenants{tenants}_rounds{rounds}_serial": entry})
+
+
+def test_merge_batching_folds_chatty_tenant_waves():
+    waves, wave_size = 4, 6
+    prior = service_distribution(10, 256, seed=60)
+
+    async def scenario():
+        async with RefinementService(max_pending=wave_size + 1) as service:
+            created = await service.create_session(
+                prior, CrowdModel(0.8), budget=waves * wave_size
+            )
+            fact_ids = prior.fact_ids
+            started = time.perf_counter()
+            for wave in range(waves):
+                # A whole wave lands in the queue before the drainer wakes:
+                # the batcher should fold it into far fewer executor hops.
+                await asyncio.gather(
+                    *(
+                        service.post_answers(
+                            created.session_id,
+                            {fact_ids[(wave + i) % len(fact_ids)]: i % 2 == 0},
+                        )
+                        for i in range(wave_size)
+                    )
+                )
+            elapsed = time.perf_counter() - started
+            return elapsed, service.metrics()
+
+    elapsed, metrics = asyncio.run(scenario())
+    merges = metrics["merges"]["count"]
+    batches = metrics["merges"]["batches"]
+    assert merges == waves * wave_size
+    assert batches < merges, "consecutive queued merges were not batched"
+
+    entry = {
+        "suite": "service",
+        "description": (
+            f"One chatty tenant posting {waves} waves of {wave_size} "
+            "concurrent answer posts; the per-session drainer folds each "
+            "wave's consecutive merges into single executor hops."
+        ),
+        "waves": waves,
+        "wave_size": wave_size,
+        "merges": merges,
+        "merge_batches": batches,
+        "merges_per_batch": merges / batches,
+        "wall_seconds": elapsed,
+        "merges_per_second": metrics["merges"]["per_second"],
+    }
+    _record_scenarios({"service/merge_batching_chatty_tenant": entry})
+
+
+@pytest.mark.parallel
+def test_multi_tenant_throughput_shared_pool():
+    tenants, rounds, k = 4, 3, 2
+    runtime = RuntimeOptions(workers=2, parallel_threshold=0)
+    _, elapsed, metrics, _ = run_tenant_fleet(
+        runtime=runtime, pools=1, tenants=tenants, rounds=rounds, k=k,
+        num_facts=12, support=1 << 10,
+    )
+    assert multiprocessing.active_children() == []
+
+    pools = metrics["pools"]
+    assert pools["sessions_assigned"] == tenants
+    requests = tenants * rounds * 2
+    entry = {
+        "suite": "service",
+        "description": (
+            f"{tenants} tenants multiplexed onto ONE shared 2-worker "
+            f"persistent pool, {rounds} select/post rounds each (every scan "
+            "forced parallel); trajectories identical to standalone serial "
+            "sessions, no worker processes left after shutdown."
+        ),
+        "tenants": tenants,
+        "rounds": rounds,
+        "k": k,
+        "num_facts": 12,
+        "support": 1 << 10,
+        "workers": 2,
+        "pools": 1,
+        "requests": requests,
+        "wall_seconds": elapsed,
+        "requests_per_second": requests / elapsed,
+        "selection_latency_ms": metrics["selections"]["latency"],
+        "pool_utilisation": pools,
+        "identical_task_sequences": True,
+    }
+    _record_scenarios({f"service/tenants{tenants}_shared_pool_w2": entry})

@@ -1,8 +1,16 @@
 """CrowdFusion reproduction: crowdsourced refinement of data-fusion results.
 
 This package reproduces "CrowdFusion: A Crowdsourced Approach on Data Fusion
-Refinement" (Chen, Chen & Zhang, ICDE 2017).  The public API is re-exported
-here; see the README for a quickstart and DESIGN.md for the module map.
+Refinement" (Chen, Chen & Zhang, ICDE 2017).
+
+Everything listed in ``__all__`` is the stable public surface — import it
+from ``repro`` directly instead of reaching into ``repro.core.selection.*``
+and friends (deep paths may move between releases; these names will not).
+The surface covers the full workflow: value types (facts, distributions,
+answers), channel models, the multi-round engine, persistent refinement
+sessions, the typed :class:`RuntimeOptions` execution configuration, and the
+multi-tenant refinement service with its client.  ``docs/API.md`` documents
+every group.
 """
 
 from repro.core import (
@@ -26,33 +34,50 @@ from repro.core import (
     pws_quality,
     utility_gain,
 )
+from repro.core.crowd import RecalibratedChannelModel
+from repro.core.runtime import RuntimeOptions
 from repro.core.selection import (
     RefinementSession,
     SessionPool,
     available_selectors,
     get_selector,
 )
+from repro.core.selection.parallel import ParallelPolicy
+from repro.service import RefinementService, ServiceClient, ServiceError, serve
 
 __version__ = "1.0.0"
 
 __all__ = [
+    # value types
     "Answer",
     "AnswerSet",
     "Assignment",
-    "CalibratedCrowdModel",
-    "ChannelModel",
-    "CrowdFusionEngine",
-    "CrowdModel",
-    "DifficultyAdjustedCrowdModel",
-    "PerFactChannelModel",
-    "RefinementSession",
-    "SessionPool",
-    "EngineResult",
     "Fact",
     "FactSet",
     "JointDistribution",
     "Query",
+    # channel models
+    "CalibratedCrowdModel",
+    "ChannelModel",
+    "CrowdModel",
+    "DifficultyAdjustedCrowdModel",
+    "PerFactChannelModel",
+    "RecalibratedChannelModel",
+    # engine and sessions
+    "CrowdFusionEngine",
+    "EngineResult",
+    "RefinementSession",
     "RoundRecord",
+    "SessionPool",
+    # runtime configuration
+    "ParallelPolicy",
+    "RuntimeOptions",
+    # the refinement service
+    "RefinementService",
+    "ServiceClient",
+    "ServiceError",
+    "serve",
+    # selection registry and utilities
     "available_selectors",
     "crowd_entropy",
     "get_selector",

@@ -1,15 +1,17 @@
 """Command-line interface for the CrowdFusion reproduction.
 
-Four subcommands cover the common workflows without writing any Python:
+Five subcommands cover the common workflows without writing any Python:
 
 * ``crowdfusion quickstart`` — the paper's running example end to end;
 * ``crowdfusion fusion`` — compare the machine-only fusion initialisers on a
   synthetic Book corpus;
 * ``crowdfusion experiment`` — run a budgeted crowd-refinement experiment and
   print the quality-vs-cost curve;
+* ``crowdfusion serve`` — run the multi-tenant refinement service (sessions
+  over a JSON-lines TCP API, shared persistent worker pools);
 * ``crowdfusion timing`` — measure one-round selection times (Table V style).
 
-Every command is deterministic given ``--seed``.
+Every batch command is deterministic given ``--seed``.
 """
 
 from __future__ import annotations
@@ -19,6 +21,7 @@ import sys
 from typing import List, Optional, Sequence
 
 from repro.core import CrowdFusionEngine, CrowdModel, pws_quality
+from repro.core.runtime import RuntimeOptions
 from repro.core.selection import available_selectors, get_selector
 from repro.crowdsim import SimulatedPlatform, WorkerPool
 from repro.datasets import (
@@ -146,11 +149,13 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             use_difficulties=True,
             seed=args.seed,
             crowd_model=args.crowd_model,
-            recalibrate_channels=args.recalibrate,
-            workers=args.workers,
-            parallel_threshold=args.parallel_threshold,
-            persistent_pool=args.persistent_pool,
-            parallel_entities=args.parallel_entities,
+            runtime=RuntimeOptions(
+                workers=args.workers,
+                parallel_threshold=args.parallel_threshold,
+                persistent_pool=args.persistent_pool,
+                recalibrate=args.recalibrate,
+                parallel_entities=args.parallel_entities,
+            ),
         )
     except CrowdFusionError as error:
         # Bad flag combinations and missing platform support surface as one
@@ -186,6 +191,48 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     if args.curve:
         print(format_series("F1", list(zip(result.costs(), result.f1_series())), 3))
         print(format_series("utility", list(zip(result.costs(), result.utility_series())), 2))
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    # Imported here so the three batch subcommands never pay for the asyncio
+    # service stack.
+    import asyncio
+
+    from repro.service.server import RefinementService
+    from repro.service.transport import bound_port, serve
+
+    try:
+        runtime = RuntimeOptions(
+            workers=args.workers, parallel_threshold=args.parallel_threshold
+        )
+    except CrowdFusionError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    async def run() -> None:
+        service = RefinementService(
+            runtime, pools=args.pools, max_pending=args.max_pending
+        )
+        server = await serve(service, host=args.host, port=args.port)
+        workers = f", {args.workers} workers x {args.pools} pools" if args.workers else ""
+        print(
+            f"refinement service listening on {args.host}:{bound_port(server)}"
+            f"{workers} (Ctrl-C to stop)"
+        )
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:  # pragma: no cover - Ctrl-C path
+            pass
+        finally:
+            server.close()
+            await server.wait_closed()
+            await service.shutdown()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:  # pragma: no cover - interactive stop
+        print("\nservice stopped")
     return 0
 
 
@@ -284,6 +331,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     experiment.add_argument("--curve", action="store_true", help="print the full quality curve")
     experiment.set_defaults(handler=_cmd_experiment)
+
+    serve = subparsers.add_parser(
+        "serve", help="run the multi-tenant refinement service"
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="listen address")
+    serve.add_argument("--port", type=int, default=8642,
+                       help="listen port (0 picks a free port)")
+    serve.add_argument(
+        "--workers", type=_positive_int, default=None, metavar="N",
+        help="shard tenants' candidate scans over N worker processes per "
+        "shared pool (default: serial scans)",
+    )
+    serve.add_argument(
+        "--parallel-threshold", type=_nonnegative_int, default=None, metavar="WORK",
+        help="minimum scan size (candidates x support rows) before a shared "
+        "pool is used; smaller scans always run serially",
+    )
+    serve.add_argument(
+        "--pools", type=_positive_int, default=1, metavar="N",
+        help="number of shared evaluator pools tenants are multiplexed onto "
+        "(resident processes = pools x workers, independent of session count)",
+    )
+    serve.add_argument(
+        "--max-pending", type=_positive_int, default=8, metavar="N",
+        help="per-session request-queue bound; further requests fail fast "
+        "with a 429-style error",
+    )
+    serve.set_defaults(handler=_cmd_serve)
 
     timing = subparsers.add_parser("timing", help="measure one-round selection times")
     _add_corpus_arguments(timing)

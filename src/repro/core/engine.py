@@ -26,11 +26,16 @@ from typing import Callable, Dict, List, Optional, Protocol, Sequence, Tuple
 from repro.core.answers import AnswerSet
 from repro.core.crowd import ChannelModel
 from repro.core.distribution import JointDistribution
+from repro.core.runtime import RuntimeOptions
 from repro.core.selection.base import SelectionResult, SelectionStats, TaskSelector
 from repro.core.selection.parallel import ParallelPolicy, fork_available
 from repro.core.selection.session import RefinementSession
 from repro.core.utility import pws_quality
 from repro.exceptions import BudgetError, SelectionError
+
+# Sentinel distinguishing "caller explicitly passed the deprecated keyword"
+# from its old default, so the DeprecationWarning only fires on actual use.
+_UNSET: object = object()
 
 
 class AnswerProvider(Protocol):
@@ -147,16 +152,26 @@ class CrowdFusionEngine:
         applied to the selector (when it supports parallel candidate scans):
         each round's scan may then be sharded across a fork-shared worker
         pool, with the policy's auto-serial threshold protecting small runs.
+        When ``runtime`` is given and ``parallel`` is not, the policy is
+        derived from the runtime options.
+    runtime:
+        Typed :class:`~repro.core.runtime.RuntimeOptions` carrying the
+        execution knobs (workers, persistent pool, re-calibration) in one
+        validated object — the supported replacement for the deprecated
+        ``recalibrate_channels`` / ``persistent_pool`` booleans.
     recalibrate_channels:
+        Deprecated — pass ``runtime=RuntimeOptions(recalibrate=True)``.
         When true, the run's :class:`RefinementSession` re-estimates per-fact
         channel accuracies from answer/posterior agreement as rounds
         accumulate (adaptive re-calibration).
     persistent_pool:
-        When true (requires ``parallel``), the run's session owns one
-        *persistent* worker pool that survives every round's Bayesian merge —
-        posteriors are shipped to the already-forked workers through a
-        shared-memory snapshot ring — instead of the selector re-forking a
-        pool per selection call.  Needs the ``fork`` start method.
+        Deprecated — pass ``runtime=RuntimeOptions(workers=...,
+        persistent_pool=True)``.  When true (requires ``parallel``), the
+        run's session owns one *persistent* worker pool that survives every
+        round's Bayesian merge — posteriors are shipped to the already-forked
+        workers through a shared-memory snapshot ring — instead of the
+        selector re-forking a pool per selection call.  Needs the ``fork``
+        start method.
     """
 
     def __init__(
@@ -167,14 +182,47 @@ class CrowdFusionEngine:
         tasks_per_round: int,
         reselect_asked_facts: bool = True,
         parallel: Optional[ParallelPolicy] = None,
-        recalibrate_channels: bool = False,
-        persistent_pool: bool = False,
+        recalibrate_channels: object = _UNSET,
+        persistent_pool: object = _UNSET,
+        runtime: Optional[RuntimeOptions] = None,
     ):
         if budget <= 0:
             raise BudgetError(f"budget must be positive, got {budget}")
         if tasks_per_round <= 0:
             raise BudgetError(f"tasks_per_round must be positive, got {tasks_per_round}")
-        if persistent_pool:
+        legacy_keywords = [
+            name
+            for name, value in (
+                ("recalibrate_channels", recalibrate_channels),
+                ("persistent_pool", persistent_pool),
+            )
+            if value is not _UNSET
+        ]
+        if legacy_keywords:
+            if runtime is not None:
+                raise SelectionError(
+                    "CrowdFusionEngine received both runtime= and the "
+                    f"deprecated keyword(s) {', '.join(legacy_keywords)}; "
+                    "configure everything on RuntimeOptions"
+                )
+            warnings.warn(
+                f"CrowdFusionEngine({', '.join(legacy_keywords)}=...) is "
+                "deprecated; pass runtime=RuntimeOptions(...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        recalibrate_resolved = (
+            bool(recalibrate_channels) if recalibrate_channels is not _UNSET else False
+        )
+        persistent_resolved = (
+            bool(persistent_pool) if persistent_pool is not _UNSET else False
+        )
+        if runtime is not None:
+            recalibrate_resolved = runtime.recalibrate
+            persistent_resolved = runtime.persistent_pool
+            if parallel is None:
+                parallel = runtime.parallel_policy
+        if persistent_resolved:
             if parallel is None:
                 raise SelectionError(
                     "persistent_pool requires a parallel policy (pass "
@@ -199,8 +247,8 @@ class CrowdFusionEngine:
         self._tasks_per_round = tasks_per_round
         self._reselect = reselect_asked_facts
         self._parallel = parallel
-        self._recalibrate = recalibrate_channels
-        self._persistent_pool = persistent_pool
+        self._recalibrate = recalibrate_resolved
+        self._persistent_pool = persistent_resolved
 
     @property
     def budget(self) -> int:
@@ -266,7 +314,7 @@ class CrowdFusionEngine:
         session = RefinementSession(
             distribution,
             self._crowd,
-            recalibrate=self._recalibrate,
+            runtime=RuntimeOptions(recalibrate=self._recalibrate),
             parallel=self._parallel if self._persistent_pool else None,
         )
         try:

@@ -1,0 +1,129 @@
+"""Typed runtime configuration shared by every execution layer.
+
+Before this module existed, five loose keywords — ``workers``,
+``parallel_threshold``, ``persistent_pool``, ``recalibrate`` and
+``parallel_entities`` — were duplicated (with slightly different names and
+validation) across :class:`~repro.core.engine.CrowdFusionEngine`,
+:class:`~repro.evaluation.experiment.ExperimentConfig`,
+:class:`~repro.core.selection.session.RefinementSession` and the CLI.
+:class:`RuntimeOptions` is the single typed carrier for all of them: build it
+once, pass it to any layer, and every layer derives the same
+:class:`~repro.core.selection.parallel.ParallelPolicy` and the same validity
+rules from it.  The old keywords keep working for one release and raise a
+:class:`DeprecationWarning` pointing here.
+
+The fields mean the same thing everywhere:
+
+``workers``
+    Worker processes for parallel candidate scans (``None`` disables
+    process-level parallelism; selectors then never fork).
+``parallel_threshold``
+    Auto-serial threshold (candidates × support rows) below which a
+    configured parallel scan still runs in process (``None`` = library
+    default).
+``persistent_pool``
+    Sessions own one long-lived worker pool surviving every Bayesian merge
+    (posteriors travel through the shared-memory snapshot ring) instead of a
+    per-call pool being re-forked per selection.
+``recalibrate``
+    Sessions re-estimate per-fact channel accuracies from answer/posterior
+    agreement as rounds accumulate.
+``parallel_entities``
+    Experiment-level fan-out: whole entities run in fork workers (mutually
+    exclusive with ``workers``).  Layers below the experiment runner ignore
+    it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.selection.parallel import (
+    DEFAULT_PARALLEL_THRESHOLD,
+    ParallelPolicy,
+    fork_available,
+)
+from repro.exceptions import CrowdFusionError
+
+
+@dataclass(frozen=True)
+class RuntimeOptions:
+    """How (and how hard) the refinement runtime may use this machine.
+
+    All fields default to the conservative serial behaviour, so
+    ``RuntimeOptions()`` is always valid and means "single process, no
+    re-calibration".  Validation happens at construction: an invalid
+    combination raises :class:`~repro.exceptions.CrowdFusionError`
+    immediately rather than deep inside a run.
+    """
+
+    workers: Optional[int] = None
+    parallel_threshold: Optional[int] = None
+    persistent_pool: bool = False
+    recalibrate: bool = False
+    parallel_entities: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.workers is not None and self.workers < 1:
+            raise CrowdFusionError(
+                f"workers must be a positive integer, got {self.workers}"
+            )
+        if self.parallel_threshold is not None and self.parallel_threshold < 0:
+            raise CrowdFusionError(
+                f"parallel_threshold must be non-negative, got {self.parallel_threshold}"
+            )
+        if self.parallel_entities is not None and self.parallel_entities < 1:
+            raise CrowdFusionError(
+                f"parallel_entities must be a positive integer, got "
+                f"{self.parallel_entities}"
+            )
+        if self.persistent_pool and self.workers is None:
+            raise CrowdFusionError(
+                "persistent_pool requires workers: set workers (--workers) to "
+                "the pool size the persistent runtime should keep alive"
+            )
+        if self.parallel_entities is not None and self.workers is not None:
+            raise CrowdFusionError(
+                "parallel_entities and workers are mutually exclusive: entity "
+                "fan-out workers are daemonic and cannot fork nested candidate-"
+                "scan pools; pick one parallelism axis"
+            )
+        if (self.persistent_pool or self.parallel_entities is not None) and (
+            not fork_available()
+        ):
+            raise CrowdFusionError(
+                "persistent worker pools and entity fan-out need the 'fork' "
+                "start method, which this platform does not provide"
+            )
+
+    @property
+    def parallel_policy(self) -> Optional[ParallelPolicy]:
+        """The candidate-scan sharding policy these options imply (or ``None``)."""
+        if self.workers is None:
+            return None
+        return ParallelPolicy(
+            workers=self.workers,
+            parallel_threshold=(
+                self.parallel_threshold
+                if self.parallel_threshold is not None
+                else DEFAULT_PARALLEL_THRESHOLD
+            ),
+        )
+
+    @property
+    def session_policy(self) -> Optional[ParallelPolicy]:
+        """The policy a :class:`RefinementSession` should *own*.
+
+        A session-owned evaluator is persistent by construction (it survives
+        the session's merges), so sessions engage the worker pool only when
+        ``persistent_pool`` is set; with ``persistent_pool=False`` the policy
+        belongs to the selector layer (one pool per selection call) and the
+        session stays serial.
+        """
+        return self.parallel_policy if self.persistent_pool else None
+
+    @property
+    def parallel(self) -> bool:
+        """Whether any process-level parallelism is configured at all."""
+        return self.workers is not None or self.parallel_entities is not None

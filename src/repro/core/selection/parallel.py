@@ -49,6 +49,20 @@ This module shards the scan across a ``multiprocessing`` pool:
   rebuilds its selection state exactly as on first contact.  Fork cost is
   paid once per run instead of once per round.
 
+* **Multiplexed pools across engines** — a persistent pool still binds one
+  fork pool to one engine, which on a multi-tenant server means one pool per
+  live session.  An :class:`EvaluatorPool` instead multiplexes *many* engines
+  onto one shared persistent fork pool: every attached engine gets a small
+  integer **engine id** and its own snapshot ring, workers inherit the whole
+  ``{engine id: engine}`` registry at fork time, and each dispatch header
+  carries the engine id alongside the generation counters, so one worker
+  pool serves interleaved rounds of any number of refinement sessions.
+  Engines attached *after* the fork mark the pool stale; the next dispatch
+  re-forks once with the full registry (one fork per tenant-join wave,
+  amortised over every tenant's rounds, instead of one pool per tenant).
+  Per-engine selection states are replayed exactly as in the single-engine
+  persistent mode, so scores stay bit-for-bit serial-identical.
+
 Selection results are **bit-for-bit identical** to the serial path by
 construction: the parallel evaluator returns one entropy per candidate in
 candidate order, and the caller replays the exact serial ranking loop
@@ -61,11 +75,12 @@ from __future__ import annotations
 import math
 import multiprocessing
 import os
+import threading
 import warnings
 from dataclasses import dataclass
 from functools import partial
 from multiprocessing import shared_memory
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -105,6 +120,18 @@ _FORK_RING: Optional["_SnapshotRing"] = None
 
 #: Per-worker replayed selection state (lives only in pool worker processes).
 _WORKER_STATE: Optional[SelectionState] = None
+
+#: Published engine registry of a *multiplexed* pool (:class:`EvaluatorPool`),
+#: inherited the same way: workers keep their fork-time copy of every
+#: attached engine, keyed by the engine id shipped in each dispatch header.
+_FORK_ENGINES: Optional[Dict[int, EntropyEngine]] = None
+
+#: Published per-engine snapshot rings of a multiplexed pool.
+_FORK_RING_MAP: Optional[Dict[int, "_SnapshotRing"]] = None
+
+#: Per-worker replayed selection states of a multiplexed pool, one per engine
+#: id (lives only in pool worker processes).
+_WORKER_STATES: Dict[int, SelectionState] = {}
 
 
 def fork_available() -> bool:
@@ -217,22 +244,30 @@ class ParallelPolicy:
         return max(1, math.ceil(num_candidates / per_worker))
 
 
-def _replay_state(engine: EntropyEngine, task_ids: Tuple[str, ...]) -> SelectionState:
-    """Rebuild the parent's selection state inside a pool worker.
+def _advance_state(
+    engine: EntropyEngine,
+    state: Optional[SelectionState],
+    task_ids: Tuple[str, ...],
+) -> SelectionState:
+    """Bring a worker's replayed selection state up to the parent's prefix.
 
     The worker keeps the state of the previous iteration; committing the
     parent's newly selected task is one ``extend`` call.  A non-prefix state
     (first call, or a fresh selection on a reused pool) restarts from the
     empty state.
     """
-    global _WORKER_STATE
-    state = _WORKER_STATE
     if state is None or state.task_ids != task_ids[: state.width]:
         state = engine.initial_state()
     for fact_id in task_ids[state.width:]:
         state = engine.extend(state, fact_id)
-    _WORKER_STATE = state
     return state
+
+
+def _replay_state(engine: EntropyEngine, task_ids: Tuple[str, ...]) -> SelectionState:
+    """Rebuild the parent's selection state inside a single-engine pool worker."""
+    global _WORKER_STATE
+    _WORKER_STATE = _advance_state(engine, _WORKER_STATE, task_ids)
+    return _WORKER_STATE
 
 
 def _evaluate_chunk(task_ids: Tuple[str, ...], chunk: Sequence[str]) -> List[float]:
@@ -291,6 +326,53 @@ def _evaluate_chunk_persistent(
         raise SelectionError("parallel worker started without a fork-shared engine")
     _sync_worker_engine(engine, header)
     state = _replay_state(engine, task_ids)
+    return [engine.extension_entropy(state, fact_id) for fact_id in chunk]
+
+
+#: Dispatch header of one multiplexed-pool dispatch: the engine id plus the
+#: same generation fields a single-engine persistent dispatch carries.
+_MuxHeader = Tuple[int, int, int, int, Optional[ChannelModel]]
+
+
+def _evaluate_chunk_multiplexed(
+    header: _MuxHeader, task_ids: Tuple[str, ...], chunk: Sequence[str]
+) -> List[float]:
+    """Multiplexed-pool worker entry point: route by engine id, sync, score.
+
+    The engine id selects one of the fork-inherited engines; the rest of the
+    header is the usual generation sync (posterior snapshot from that
+    engine's ring, channel replay).  Per-engine replayed states live in
+    :data:`_WORKER_STATES`, so interleaved dispatches for different tenants
+    never invalidate each other's incremental state.
+    """
+    engines = _FORK_ENGINES
+    rings = _FORK_RING_MAP
+    if engines is None or rings is None:  # pragma: no cover - fork contract broken
+        raise SelectionError(
+            "multiplexed parallel worker started without a fork-shared "
+            "engine registry"
+        )
+    engine_id, reweights, slot, channel_swaps, channel = header
+    engine = engines.get(engine_id)
+    if engine is None:  # pragma: no cover - defensive: refork contract broken
+        raise SelectionError(
+            f"multiplexed worker has no fork-inherited engine {engine_id} "
+            "(the pool should have re-forked after the attach)"
+        )
+    if reweights != engine.reweights:
+        engine.load_probabilities(rings[engine_id].read(slot), reweights)
+        _WORKER_STATES.pop(engine_id, None)
+    if channel_swaps != engine.channel_swaps:
+        if channel is None:  # pragma: no cover - defensive: header contract broken
+            raise SelectionError(
+                "multiplexed pool header advanced the channel generation "
+                "without shipping the channel model"
+            )
+        engine.set_channel(channel)
+        engine.channel_swaps = channel_swaps
+        _WORKER_STATES.pop(engine_id, None)
+    state = _advance_state(engine, _WORKER_STATES.get(engine_id), task_ids)
+    _WORKER_STATES[engine_id] = state
     return [engine.extension_entropy(state, fact_id) for fact_id in chunk]
 
 
@@ -466,6 +548,302 @@ class ParallelEvaluator:
         scored = pool.map(worker, chunks)
         self.parallel_evaluations += len(candidates)
         return [entropy for part in scored for entropy in part]
+
+
+@dataclass
+class _Attachment:
+    """Parent-side bookkeeping for one engine multiplexed onto a shared pool."""
+
+    engine: EntropyEngine
+    ring: _SnapshotRing
+    #: Last posterior generation published into the ring (fork-time value
+    #: until the first post-fork reweight — workers inherited that posterior).
+    published_reweights: int = 0
+    published_slot: int = -1
+    #: Channel generation the workers inherited at fork; the channel model is
+    #: shipped in the header only while the engine has swapped past it.
+    fork_channel_swaps: int = 0
+    #: Candidate evaluations served by the shared pool for this engine.
+    served: int = 0
+
+
+class EvaluatorPool:
+    """One persistent fork pool shared by many engines (one per tenant).
+
+    The multi-tenant counterpart of a persistent :class:`ParallelEvaluator`:
+    instead of one worker pool per engine, any number of engines are
+    :meth:`attach`-ed to one pool, each identified by a small integer engine
+    id that every dispatch header carries.  Workers inherit the whole engine
+    registry (plus one snapshot ring per engine) at fork time; generation
+    sync then works exactly as in the single-engine persistent mode, but per
+    engine id — so interleaved selections from many refinement sessions share
+    one set of worker processes, and each session's scores stay bit-for-bit
+    identical to its serial path.
+
+    Attaching an engine *after* the pool has forked marks the pool stale: the
+    next dispatch tears the old pool down and forks once with the full
+    registry (:attr:`reforks` counts these).  That trades one fork per
+    tenant-join wave for never paying one pool per tenant.
+
+    The pool is thread-safe: dispatches from concurrent server executors are
+    serialised by an internal lock (worker processes, not caller threads, are
+    the parallelism), and :meth:`close` may be called from any thread.
+    Detached engines release their ring immediately; their fork-inherited
+    copy inside the workers is unreachable dead weight until the next refork.
+    """
+
+    def __init__(self, policy: ParallelPolicy):
+        if policy.resolved_workers() >= 2 and not fork_available():
+            warnings.warn(
+                "this platform has no fork start method, so the shared "
+                "evaluator pool cannot engage; all candidate scans will run "
+                "serially",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        self._policy = policy
+        self._attachments: Dict[int, _Attachment] = {}
+        self._pool = None
+        self._stale = False
+        self._next_id = 0
+        self._lock = threading.Lock()
+        self.workers = 0
+        self.dispatches = 0
+        self.reforks = 0
+
+    @property
+    def policy(self) -> ParallelPolicy:
+        """The sharding policy every attached engine is scored under."""
+        return self._policy
+
+    @property
+    def attached(self) -> int:
+        """Number of engines currently multiplexed onto this pool."""
+        with self._lock:
+            return len(self._attachments)
+
+    @property
+    def forked(self) -> bool:
+        """Whether the shared worker pool is currently alive."""
+        return self._pool is not None
+
+    def attach(self, engine: EntropyEngine) -> "PooledEvaluator":
+        """Register ``engine`` and return its evaluator facade.
+
+        The facade satisfies the same evaluator interface session-aware
+        selectors consume (:meth:`PooledEvaluator.evaluate` and friends);
+        closing it detaches the engine without touching other tenants.
+        """
+        with self._lock:
+            engine_id = self._next_id
+            self._next_id += 1
+            self._attachments[engine_id] = _Attachment(
+                engine=engine,
+                ring=_SnapshotRing(engine.probabilities.shape[0]),
+            )
+            if self._pool is not None:
+                # The running workers never inherited this engine; re-fork
+                # lazily on the next dispatch that needs the pool.
+                self._stale = True
+        return PooledEvaluator(self, engine_id, engine)
+
+    def detach(self, engine_id: int) -> None:
+        """Release one engine's ring and registry slot (idempotent).
+
+        The shared pool keeps running for the remaining tenants; when the
+        last engine detaches the worker processes are reclaimed too (a later
+        attach simply forks a fresh pool).
+        """
+        with self._lock:
+            attachment = self._attachments.pop(engine_id, None)
+            if attachment is not None:
+                attachment.ring.close()
+            if not self._attachments:
+                self._terminate_pool()
+
+    def close(self) -> None:
+        """Detach every engine and terminate the worker pool (idempotent)."""
+        with self._lock:
+            for attachment in self._attachments.values():
+                attachment.ring.close()
+            self._attachments.clear()
+            self._terminate_pool()
+
+    def __enter__(self) -> "EvaluatorPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _terminate_pool(self) -> None:
+        """Tear down the fork pool; caller holds the lock."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+        self._stale = False
+
+    def _ensure_pool(self):
+        """Fork (or re-fork) the shared pool with the full current registry."""
+        if self._pool is not None and not self._stale:
+            return self._pool
+        if self._pool is not None:
+            self._terminate_pool()
+            self.reforks += 1
+        global _FORK_ENGINES, _FORK_RING_MAP
+        context = multiprocessing.get_context("fork")
+        self.workers = self._policy.resolved_workers()
+        for attachment in self._attachments.values():
+            # Workers inherit each engine's current posterior and channel;
+            # reset the generation baselines the headers diff against.
+            attachment.published_reweights = attachment.engine.reweights
+            attachment.published_slot = -1
+            attachment.fork_channel_swaps = attachment.engine.channel_swaps
+        _FORK_ENGINES = {
+            engine_id: attachment.engine
+            for engine_id, attachment in self._attachments.items()
+        }
+        _FORK_RING_MAP = {
+            engine_id: attachment.ring
+            for engine_id, attachment in self._attachments.items()
+        }
+        try:
+            self._pool = context.Pool(processes=self.workers)
+        finally:
+            _FORK_ENGINES = None
+            _FORK_RING_MAP = None
+        self._stale = False
+        return self._pool
+
+    def _header(self, engine_id: int, attachment: _Attachment) -> _MuxHeader:
+        """Publish any pending snapshot; return the dispatch header."""
+        engine = attachment.engine
+        if engine.reweights != attachment.published_reweights:
+            attachment.published_slot = attachment.ring.publish(
+                engine.reweights, engine.probabilities
+            )
+            attachment.published_reweights = engine.reweights
+        channel = (
+            engine.crowd
+            if engine.channel_swaps != attachment.fork_channel_swaps
+            else None
+        )
+        return (
+            engine_id,
+            engine.reweights,
+            attachment.published_slot,
+            engine.channel_swaps,
+            channel,
+        )
+
+    def evaluate(
+        self, engine_id: int, state: SelectionState, candidates: Sequence[str]
+    ) -> "Tuple[Optional[List[float]], int]":
+        """Score ``candidates`` for one attached engine, in candidate order.
+
+        Returns ``(entropies, chunk_size)``; entropies are ``None`` when the
+        policy elects the serial path for this scan (the caller then runs its
+        ordinary in-process loop, exactly as with a dedicated evaluator).
+        """
+        with self._lock:
+            try:
+                attachment = self._attachments[engine_id]
+            except KeyError:
+                raise SelectionError(
+                    f"engine {engine_id} is not attached to this evaluator pool "
+                    "(was the session already evicted?)"
+                ) from None
+            support_size = attachment.engine.support_masks.shape[0]
+            if not self._policy.should_parallelise(len(candidates), support_size):
+                return None, 0
+            pool = self._ensure_pool()
+            chunk_size = self._policy.resolved_chunk_size(len(candidates))
+            chunks = [
+                list(candidates[start:start + chunk_size])
+                for start in range(0, len(candidates), chunk_size)
+            ]
+            worker = partial(
+                _evaluate_chunk_multiplexed,
+                self._header(engine_id, attachment),
+                state.task_ids,
+            )
+            scored = pool.map(worker, chunks)
+            attachment.served += len(candidates)
+            self.dispatches += 1
+        return [entropy for part in scored for entropy in part], chunk_size
+
+
+class PooledEvaluator:
+    """One engine's handle on a shared :class:`EvaluatorPool`.
+
+    Satisfies the evaluator interface the session-aware greedy family
+    consumes (``evaluate`` / ``would_parallelise`` / ``refresh_batch_size``
+    plus the ``workers`` / ``chunk_size`` / ``parallel_evaluations``
+    counters), so a :class:`~repro.core.selection.session.RefinementSession`
+    can hand it out exactly like a dedicated persistent
+    :class:`ParallelEvaluator`.  Closing the facade detaches only this engine.
+    """
+
+    def __init__(self, pool: EvaluatorPool, engine_id: int, engine: EntropyEngine):
+        self._shared_pool = pool
+        self._engine_id = engine_id
+        self._engine = engine
+        self._closed = False
+        self.workers = 0
+        self.chunk_size = 0
+        self.parallel_evaluations = 0
+
+    @property
+    def persistent(self) -> bool:
+        """Pooled evaluators always survive reweights (the pool outlives them)."""
+        return True
+
+    @property
+    def engine_id(self) -> int:
+        """The id this engine travels under in the pool's dispatch headers."""
+        return self._engine_id
+
+    def would_parallelise(self, num_candidates: int) -> bool:
+        """Whether a scan of ``num_candidates`` would engage the shared pool."""
+        return self._shared_pool.policy.should_parallelise(
+            num_candidates, self._engine.support_masks.shape[0]
+        )
+
+    def refresh_batch_size(self) -> int:
+        """CELF refresh wave size, mirroring :meth:`ParallelEvaluator.refresh_batch_size`."""
+        policy = self._shared_pool.policy
+        chunk = policy.chunk_size or _CHUNKS_PER_WORKER
+        return max(1, policy.resolved_workers() * chunk)
+
+    def evaluate(
+        self, state: SelectionState, candidates: Sequence[str]
+    ) -> Optional[List[float]]:
+        """Score ``candidates`` through the shared pool (``None`` = go serial)."""
+        if self._closed:
+            raise SelectionError(
+                "this pooled evaluator has been closed; its session no longer "
+                "owns a slot on the shared pool"
+            )
+        entropies, chunk_size = self._shared_pool.evaluate(
+            self._engine_id, state, candidates
+        )
+        if entropies is not None:
+            self.parallel_evaluations += len(candidates)
+            self.chunk_size = chunk_size
+            self.workers = self._shared_pool.workers
+        return entropies
+
+    def close(self) -> None:
+        """Detach this engine from the shared pool (idempotent)."""
+        if not self._closed:
+            self._closed = True
+            self._shared_pool.detach(self._engine_id)
+
+    def __enter__(self) -> "PooledEvaluator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 class ParallelSelectorMixin:

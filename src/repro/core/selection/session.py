@@ -53,7 +53,8 @@ even when a selector raises mid-scan.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+import warnings
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -65,8 +66,54 @@ from repro.core.merging import answer_likelihood_array
 from repro.core.query import Query
 from repro.core.selection.base import SelectionResult, TaskSelector
 from repro.core.selection.engine import EntropyEngine
-from repro.core.selection.parallel import ParallelEvaluator, ParallelPolicy
+from repro.core.selection.parallel import (
+    EvaluatorPool,
+    ParallelEvaluator,
+    ParallelPolicy,
+    PooledEvaluator,
+)
 from repro.exceptions import SelectionError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.core.runtime import RuntimeOptions
+
+#: Sentinel distinguishing "caller did not pass the deprecated keyword" from
+#: every meaningful value, so the deprecation warning only fires on real use.
+_UNSET = object()
+
+
+def _resolve_runtime(
+    recalibrate: object,
+    parallel: Optional[ParallelPolicy],
+    runtime: "Optional[RuntimeOptions]",
+    evaluator_pool: Optional[EvaluatorPool],
+    owner: str,
+) -> "Tuple[bool, Optional[ParallelPolicy]]":
+    """Fold the deprecated ``recalibrate`` keyword and ``runtime`` into one
+    ``(recalibrate, session_policy)`` pair, enforcing the exclusivity rules."""
+    if recalibrate is not _UNSET:
+        if runtime is not None:
+            raise SelectionError(
+                f"{owner} received both runtime= and the deprecated "
+                "recalibrate= keyword; set RuntimeOptions.recalibrate instead"
+            )
+        warnings.warn(
+            f"{owner}(recalibrate=...) is deprecated; pass "
+            "runtime=RuntimeOptions(recalibrate=...) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+    resolved_recalibrate = bool(recalibrate) if recalibrate is not _UNSET else False
+    if runtime is not None:
+        resolved_recalibrate = runtime.recalibrate
+        if parallel is None:
+            parallel = runtime.session_policy
+    if evaluator_pool is not None and parallel is not None:
+        raise SelectionError(
+            f"{owner} cannot combine a dedicated parallel policy with a "
+            "shared evaluator_pool; the pool already carries its own policy"
+        )
+    return resolved_recalibrate, parallel
 
 
 class RefinementSession:
@@ -103,6 +150,18 @@ class RefinementSession:
         :meth:`merge` (posteriors travel through a shared-memory snapshot
         ring), instead of re-forking per selection call.  Release the pool
         with :meth:`close` or by using the session as a context manager.
+    runtime:
+        Optional :class:`~repro.core.runtime.RuntimeOptions`; supplies
+        ``recalibrate`` and — when ``persistent_pool`` is set — the parallel
+        policy, replacing the deprecated loose keywords.
+    evaluator_pool:
+        Optional shared :class:`~repro.core.selection.parallel.EvaluatorPool`
+        to multiplex this session's candidate scans onto, instead of the
+        session forking a dedicated pool.  The session attaches its engine
+        lazily on the first scan and detaches it on :meth:`close` — this is
+        how a multi-tenant server runs many sessions on a small, fixed set
+        of worker pools.  Mutually exclusive with a dedicated ``parallel``
+        policy.
     """
 
     def __init__(
@@ -110,14 +169,19 @@ class RefinementSession:
         distribution: JointDistribution,
         channel: ChannelModel,
         interest_ids: Optional[Sequence[str]] = None,
-        recalibrate: bool = False,
+        recalibrate: object = _UNSET,
         recalibration_smoothing: float = 4.0,
         parallel: Optional[ParallelPolicy] = None,
+        runtime: "Optional[RuntimeOptions]" = None,
+        evaluator_pool: Optional[EvaluatorPool] = None,
     ):
         if recalibration_smoothing <= 0.0:
             raise SelectionError(
                 f"recalibration smoothing must be positive, got {recalibration_smoothing}"
             )
+        recalibrate, parallel = _resolve_runtime(
+            recalibrate, parallel, runtime, evaluator_pool, "RefinementSession"
+        )
         self._initial = distribution
         self._base_channel = channel
         self._channel = channel
@@ -133,16 +197,25 @@ class RefinementSession:
         self._agreement_mass: Dict[str, float] = {}
         self._agreement_count: Dict[str, int] = {}
         self._parallel_policy = parallel
-        self._evaluator: Optional[ParallelEvaluator] = None
+        self._evaluator_pool = evaluator_pool
+        self._evaluator: Optional[Union[ParallelEvaluator, PooledEvaluator]] = None
 
     # -- persistent parallel runtime ---------------------------------------------------
 
     @property
     def parallel_policy(self) -> Optional[ParallelPolicy]:
-        """The policy behind the session's persistent pool (``None`` = serial)."""
+        """The policy behind the session's persistent pool (``None`` = serial).
+
+        For a session multiplexed onto a shared
+        :class:`~repro.core.selection.parallel.EvaluatorPool` this is the
+        pool's policy — every tenant of one pool is scored under the same
+        sharding rules.
+        """
+        if self._evaluator_pool is not None:
+            return self._evaluator_pool.policy
         return self._parallel_policy
 
-    def shared_evaluator(self) -> Optional[ParallelEvaluator]:
+    def shared_evaluator(self) -> "Optional[Union[ParallelEvaluator, PooledEvaluator]]":
         """The session-owned persistent evaluator, or ``None`` without a policy.
 
         Created lazily on first request; its worker pool forks lazily on the
@@ -150,14 +223,17 @@ class RefinementSession:
         configuring a policy costs nothing until parallelism actually pays.
         The evaluator stays valid across merges and channel swaps — it ships
         the engine's current generation to its workers on every dispatch —
-        and lives until :meth:`close`.
+        and lives until :meth:`close`.  A session built with a shared
+        ``evaluator_pool`` instead attaches its engine to that pool and hands
+        out the resulting :class:`PooledEvaluator` facade.
         """
-        if self._parallel_policy is None:
-            return None
         if self._evaluator is None:
-            self._evaluator = ParallelEvaluator(
-                self._engine, self._parallel_policy, persistent=True
-            )
+            if self._evaluator_pool is not None:
+                self._evaluator = self._evaluator_pool.attach(self._engine)
+            elif self._parallel_policy is not None:
+                self._evaluator = ParallelEvaluator(
+                    self._engine, self._parallel_policy, persistent=True
+                )
         return self._evaluator
 
     def close(self) -> None:
@@ -390,15 +466,21 @@ class SessionPool:
         distribution: JointDistribution,
         channel: ChannelModel,
         interest_ids: Optional[Sequence[str]] = None,
-        recalibrate: bool = False,
+        recalibrate: object = _UNSET,
         parallel: Optional[ParallelPolicy] = None,
+        runtime: "Optional[RuntimeOptions]" = None,
+        evaluator_pool: Optional[EvaluatorPool] = None,
     ) -> RefinementSession:
         """Create, register and return the session for ``key``.
 
         ``parallel`` gives the new session its own persistent evaluator (one
         long-lived worker pool per entity — each pool forks lazily, and only
         for scans that clear the policy threshold, so small entities never
-        pay for it).
+        pay for it); ``evaluator_pool`` instead multiplexes the session onto
+        a shared pool (how a multi-tenant server keeps the worker count
+        independent of the session count).  ``runtime`` carries
+        ``recalibrate`` (and, with ``persistent_pool``, the policy) in typed
+        form; the loose ``recalibrate`` keyword is deprecated.
         """
         if key in self._sessions:
             raise SelectionError(f"session pool already contains key {key!r}")
@@ -408,8 +490,28 @@ class SessionPool:
             interest_ids=interest_ids,
             recalibrate=recalibrate,
             parallel=parallel,
+            runtime=runtime,
+            evaluator_pool=evaluator_pool,
         )
         self._sessions[key] = session
+        return session
+
+    def remove(self, key: str) -> RefinementSession:
+        """Evict one session, releasing its parallel runtime, and return it.
+
+        The one-session counterpart of :meth:`close`: the session's
+        persistent evaluator (dedicated pool or shared-pool slot) is released
+        immediately instead of lingering until the whole pool shuts down — a
+        long-running server evicting finished tenants needs exactly this, and
+        without it a removed entity's worker processes would leak until
+        :meth:`close`.  The evicted session itself stays usable (serially)
+        if the caller still holds a reference.
+        """
+        try:
+            session = self._sessions.pop(key)
+        except KeyError:
+            raise SelectionError(f"session pool has no key {key!r}") from None
+        session.close()
         return session
 
     def close(self) -> None:

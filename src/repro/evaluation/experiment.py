@@ -42,12 +42,9 @@ from repro.core.crowd import (
 )
 from repro.core.distribution import JointDistribution
 from repro.core.facts import FactSet
+from repro.core.runtime import RuntimeOptions
 from repro.core.selection import TaskSelector, get_selector
-from repro.core.selection.parallel import (
-    DEFAULT_PARALLEL_THRESHOLD,
-    ParallelPolicy,
-    fork_available,
-)
+from repro.core.selection.parallel import ParallelPolicy, fork_available
 from repro.core.selection.session import RefinementSession, SessionPool
 from repro.correlation.builder import JointDistributionBuilder
 from repro.correlation.rules import CorrelationRule
@@ -194,20 +191,32 @@ class ExperimentConfig:
         pre-test.
     calibration_repetitions:
         How many times each calibration sample task is asked.
+    runtime:
+        Typed :class:`~repro.core.runtime.RuntimeOptions` carrying every
+        execution knob (workers, parallel_threshold, persistent_pool,
+        recalibrate, parallel_entities) in one validated object.  This is the
+        supported way to configure the runtime; the five loose fields below
+        keep working for one release with a :class:`DeprecationWarning` and
+        may not be combined with ``runtime``.
     recalibrate_channels:
+        Deprecated — use ``runtime=RuntimeOptions(recalibrate=True)``.
         Adaptive re-calibration: every entity's session re-estimates per-fact
         channel accuracies from answer/posterior agreement as rounds
         accumulate, on top of whichever ``crowd_model`` fidelity it started
         from.
     workers:
+        Deprecated — use ``runtime=RuntimeOptions(workers=...)``.
         Worker processes for parallel candidate scans (``None`` disables
         parallelism entirely; selectors then never fork).  Only selectors of
         the greedy family honour it.
     parallel_threshold:
+        Deprecated — use ``runtime=RuntimeOptions(parallel_threshold=...)``.
         Auto-serial threshold (candidates × support rows) below which a
         configured parallel scan still runs in process; ``None`` uses the
         library default.
     persistent_pool:
+        Deprecated — use ``runtime=RuntimeOptions(workers=...,
+        persistent_pool=True)``.
         When true (requires ``workers``), every entity's session owns one
         persistent worker pool surviving the whole run — reweighted
         posteriors are shipped to the already-forked workers through a
@@ -219,6 +228,7 @@ class ExperimentConfig:
         many-entity corpora keep ``workers`` moderate, or use
         ``parallel_entities`` instead.
     parallel_entities:
+        Deprecated — use ``runtime=RuntimeOptions(parallel_entities=...)``.
         Fan whole entities out across a process pool of this size: each
         worker runs one entity's complete refinement trajectory (per-entity
         RNG streams make that deterministic) and the lock-step curve is
@@ -244,8 +254,36 @@ class ExperimentConfig:
     parallel_threshold: Optional[int] = None
     persistent_pool: bool = False
     parallel_entities: Optional[int] = None
+    runtime: Optional[RuntimeOptions] = None
+
+    #: ``(field name, default)`` pairs of the deprecated loose runtime fields.
+    _LEGACY_RUNTIME_FIELDS = (
+        ("recalibrate_channels", False),
+        ("workers", None),
+        ("parallel_threshold", None),
+        ("persistent_pool", False),
+        ("parallel_entities", None),
+    )
 
     def __post_init__(self) -> None:
+        legacy = [
+            name
+            for name, default in self._LEGACY_RUNTIME_FIELDS
+            if getattr(self, name) != default
+        ]
+        if legacy:
+            if self.runtime is not None:
+                raise CrowdFusionError(
+                    "ExperimentConfig received both runtime= and the deprecated "
+                    f"field(s) {', '.join(legacy)}; configure everything on "
+                    "RuntimeOptions"
+                )
+            warnings.warn(
+                f"ExperimentConfig({', '.join(legacy)}=...) is deprecated; "
+                "pass runtime=RuntimeOptions(...) instead",
+                DeprecationWarning,
+                stacklevel=3,
+            )
         if self.workers is not None and self.workers < 1:
             raise CrowdFusionError(
                 f"workers must be a positive integer, got {self.workers}"
@@ -288,18 +326,28 @@ class ExperimentConfig:
         )
 
     @property
+    def runtime_options(self) -> RuntimeOptions:
+        """The effective typed runtime configuration.
+
+        Either the ``runtime`` object as passed, or one synthesised from the
+        deprecated loose fields — so internal code reads one source of truth
+        regardless of which spelling the caller used.  (The ``runtime`` field
+        itself is stored verbatim to keep ``dataclasses.replace`` symmetric.)
+        """
+        if self.runtime is not None:
+            return self.runtime
+        return RuntimeOptions(
+            workers=self.workers,
+            parallel_threshold=self.parallel_threshold,
+            persistent_pool=self.persistent_pool,
+            recalibrate=self.recalibrate_channels,
+            parallel_entities=self.parallel_entities,
+        )
+
+    @property
     def parallel_policy(self) -> Optional[ParallelPolicy]:
         """The parallel-scan policy this configuration implies (or ``None``)."""
-        if self.workers is None:
-            return None
-        return ParallelPolicy(
-            workers=self.workers,
-            parallel_threshold=(
-                self.parallel_threshold
-                if self.parallel_threshold is not None
-                else DEFAULT_PARALLEL_THRESHOLD
-            ),
-        )
+        return self.runtime_options.parallel_policy
 
 
 @dataclass(frozen=True)
@@ -471,13 +519,14 @@ def run_quality_experiment(
     if not problems:
         raise CrowdFusionError("cannot run an experiment without entity problems")
     budget_overrides = dict(budgets or {})
+    runtime = config.runtime_options
 
-    if config.parallel_entities is not None:
+    if runtime.parallel_entities is not None:
         return _run_fanned_out(list(problems), config, budget_overrides)
 
     pool = SessionPool()
     states: List[_EntityState] = []
-    parallel_policy = config.parallel_policy
+    parallel_policy = runtime.parallel_policy
     for index, problem in enumerate(problems):
         platform, channel, selector, budget = _prepare_entity(
             problem, index, config, budget_overrides
@@ -494,17 +543,15 @@ def run_quality_experiment(
                         RuntimeWarning,
                         stacklevel=2,
                     )
-            elif not config.persistent_pool:
+            elif not runtime.persistent_pool:
                 selector.parallel = parallel_policy
         states.append(
             _EntityState(
                 problem=problem,
+                # The session derives both the re-calibration flag and (with
+                # persistent_pool) its session-owned policy from the runtime.
                 session=pool.add(
-                    problem.entity,
-                    problem.prior,
-                    channel,
-                    recalibrate=config.recalibrate_channels,
-                    parallel=parallel_policy if config.persistent_pool else None,
+                    problem.entity, problem.prior, channel, runtime=runtime
                 ),
                 platform=platform,
                 selector=selector,
@@ -594,7 +641,9 @@ def _entity_trajectory(index: int) -> _EntityTrajectory:
         problem, index, config, budget_overrides
     )
     session = RefinementSession(
-        problem.prior, channel, recalibrate=config.recalibrate_channels
+        problem.prior,
+        channel,
+        runtime=RuntimeOptions(recalibrate=config.runtime_options.recalibrate),
     )
     trajectory = _EntityTrajectory(
         # Only calibration pre-tests have spent platform answers at this
@@ -639,7 +688,7 @@ def _run_fanned_out(
     """
     global _FANOUT_CONTEXT
     context = multiprocessing.get_context("fork")
-    processes = min(config.parallel_entities, len(problems))
+    processes = min(config.runtime_options.parallel_entities, len(problems))
     _FANOUT_CONTEXT = (problems, config, budget_overrides)
     try:
         with context.Pool(processes=processes) as worker_pool:

@@ -1,0 +1,55 @@
+"""Refinement-as-a-service: a multi-tenant session server on the core runtime.
+
+The paper's pay-as-you-go loop is interactive — a requester posts crowd
+answers and asks "which tasks next?" under a running budget — and this
+package exposes exactly that loop as a long-running service.  Sessions are
+addressable resources backed by the persistent
+:class:`~repro.core.selection.session.RefinementSession` runtime, and many
+tenants' candidate scans are multiplexed onto a small, fixed set of shared
+:class:`~repro.core.selection.parallel.EvaluatorPool` worker pools instead
+of one pool per tenant.
+
+Layers (each importable on its own):
+
+* :mod:`repro.service.api` — typed request/response dataclasses, the
+  service error hierarchy and the JSON wire codecs;
+* :mod:`repro.service.registry` — session bookkeeping on a
+  :class:`~repro.core.selection.session.SessionPool`;
+* :mod:`repro.service.batching` — the shared evaluator-pool group;
+* :mod:`repro.service.metrics` — counters and latency percentiles;
+* :mod:`repro.service.server` — the asyncio :class:`RefinementService`;
+* :mod:`repro.service.transport` — a JSON-lines TCP front end;
+* :mod:`repro.service.client` — the matching asyncio client.
+"""
+
+from repro.service.api import (
+    BudgetExhaustedError,
+    MergeReport,
+    PosteriorView,
+    SelectionReply,
+    ServiceError,
+    SessionClosed,
+    SessionCreated,
+    SessionOverloadedError,
+    UnknownSessionError,
+    ValidationFailedError,
+)
+from repro.service.client import ServiceClient
+from repro.service.server import RefinementService
+from repro.service.transport import serve
+
+__all__ = [
+    "BudgetExhaustedError",
+    "MergeReport",
+    "PosteriorView",
+    "RefinementService",
+    "SelectionReply",
+    "ServiceClient",
+    "ServiceError",
+    "SessionClosed",
+    "SessionCreated",
+    "SessionOverloadedError",
+    "UnknownSessionError",
+    "ValidationFailedError",
+    "serve",
+]

@@ -1,0 +1,131 @@
+"""Asyncio client for the refinement service's JSON-lines transport.
+
+The client mirrors the server API one to one and re-raises wire errors as
+their typed :class:`~repro.service.api.ServiceError` subclasses, so calling
+code handles a remote service exactly like an in-process
+:class:`~repro.service.server.RefinementService`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, Mapping, Union
+
+from repro.core.answers import AnswerSet
+from repro.core.crowd import ChannelModel
+from repro.core.distribution import JointDistribution
+from repro.service.api import (
+    MergeReport,
+    PosteriorView,
+    SelectionReply,
+    ServiceError,
+    SessionClosed,
+    SessionCreated,
+    encode_answers,
+    encode_channel,
+    encode_distribution,
+    raise_from_payload,
+)
+
+
+class ServiceClient:
+    """One JSON-lines connection to a refinement service.
+
+    Requests on one client are serialised by an internal lock (the wire
+    protocol is strictly request/response per connection); open several
+    clients for concurrent tenants.
+    """
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        self._reader = reader
+        self._writer = writer
+        self._lock = asyncio.Lock()
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "ServiceClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def __aenter__(self) -> "ServiceClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    async def close(self) -> None:
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover - peer vanished
+            pass
+
+    async def _call(self, request: Mapping[str, Any]) -> Dict[str, Any]:
+        async with self._lock:
+            self._writer.write((json.dumps(dict(request)) + "\n").encode("utf-8"))
+            await self._writer.drain()
+            line = await self._reader.readline()
+        if not line:
+            raise ServiceError("the service closed the connection")
+        response = json.loads(line.decode("utf-8"))
+        if not response.get("ok"):
+            raise_from_payload(response.get("error", {}))
+        return response.get("result", {})
+
+    # -- the session API ---------------------------------------------------------------
+
+    async def create_session(
+        self,
+        distribution: JointDistribution,
+        channel: ChannelModel,
+        budget: int,
+        selector: str = "greedy_prune_pre",
+    ) -> SessionCreated:
+        return SessionCreated.from_payload(
+            await self._call(
+                {
+                    "op": "create_session",
+                    "distribution": encode_distribution(distribution),
+                    "channel": encode_channel(channel),
+                    "budget": budget,
+                    "selector": selector,
+                }
+            )
+        )
+
+    async def post_answers(
+        self, session_id: str, answers: Union[AnswerSet, Mapping[str, bool]]
+    ) -> MergeReport:
+        payload = (
+            encode_answers(answers)
+            if isinstance(answers, AnswerSet)
+            else {str(fact_id): bool(value) for fact_id, value in answers.items()}
+        )
+        return MergeReport.from_payload(
+            await self._call(
+                {"op": "post_answers", "session_id": session_id, "answers": payload}
+            )
+        )
+
+    async def select_next(self, session_id: str, batch: int = 1) -> SelectionReply:
+        return SelectionReply.from_payload(
+            await self._call(
+                {"op": "select_next", "session_id": session_id, "batch": batch}
+            )
+        )
+
+    async def get_posterior(self, session_id: str) -> PosteriorView:
+        return PosteriorView.from_payload(
+            await self._call({"op": "get_posterior", "session_id": session_id})
+        )
+
+    async def close_session(self, session_id: str) -> SessionClosed:
+        return SessionClosed.from_payload(
+            await self._call({"op": "close_session", "session_id": session_id})
+        )
+
+    async def metrics(self) -> Dict[str, Any]:
+        return await self._call({"op": "metrics"})
+
+    async def ping(self) -> Dict[str, Any]:
+        return await self._call({"op": "ping"})

@@ -1,0 +1,153 @@
+"""Session bookkeeping: addressable ids, budgets and per-tenant runtime state.
+
+The registry is the service's source of truth for "which sessions exist".
+Sessions live in a :class:`~repro.core.selection.session.SessionPool` (the
+same substrate the batch experiment runner uses), and every session carries
+a :class:`SessionRecord` with the service-level state the core runtime
+doesn't know about: the remaining task budget, the per-tenant selector
+instance, and the generation-keyed response caches.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from repro.core.crowd import ChannelModel
+from repro.core.distribution import JointDistribution
+from repro.core.selection import available_selectors, get_selector
+from repro.core.selection.base import TaskSelector
+from repro.core.selection.session import RefinementSession, SessionPool
+from repro.exceptions import BudgetError, CrowdFusionError, SelectionError
+from repro.service.api import (
+    BudgetExhaustedError,
+    UnknownSessionError,
+    ValidationFailedError,
+)
+from repro.service.batching import EngineGroup
+
+#: Generation key of a cached response: ``(reweights, channel_swaps)`` of the
+#: session's engine.  Both counters only ever grow, and between them they
+#: cover every event that changes selection scores — a Bayesian merge bumps
+#: ``reweights``, a re-calibration channel swap bumps ``channel_swaps`` — so
+#: a cache entry is valid iff its key matches the engine's current pair.
+Generation = Tuple[int, int]
+
+
+@dataclass
+class SessionRecord:
+    """One tenant's session plus the service-level state around it."""
+
+    session_id: str
+    session: RefinementSession
+    selector: TaskSelector
+    selector_name: str
+    budget: int
+    spent: int = 0
+    #: ``(generation, batch) → SelectionReply`` — selection is deterministic
+    #: given the posterior and channel, so replies are reusable until either
+    #: changes.
+    selection_cache: Dict[Tuple[Generation, int], Any] = field(default_factory=dict)
+    #: ``generation → PosteriorView``.
+    posterior_cache: Dict[Generation, Any] = field(default_factory=dict)
+
+    @property
+    def remaining(self) -> int:
+        return self.budget - self.spent
+
+    def generation(self) -> Generation:
+        """The engine's current ``(reweights, channel_swaps)`` pair."""
+        engine = self.session.engine
+        return (engine.reweights, engine.channel_swaps)
+
+    def invalidate_caches(self) -> None:
+        """Drop every cached reply (called after merges and channel swaps).
+
+        Strictly, stale generations could never be served again — the key
+        pair only grows — but dropping them keeps the per-session cache at
+        one generation's worth of entries instead of the whole history.
+        """
+        self.selection_cache.clear()
+        self.posterior_cache.clear()
+
+    def charge(self, tasks: int) -> None:
+        """Debit ``tasks`` from the budget, or refuse the whole batch."""
+        if tasks > self.remaining:
+            raise BudgetExhaustedError(
+                f"session {self.session_id} has {self.remaining} of "
+                f"{self.budget} budget left; cannot accept {tasks} answers"
+            )
+        self.spent += tasks
+
+
+class SessionRegistry:
+    """Creates, resolves and evicts the service's sessions."""
+
+    def __init__(self, group: EngineGroup):
+        self._group = group
+        self._pool = SessionPool()
+        self._records: Dict[str, SessionRecord] = {}
+        self._ids = itertools.count(1)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def create(
+        self,
+        distribution: JointDistribution,
+        channel: ChannelModel,
+        budget: int,
+        selector: str = "greedy_prune_pre",
+    ) -> SessionRecord:
+        """Register a new session attached to one of the shared pools."""
+        if budget <= 0:
+            raise ValidationFailedError(f"budget must be positive, got {budget}")
+        if selector not in available_selectors():
+            raise ValidationFailedError(
+                f"unknown selector {selector!r}; expected one of "
+                f"{available_selectors()}"
+            )
+        session_id = f"s-{next(self._ids):06d}"
+        try:
+            session = self._pool.add(
+                session_id,
+                distribution,
+                channel,
+                evaluator_pool=self._group.acquire(),
+            )
+        except (BudgetError, SelectionError, CrowdFusionError) as error:
+            raise ValidationFailedError(f"cannot create session: {error}") from None
+        record = SessionRecord(
+            session_id=session_id,
+            session=session,
+            selector=get_selector(selector),
+            selector_name=selector,
+            budget=budget,
+        )
+        self._records[session_id] = record
+        return record
+
+    def get(self, session_id: str) -> SessionRecord:
+        try:
+            return self._records[session_id]
+        except KeyError:
+            raise UnknownSessionError(f"no session {session_id!r}") from None
+
+    def remove(self, session_id: str) -> SessionRecord:
+        """Evict one session, releasing its shared-pool slot immediately."""
+        record = self.get(session_id)
+        del self._records[session_id]
+        # SessionPool.remove closes the session, detaching its engine from
+        # the shared evaluator pool — the worker-leak fix this service needs.
+        self._pool.remove(session_id)
+        return record
+
+    def session_ids(self) -> Tuple[str, ...]:
+        return tuple(self._records)
+
+    def close(self) -> None:
+        """Evict every session and shut the shared pools down (idempotent)."""
+        self._records.clear()
+        self._pool.close()
+        self._group.close()

@@ -1,0 +1,444 @@
+"""The asyncio multi-tenant refinement service.
+
+:class:`RefinementService` exposes the paper's interactive loop — post crowd
+answers, ask "which tasks next?", repeat under a running budget — as
+addressable session resources on top of the persistent
+:class:`~repro.core.selection.session.RefinementSession` runtime:
+
+* ``create_session(distribution, channel, budget)`` registers a session and
+  attaches it to one of a small set of shared persistent worker pools;
+* ``post_answers(session_id, answers)`` folds a round of crowd answers into
+  the posterior (the existing in-place Bayesian ``reweight``);
+* ``get_posterior(session_id)`` / ``select_next(session_id, batch)`` read
+  the current state, served from generation-keyed caches whenever nothing
+  merged in between;
+* ``metrics()`` reports live sessions, merge throughput, selection latency
+  percentiles and shared-pool utilisation.
+
+Concurrency model: every session owns a *bounded* job queue drained by one
+asyncio task, so one tenant's requests execute strictly in submission order
+(the property that makes a service trajectory bit-identical to the same
+answer stream replayed through a standalone session) while different
+tenants' jobs interleave freely on a small thread pool.  A full queue
+rejects new work immediately with a 429-style
+:class:`~repro.service.api.SessionOverloadedError` — fail-fast backpressure
+instead of unbounded backlog.  Consecutive queued merges for one session are
+drained in a single executor hop (request batching), which is what keeps
+merge throughput flat as tenants get chattier.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, replace
+from typing import Any, Dict, List, Mapping, Optional, Union
+
+from repro.core.answers import AnswerSet
+from repro.core.crowd import ChannelModel
+from repro.core.distribution import JointDistribution
+from repro.core.runtime import RuntimeOptions
+from repro.service.api import (
+    BudgetExhaustedError,
+    MergeReport,
+    PosteriorView,
+    SelectionReply,
+    ServiceError,
+    SessionClosed,
+    SessionCreated,
+    SessionOverloadedError,
+    UnknownSessionError,
+    ValidationFailedError,
+    decode_answers,
+)
+from repro.service.batching import EngineGroup
+from repro.service.metrics import ServiceMetrics
+from repro.service.registry import SessionRecord, SessionRegistry
+
+#: Default bound of a session's pending-request queue.
+DEFAULT_MAX_PENDING = 8
+
+
+@dataclass
+class _Job:
+    """One queued request: what to do, its input, and where the answer goes."""
+
+    kind: str  # "merge" | "select" | "posterior" | "stop"
+    payload: Any
+    future: "Optional[asyncio.Future]"
+
+
+class _SessionWorker:
+    """The per-session drainer: a bounded queue and one consuming task."""
+
+    def __init__(self, service: "RefinementService", record: SessionRecord, bound: int):
+        self._service = service
+        self.record = record
+        self.queue: "asyncio.Queue[_Job]" = asyncio.Queue(maxsize=bound)
+        self.closed = False
+        self.task = asyncio.get_running_loop().create_task(self._drain())
+
+    def submit(self, kind: str, payload: Any) -> "asyncio.Future":
+        """Enqueue one request, failing fast when the tenant is overloaded."""
+        if self.closed:
+            raise UnknownSessionError(
+                f"session {self.record.session_id} is closing"
+            )
+        future = asyncio.get_running_loop().create_future()
+        try:
+            self.queue.put_nowait(_Job(kind, payload, future))
+        except asyncio.QueueFull:
+            self._service._metrics.rejected_overload += 1
+            raise SessionOverloadedError(
+                f"session {self.record.session_id} has "
+                f"{self.queue.maxsize} requests pending; retry later"
+            ) from None
+        return future
+
+    async def stop(self) -> None:
+        """Refuse new work, let queued jobs finish, then end the drainer."""
+        if self.closed:
+            await asyncio.wait([self.task])
+            return
+        self.closed = True
+        # An awaited put: the stop marker queues even when the bound is hit,
+        # and lands *behind* every already-accepted job.
+        await self.queue.put(_Job("stop", None, None))
+        await self.task
+
+    async def _drain(self) -> None:
+        stopping = False
+        while not stopping:
+            job = await self.queue.get()
+            if job.kind == "stop":
+                break
+            if job.kind == "merge":
+                # Batch every consecutively queued merge into one executor
+                # hop; a non-merge job ends the batch and runs right after.
+                batch = [job]
+                carry: Optional[_Job] = None
+                while True:
+                    try:
+                        pending = self.queue.get_nowait()
+                    except asyncio.QueueEmpty:
+                        break
+                    if pending.kind == "stop":
+                        stopping = True
+                        break
+                    if pending.kind == "merge":
+                        batch.append(pending)
+                    else:
+                        carry = pending
+                        break
+                await self._service._run_merge_batch(self.record, batch)
+                if carry is not None:
+                    await self._service._run_job(self.record, carry)
+            else:
+                await self._service._run_job(self.record, job)
+
+
+class RefinementService:
+    """Async multi-tenant refinement sessions on shared persistent pools.
+
+    Parameters
+    ----------
+    runtime:
+        :class:`~repro.core.runtime.RuntimeOptions` for the shared scan
+        runtime.  When it carries workers, the service builds ``pools``
+        shared :class:`~repro.core.selection.parallel.EvaluatorPool`
+        instances and multiplexes every session onto them; without workers
+        all scans run serially on the executor threads.  (Service pools are
+        persistent by construction — the ``persistent_pool`` flag is not
+        required.)
+    pools:
+        Number of shared evaluator pools (ignored without workers).  Total
+        resident worker processes are ``pools × workers`` regardless of the
+        session count.
+    max_pending:
+        Per-session queue bound; the 429 threshold.
+    executor_workers:
+        Threads for compute offload.  Defaults to ``pools + 4`` so distinct
+        tenants' scans and merges overlap without unbounded thread growth.
+    """
+
+    def __init__(
+        self,
+        runtime: Optional[RuntimeOptions] = None,
+        *,
+        pools: int = 1,
+        max_pending: int = DEFAULT_MAX_PENDING,
+        executor_workers: Optional[int] = None,
+        latency_window: int = 1024,
+    ):
+        if max_pending < 1:
+            raise ValidationFailedError(
+                f"max_pending must be at least 1, got {max_pending}"
+            )
+        policy = runtime.parallel_policy if runtime is not None else None
+        self._group = EngineGroup(policy, pools=pools)
+        self._registry = SessionRegistry(self._group)
+        self._metrics = ServiceMetrics(latency_window)
+        self._max_pending = max_pending
+        self._executor = ThreadPoolExecutor(
+            max_workers=executor_workers
+            if executor_workers is not None
+            else pools + 4,
+            thread_name_prefix="refinement",
+        )
+        self._workers: Dict[str, _SessionWorker] = {}
+        self._closed = False
+
+    # -- lifecycle ---------------------------------------------------------------------
+
+    @property
+    def sessions_live(self) -> int:
+        return len(self._registry)
+
+    def session_ids(self) -> "tuple[str, ...]":
+        return self._registry.session_ids()
+
+    async def __aenter__(self) -> "RefinementService":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.shutdown()
+
+    async def shutdown(self) -> None:
+        """Drain every session, release the shared pools, stop the executor."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in list(self._workers.values()):
+            await worker.stop()
+        self._workers.clear()
+        self._registry.close()
+        self._executor.shutdown(wait=True)
+
+    # -- the session API ---------------------------------------------------------------
+
+    async def create_session(
+        self,
+        distribution: JointDistribution,
+        channel: ChannelModel,
+        budget: int,
+        selector: str = "greedy_prune_pre",
+    ) -> SessionCreated:
+        """Register a session and attach it to a shared evaluator pool."""
+        self._ensure_open()
+        record = self._registry.create(distribution, channel, budget, selector)
+        self._workers[record.session_id] = _SessionWorker(
+            self, record, self._max_pending
+        )
+        self._metrics.sessions_created += 1
+        return SessionCreated(
+            session_id=record.session_id,
+            num_facts=record.session.num_facts,
+            support_size=distribution.support_size,
+            budget=budget,
+            selector=selector,
+        )
+
+    async def post_answers(
+        self, session_id: str, answers: Union[AnswerSet, Mapping[str, bool]]
+    ) -> MergeReport:
+        """Fold one round of crowd answers into the session's posterior.
+
+        Charged against the budget (answers are collected work); rejected
+        whole when the remaining budget cannot cover the batch.
+        """
+        if not isinstance(answers, AnswerSet):
+            answers = decode_answers(answers)
+        worker = self._worker(session_id)
+        return await worker.submit("merge", answers)
+
+    async def select_next(self, session_id: str, batch: int = 1) -> SelectionReply:
+        """The next task set to publish, at most ``batch`` tasks.
+
+        Idempotent between merges: repeated calls at one posterior
+        generation are served from the selection cache.
+        """
+        if batch < 1:
+            raise ValidationFailedError(f"batch must be at least 1, got {batch}")
+        worker = self._worker(session_id)
+        return await worker.submit("select", batch)
+
+    async def get_posterior(self, session_id: str) -> PosteriorView:
+        """The session's current posterior, cached per generation."""
+        worker = self._worker(session_id)
+        return await worker.submit("posterior", None)
+
+    async def close_session(self, session_id: str) -> SessionClosed:
+        """Drain the session's queue, then evict it and free its pool slot."""
+        worker = self._worker(session_id)
+        await worker.stop()
+        self._workers.pop(session_id, None)
+        record = self._registry.remove(session_id)
+        self._metrics.sessions_closed += 1
+        return SessionClosed(
+            session_id=session_id,
+            rounds_merged=record.session.rounds_merged,
+            budget_spent=record.spent,
+        )
+
+    def metrics(self) -> Dict[str, Any]:
+        """The metrics-endpoint payload, shared-pool utilisation included."""
+        return self._metrics.snapshot(pools=self._group.utilisation())
+
+    # -- request execution -------------------------------------------------------------
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise ServiceError("the refinement service is shut down")
+
+    def _worker(self, session_id: str) -> _SessionWorker:
+        self._ensure_open()
+        self._registry.get(session_id)  # raises UnknownSessionError
+        worker = self._workers.get(session_id)
+        if worker is None:
+            # A concurrent close already detached the worker; the registry
+            # entry is about to follow.
+            raise UnknownSessionError(f"session {session_id!r} is closing")
+        return worker
+
+    def _validate_answers(self, record: SessionRecord, answers: AnswerSet) -> None:
+        known = set(record.session.fact_ids)
+        unknown = [fact_id for fact_id in answers.fact_ids if fact_id not in known]
+        if unknown:
+            raise ValidationFailedError(
+                f"session {record.session_id} has no facts {unknown}"
+            )
+
+    async def _run_merge_batch(
+        self, record: SessionRecord, jobs: List[_Job]
+    ) -> None:
+        """Validate, charge and merge a batch of queued answer sets.
+
+        Validation and budget charging stay per request (a bad tenant batch
+        fails alone); the accepted merges execute back to back in a single
+        executor hop, which is the batching that keeps merge throughput flat
+        under chatty tenants.
+        """
+        accepted: List[_Job] = []
+        for job in jobs:
+            try:
+                self._validate_answers(record, job.payload)
+                record.charge(len(job.payload))
+                accepted.append(job)
+            except ServiceError as error:
+                self._metrics.errors += 1
+                if not job.future.done():
+                    job.future.set_exception(error)
+        if not accepted:
+            return
+
+        session = record.session
+
+        def merge_all() -> List[MergeReport]:
+            reports = []
+            for job in accepted:
+                session.merge(job.payload)
+                reports.append(
+                    MergeReport(
+                        session_id=record.session_id,
+                        rounds_merged=session.rounds_merged,
+                        answers_merged=len(job.payload),
+                        budget_remaining=record.remaining,
+                        utility=session.utility(),
+                    )
+                )
+            return reports
+
+        started = time.perf_counter()
+        try:
+            reports = await asyncio.get_running_loop().run_in_executor(
+                self._executor, merge_all
+            )
+        except Exception as error:  # pragma: no cover - merge never raises in practice
+            self._metrics.errors += len(accepted)
+            for job in accepted:
+                if not job.future.done():
+                    job.future.set_exception(ServiceError(f"merge failed: {error}"))
+            record.invalidate_caches()
+            return
+        elapsed = time.perf_counter() - started
+
+        record.invalidate_caches()
+        self._metrics.merge_batches += 1
+        for job, report in zip(accepted, reports):
+            self._metrics.merges += 1
+            self._metrics.answers_merged += report.answers_merged
+            self._metrics.merge_latency.record(elapsed / len(accepted))
+            if not job.future.done():
+                job.future.set_result(report)
+
+    async def _run_job(self, record: SessionRecord, job: _Job) -> None:
+        try:
+            if job.kind == "select":
+                result: Any = await self._run_select(record, job.payload)
+            elif job.kind == "posterior":
+                result = await self._run_posterior(record)
+            else:  # pragma: no cover - defensive: unknown kinds cannot be queued
+                raise ServiceError(f"unknown request kind {job.kind!r}")
+        except ServiceError as error:
+            self._metrics.errors += 1
+            if not job.future.done():
+                job.future.set_exception(error)
+            return
+        if not job.future.done():
+            job.future.set_result(result)
+
+    async def _run_select(self, record: SessionRecord, batch: int) -> SelectionReply:
+        if record.remaining <= 0:
+            raise BudgetExhaustedError(
+                f"session {record.session_id} has exhausted its budget of "
+                f"{record.budget} tasks"
+            )
+        k = min(batch, record.remaining, record.session.num_facts)
+        key = (record.generation(), k)
+        cached = record.selection_cache.get(key)
+        if cached is not None:
+            self._metrics.selections += 1
+            self._metrics.selection_cache_hits += 1
+            return replace(cached, cached=True, budget_remaining=record.remaining)
+
+        session, selector = record.session, record.selector
+        started = time.perf_counter()
+        selection = await asyncio.get_running_loop().run_in_executor(
+            self._executor, lambda: selector.select_with_session(session, k)
+        )
+        self._metrics.selection_latency.record(time.perf_counter() - started)
+        self._metrics.selections += 1
+        reply = SelectionReply(
+            session_id=record.session_id,
+            task_ids=tuple(selection.task_ids),
+            objective=selection.objective,
+            budget_remaining=record.remaining,
+            cached=False,
+        )
+        record.selection_cache[key] = reply
+        return reply
+
+    async def _run_posterior(self, record: SessionRecord) -> PosteriorView:
+        key = record.generation()
+        cached = record.posterior_cache.get(key)
+        if cached is not None:
+            self._metrics.posterior_cache_hits += 1
+            return cached
+
+        session = record.session
+
+        def build() -> PosteriorView:
+            posterior = session.distribution
+            return PosteriorView(
+                session_id=record.session_id,
+                fact_ids=session.fact_ids,
+                support=tuple(posterior.items()),
+                marginals=session.marginals(),
+                utility=session.utility(),
+                rounds_merged=session.rounds_merged,
+            )
+
+        view = await asyncio.get_running_loop().run_in_executor(self._executor, build)
+        record.posterior_cache[key] = view
+        return view

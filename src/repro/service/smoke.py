@@ -1,0 +1,77 @@
+"""End-to-end smoke test of the refinement service (``make serve-smoke``).
+
+Boots a real server on a loopback socket, drives one full
+create → post → select → posterior → close round-trip through the JSON
+client, shuts everything down, and asserts that no worker processes leaked
+(``multiprocessing.active_children()`` is empty).  Exits non-zero on any
+failure, so it slots straight into CI.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import sys
+
+from repro.core.crowd import CrowdModel
+from repro.datasets import running_example_distribution
+from repro.service.client import ServiceClient
+from repro.service.server import RefinementService
+from repro.service.transport import bound_port, serve
+
+
+async def _round_trip() -> None:
+    service = RefinementService()
+    server = await serve(service, port=0)
+    try:
+        client = await ServiceClient.connect("127.0.0.1", bound_port(server))
+        async with client:
+            created = await client.create_session(
+                running_example_distribution(), CrowdModel(0.8), budget=6
+            )
+            print(f"created {created.session_id}: {created.num_facts} facts, "
+                  f"budget {created.budget}")
+
+            selection = await client.select_next(created.session_id, batch=2)
+            assert selection.task_ids, "selection returned no tasks"
+            print(f"selected {selection.task_ids} (H(T) = {selection.objective:.3f})")
+
+            report = await client.post_answers(
+                created.session_id, {task_id: True for task_id in selection.task_ids}
+            )
+            assert report.rounds_merged == 1
+            assert report.budget_remaining == created.budget - len(selection.task_ids)
+            print(f"merged round {report.rounds_merged}, "
+                  f"budget remaining {report.budget_remaining}")
+
+            posterior = await client.get_posterior(created.session_id)
+            assert posterior.fact_ids == tuple(
+                running_example_distribution().fact_ids
+            )
+            print(f"posterior utility {posterior.utility:.3f}")
+
+            metrics = await client.metrics()
+            assert metrics["sessions"]["live"] == 1
+            assert metrics["merges"]["count"] == 1
+
+            closed = await client.close_session(created.session_id)
+            assert closed.rounds_merged == 1
+            print(f"closed {closed.session_id} after spending {closed.budget_spent}")
+    finally:
+        server.close()
+        await server.wait_closed()
+        await service.shutdown()
+
+
+def main() -> int:
+    asyncio.run(_round_trip())
+    leaked = multiprocessing.active_children()
+    if leaked:
+        print(f"FAIL: leaked worker processes: {leaked}", file=sys.stderr)
+        return 1
+    print("serve-smoke OK: round-trip complete, no leaked workers")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

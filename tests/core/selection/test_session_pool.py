@@ -1,0 +1,44 @@
+"""SessionPool.remove: evicting one session without touching its siblings."""
+
+import pytest
+
+from repro.core.crowd import CrowdModel
+from repro.core.distribution import JointDistribution
+from repro.core.selection import SessionPool
+from repro.exceptions import SelectionError
+
+
+def distribution():
+    return JointDistribution.independent({"f1": 0.7, "f2": 0.4, "f3": 0.55})
+
+
+def test_remove_returns_the_closed_session():
+    with SessionPool() as pool:
+        session = pool.add("book", distribution(), CrowdModel(0.8))
+        removed = pool.remove("book")
+        assert removed is session
+        assert "book" not in pool
+        assert len(pool) == 0
+
+
+def test_removed_key_can_be_added_again():
+    with SessionPool() as pool:
+        pool.add("book", distribution(), CrowdModel(0.8))
+        pool.remove("book")
+        replacement = pool.add("book", distribution(), CrowdModel(0.9))
+        assert pool["book"] is replacement
+
+
+def test_remove_unknown_key_raises():
+    with SessionPool() as pool:
+        with pytest.raises(SelectionError, match="no key 'ghost'"):
+            pool.remove("ghost")
+
+
+def test_remove_leaves_other_sessions_usable():
+    with SessionPool() as pool:
+        pool.add("a", distribution(), CrowdModel(0.8))
+        keeper = pool.add("b", distribution(), CrowdModel(0.8))
+        pool.remove("a")
+        marginals = keeper.marginals()
+        assert set(marginals) == {"f1", "f2", "f3"}

@@ -32,6 +32,17 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["experiment", "--crowd-model", "psychic"])
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8642
+        assert args.pools == 1 and args.max_pending == 8
+        assert args.workers is None
+
+    def test_serve_invalid_workers_rejected_at_parse_time(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--workers", "0"])
+
 
 class TestCommands:
     def test_quickstart_runs(self, capsys):
