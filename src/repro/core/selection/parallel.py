@@ -133,6 +133,16 @@ _FORK_RING_MAP: Optional[Dict[int, "_SnapshotRing"]] = None
 #: id (lives only in pool worker processes).
 _WORKER_STATES: Dict[int, SelectionState] = {}
 
+#: Serialises every set-globals → fork → clear-globals sequence across *all*
+#: :class:`ParallelEvaluator` and :class:`EvaluatorPool` instances.  The
+#: per-instance locks are not enough: a multi-pool service dispatches from
+#: several executor threads, and two pools forking concurrently would race on
+#: the module globals above — pool B overwriting (or clearing) them between
+#: pool A publishing its registry and A's fork completing, so A's workers
+#: could inherit B's engines under A's per-pool engine ids and silently score
+#: another tenant's posterior.
+_FORK_PUBLISH_LOCK = threading.Lock()
+
 
 def fork_available() -> bool:
     """Whether this platform can share engine state via the ``fork`` method."""
@@ -490,14 +500,17 @@ class ParallelEvaluator:
                 self._fork_channel_swaps = self._engine.channel_swaps
             # Publish the engine (and ring) for the duration of the fork
             # only: workers inherit them through copy-on-write memory, the
-            # parent keeps no module-level reference.
-            _FORK_ENGINE = self._engine
-            _FORK_RING = self._ring
-            try:
-                self._pool = context.Pool(processes=self.workers)
-            finally:
-                _FORK_ENGINE = None
-                _FORK_RING = None
+            # parent keeps no module-level reference.  The module lock keeps
+            # another evaluator (on another thread) from clobbering the
+            # globals mid-fork.
+            with _FORK_PUBLISH_LOCK:
+                _FORK_ENGINE = self._engine
+                _FORK_RING = self._ring
+                try:
+                    self._pool = context.Pool(processes=self.workers)
+                finally:
+                    _FORK_ENGINE = None
+                    _FORK_RING = None
         return self._pool
 
     def _sync_header(self) -> _SyncHeader:
@@ -699,19 +712,24 @@ class EvaluatorPool:
             attachment.published_reweights = attachment.engine.reweights
             attachment.published_slot = -1
             attachment.fork_channel_swaps = attachment.engine.channel_swaps
-        _FORK_ENGINES = {
-            engine_id: attachment.engine
-            for engine_id, attachment in self._attachments.items()
-        }
-        _FORK_RING_MAP = {
-            engine_id: attachment.ring
-            for engine_id, attachment in self._attachments.items()
-        }
-        try:
-            self._pool = context.Pool(processes=self.workers)
-        finally:
-            _FORK_ENGINES = None
-            _FORK_RING_MAP = None
+        # The module lock makes publish → fork → clear atomic across pools:
+        # engine ids are per-pool counters, so a concurrent fork inheriting
+        # another pool's registry would cross-wire tenants (see the lock's
+        # docstring).
+        with _FORK_PUBLISH_LOCK:
+            _FORK_ENGINES = {
+                engine_id: attachment.engine
+                for engine_id, attachment in self._attachments.items()
+            }
+            _FORK_RING_MAP = {
+                engine_id: attachment.ring
+                for engine_id, attachment in self._attachments.items()
+            }
+            try:
+                self._pool = context.Pool(processes=self.workers)
+            finally:
+                _FORK_ENGINES = None
+                _FORK_RING_MAP = None
         self._stale = False
         return self._pool
 

@@ -29,6 +29,13 @@ from repro.core.crowd import ChannelModel, CrowdModel, PerFactChannelModel
 from repro.core.distribution import JointDistribution
 from repro.exceptions import CrowdFusionError
 
+#: Safety bound on one request *or response* line (a 20-fact support is
+#: ~100 KB of JSON).  Both transport endpoints must size their stream
+#: buffers from it: asyncio's default 64 KiB StreamReader limit would make
+#: ``readline()`` raise on any realistic posterior payload.
+MAX_LINE_BYTES = 8 * 1024 * 1024
+
+
 # -- errors ----------------------------------------------------------------------------
 
 

@@ -16,6 +16,7 @@ from repro.core.answers import AnswerSet
 from repro.core.crowd import ChannelModel
 from repro.core.distribution import JointDistribution
 from repro.service.api import (
+    MAX_LINE_BYTES,
     MergeReport,
     PosteriorView,
     SelectionReply,
@@ -44,7 +45,11 @@ class ServiceClient:
 
     @classmethod
     async def connect(cls, host: str, port: int) -> "ServiceClient":
-        reader, writer = await asyncio.open_connection(host, port)
+        # Server responses (posteriors especially) are bounded by
+        # MAX_LINE_BYTES, far past asyncio's default 64 KiB readline limit.
+        reader, writer = await asyncio.open_connection(
+            host, port, limit=MAX_LINE_BYTES
+        )
         return cls(reader, writer)
 
     async def __aenter__(self) -> "ServiceClient":

@@ -78,6 +78,7 @@ class _SessionWorker:
         self.queue: "asyncio.Queue[_Job]" = asyncio.Queue(maxsize=bound)
         self.closed = False
         self.task = asyncio.get_running_loop().create_task(self._drain())
+        self.task.add_done_callback(self._on_drain_done)
 
     def submit(self, kind: str, payload: Any) -> "asyncio.Future":
         """Enqueue one request, failing fast when the tenant is overloaded."""
@@ -103,9 +104,36 @@ class _SessionWorker:
             return
         self.closed = True
         # An awaited put: the stop marker queues even when the bound is hit,
-        # and lands *behind* every already-accepted job.
+        # and lands *behind* every already-accepted job.  asyncio.wait (not a
+        # bare await) so a drainer that died on an unexpected error — whose
+        # pending futures _on_drain_done already failed — cannot re-raise out
+        # of close_session/shutdown.
         await self.queue.put(_Job("stop", None, None))
-        await self.task
+        await asyncio.wait([self.task])
+
+    def _on_drain_done(self, task: "asyncio.Task") -> None:
+        """Safety net: a dying drainer must never leave clients hanging.
+
+        Job execution converts every failure to a per-job ``ServiceError``,
+        so the drain task ending with an exception should be unreachable —
+        but if it ever happens, fail everything still queued instead of
+        letting the submitted futures (and their awaiting clients) hang
+        forever.
+        """
+        if task.cancelled() or task.exception() is None:
+            return
+        self.closed = True
+        error = ServiceError(
+            f"session {self.record.session_id} worker died: {task.exception()!r}"
+        )
+        while True:
+            try:
+                job = self.queue.get_nowait()
+            except asyncio.QueueEmpty:
+                break
+            if job.future is not None and not job.future.done():
+                self._service._metrics.errors += 1
+                job.future.set_exception(error)
 
     async def _drain(self) -> None:
         stopping = False
@@ -150,7 +178,10 @@ class RefinementService:
         instances and multiplexes every session onto them; without workers
         all scans run serially on the executor threads.  (Service pools are
         persistent by construction — the ``persistent_pool`` flag is not
-        required.)
+        required.)  ``recalibrate`` and ``parallel_entities`` are rejected
+        with :class:`~repro.service.api.ValidationFailedError`: the service
+        runtime does not implement them, and silently ignoring them would
+        hand a tenant different trajectories than the options promise.
     pools:
         Number of shared evaluator pools (ignored without workers).  Total
         resident worker processes are ``pools × workers`` regardless of the
@@ -174,6 +205,18 @@ class RefinementService:
         if max_pending < 1:
             raise ValidationFailedError(
                 f"max_pending must be at least 1, got {max_pending}"
+            )
+        if runtime is not None and runtime.recalibrate:
+            raise ValidationFailedError(
+                "RuntimeOptions.recalibrate is not supported for service "
+                "sessions: the registry creates sessions without "
+                "re-calibration, so the flag would be silently ignored"
+            )
+        if runtime is not None and runtime.parallel_entities is not None:
+            raise ValidationFailedError(
+                "RuntimeOptions.parallel_entities is experiment-level entity "
+                "fan-out and has no meaning for service sessions; configure "
+                "workers (and pools) instead"
             )
         policy = runtime.parallel_policy if runtime is not None else None
         self._group = EngineGroup(policy, pools=pools)
@@ -325,20 +368,25 @@ class RefinementService:
                 self._validate_answers(record, job.payload)
                 record.charge(len(job.payload))
                 accepted.append(job)
-            except ServiceError as error:
+            except Exception as error:
                 self._metrics.errors += 1
+                if not isinstance(error, ServiceError):
+                    error = ServiceError(f"merge rejected: {error}")
                 if not job.future.done():
                     job.future.set_exception(error)
         if not accepted:
             return
 
         session = record.session
+        completed: List[MergeReport] = []
 
-        def merge_all() -> List[MergeReport]:
-            reports = []
+        def merge_all() -> None:
+            # One merge per step with progress recorded after each, so a
+            # failure partway through the batch tells the caller exactly
+            # which merges applied, which job failed, and which never ran.
             for job in accepted:
                 session.merge(job.payload)
-                reports.append(
+                completed.append(
                     MergeReport(
                         session_id=record.session_id,
                         rounds_merged=session.rounds_merged,
@@ -347,30 +395,50 @@ class RefinementService:
                         utility=session.utility(),
                     )
                 )
-            return reports
 
         started = time.perf_counter()
+        failure: Optional[BaseException] = None
         try:
-            reports = await asyncio.get_running_loop().run_in_executor(
+            await asyncio.get_running_loop().run_in_executor(
                 self._executor, merge_all
             )
-        except Exception as error:  # pragma: no cover - merge never raises in practice
-            self._metrics.errors += len(accepted)
-            for job in accepted:
-                if not job.future.done():
-                    job.future.set_exception(ServiceError(f"merge failed: {error}"))
-            record.invalidate_caches()
-            return
+        except Exception as error:
+            failure = error
         elapsed = time.perf_counter() - started
 
         record.invalidate_caches()
-        self._metrics.merge_batches += 1
-        for job, report in zip(accepted, reports):
+        done = len(completed)
+        if done:
+            self._metrics.merge_batches += 1
+        for job, report in zip(accepted, completed):
+            # These merges applied (before any failure): their posterior
+            # updates are in the session for good, so answer them normally.
             self._metrics.merges += 1
             self._metrics.answers_merged += report.answers_merged
-            self._metrics.merge_latency.record(elapsed / len(accepted))
+            self._metrics.merge_latency.record(elapsed / done)
             if not job.future.done():
                 job.future.set_result(report)
+        if failure is None:
+            return
+
+        # The job at index ``done`` raised mid-merge: its budget stays
+        # charged (the session state is indeterminate for it).  The jobs
+        # behind it never ran — refund their charge so a client retry cannot
+        # double-merge, and fail them with a retry-safe error.
+        self._metrics.errors += len(accepted) - done
+        failed_job = accepted[done]
+        if not failed_job.future.done():
+            failed_job.future.set_exception(ServiceError(f"merge failed: {failure}"))
+        for job in accepted[done + 1:]:
+            record.spent -= len(job.payload)
+            if not job.future.done():
+                job.future.set_exception(
+                    ServiceError(
+                        "merge aborted: an earlier merge in the batch failed "
+                        f"({failure}); these answers were not merged and "
+                        "their budget charge was refunded — safe to retry"
+                    )
+                )
 
     async def _run_job(self, record: SessionRecord, job: _Job) -> None:
         try:
@@ -380,8 +448,14 @@ class RefinementService:
                 result = await self._run_posterior(record)
             else:  # pragma: no cover - defensive: unknown kinds cannot be queued
                 raise ServiceError(f"unknown request kind {job.kind!r}")
-        except ServiceError as error:
+        except Exception as error:
+            # Anything the core runtime can throw — SelectionError, a
+            # crashed pool worker, OSError — must surface on *this job's*
+            # future as a typed ServiceError; letting it propagate would
+            # kill the drain task and hang every client of this session.
             self._metrics.errors += 1
+            if not isinstance(error, ServiceError):
+                error = ServiceError(f"{job.kind} failed: {error}")
             if not job.future.done():
                 job.future.set_exception(error)
             return

@@ -16,6 +16,7 @@ import json
 from typing import Any, Dict, Mapping
 
 from repro.service.api import (
+    MAX_LINE_BYTES,
     ServiceError,
     ValidationFailedError,
     decode_channel,
@@ -23,9 +24,6 @@ from repro.service.api import (
     error_payload,
 )
 from repro.service.server import RefinementService
-
-#: Safety bound on one request line (a 20-fact support is ~100 KB of JSON).
-MAX_LINE_BYTES = 8 * 1024 * 1024
 
 
 async def _dispatch(service: RefinementService, request: Mapping[str, Any]) -> Any:

@@ -10,6 +10,7 @@ and worker processes never outlive the last attached engine.
 """
 
 import multiprocessing
+import threading
 
 import pytest
 
@@ -86,6 +87,49 @@ class TestMultiplexedEquivalence:
             shared = run_rounds(session, GreedySelector())
             session.close()
         assert_histories_match(serial, shared)
+
+
+class TestConcurrentPools:
+    def test_pools_forking_from_threads_stay_tenant_isolated(self):
+        # A multi-pool service dispatches from several executor threads, so
+        # two pools can hit their first fork concurrently.  The module-level
+        # fork lock must keep the publish → fork → clear sequences atomic:
+        # without it, one pool's workers can inherit the other's engine
+        # registry under their own per-pool engine ids and score the wrong
+        # tenant's posterior.
+        priors = [dense_distribution(6, 40, seed=seed) for seed in (20, 21)]
+        channels = [CrowdModel(0.8), heterogeneous_channel(priors[1].fact_ids)]
+        serial = [
+            run_rounds(RefinementSession(prior, channel), GreedySelector())
+            for prior, channel in zip(priors, channels)
+        ]
+        pools = [EvaluatorPool(POLICY) for _ in range(2)]
+        results = [None, None]
+        errors = []
+        barrier = threading.Barrier(2)
+
+        def drive(tenant):
+            try:
+                session = RefinementSession(
+                    priors[tenant], channels[tenant], evaluator_pool=pools[tenant]
+                )
+                barrier.wait(timeout=30)  # line both threads up at the first fork
+                results[tenant] = run_rounds(session, GreedySelector())
+                session.close()
+            except Exception as error:
+                errors.append(error)
+
+        threads = [threading.Thread(target=drive, args=(t,)) for t in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        for pool in pools:
+            pool.close()
+        assert errors == []
+        for tenant in range(2):
+            assert_histories_match(serial[tenant], results[tenant])
+        assert multiprocessing.active_children() == []
 
 
 class TestPoolLifecycle:

@@ -15,7 +15,9 @@ import pytest
 
 from repro.core.answers import AnswerSet
 from repro.core.crowd import CrowdModel, PerFactChannelModel
+from repro.core.runtime import RuntimeOptions
 from repro.core.selection import RefinementSession, get_selector
+from repro.core.selection.parallel import fork_available
 from repro.service import RefinementService
 from repro.service.api import (
     BudgetExhaustedError,
@@ -24,6 +26,7 @@ from repro.service.api import (
     UnknownSessionError,
     ValidationFailedError,
 )
+from repro.service.server import _Job
 
 from tests.core.selection.test_persistent_pool import (
     dense_distribution,
@@ -210,6 +213,95 @@ class TestErrors:
                 await service.create_session(make_prior(), CrowdModel(0.8), budget=6)
 
         run(scenario())
+
+
+class TestFaultIsolation:
+    """Runtime failures must fail one request, never a session's drainer."""
+
+    def test_selector_crash_becomes_service_error_and_drain_survives(self):
+        class ExplodingSelector:
+            name = "exploding"
+
+            def select_with_session(self, session, k):
+                raise RuntimeError("pool worker crashed")
+
+        async def scenario():
+            async with RefinementService() as service:
+                created = await service.create_session(
+                    make_prior(), CrowdModel(0.8), budget=6
+                )
+                record = service._registry.get(created.session_id)
+                real_selector = record.selector
+                record.selector = ExplodingSelector()
+                # A non-ServiceError from the core runtime surfaces as a
+                # typed ServiceError on this request's future...
+                with pytest.raises(ServiceError, match="select failed"):
+                    await service.select_next(created.session_id, batch=2)
+                # ...and the drain task survives: the session keeps serving.
+                record.selector = real_selector
+                reply = await service.select_next(created.session_id, batch=2)
+                assert len(reply.task_ids) == 2
+                report = await service.post_answers(
+                    created.session_id, {t: True for t in reply.task_ids}
+                )
+                assert report.rounds_merged == 1
+
+        run(scenario())
+
+    def test_merge_batch_partial_failure_refunds_jobs_that_never_ran(self):
+        async def scenario():
+            async with RefinementService() as service:
+                created = await service.create_session(
+                    make_prior(), CrowdModel(0.8), budget=10
+                )
+                record = service._registry.get(created.session_id)
+                session = record.session
+                fact_ids = session.fact_ids
+                real_merge = session.merge
+                calls = []
+
+                def flaky_merge(answers):
+                    calls.append(answers)
+                    if len(calls) == 2:
+                        raise OSError("worker pipe broke")
+                    return real_merge(answers)
+
+                session.merge = flaky_merge
+                loop = asyncio.get_running_loop()
+                jobs = [
+                    _Job(
+                        "merge",
+                        AnswerSet.from_mapping({fact_ids[i]: True}),
+                        loop.create_future(),
+                    )
+                    for i in range(3)
+                ]
+                await service._run_merge_batch(record, jobs)
+                session.merge = real_merge
+
+                # The merge before the failure applied: answered normally.
+                report = jobs[0].future.result()
+                assert report.rounds_merged == 1 and report.answers_merged == 1
+                # The failing job gets the failure; its charge stands.
+                with pytest.raises(ServiceError, match="merge failed"):
+                    jobs[1].future.result()
+                # The job behind it never merged: failed retry-safe, refunded.
+                with pytest.raises(ServiceError, match="refunded"):
+                    jobs[2].future.result()
+                assert record.spent == 2
+                assert session.rounds_merged == 1
+                # The session keeps serving after the partial failure.
+                reply = await service.select_next(created.session_id, batch=1)
+                assert reply.task_ids
+
+        run(scenario())
+
+    def test_runtime_options_the_service_cannot_honour_are_rejected(self):
+        with pytest.raises(ValidationFailedError, match="recalibrate"):
+            RefinementService(RuntimeOptions(recalibrate=True))
+        if fork_available():
+            with pytest.raises(ValidationFailedError, match="parallel_entities"):
+                RefinementService(RuntimeOptions(parallel_entities=2))
 
 
 class TestBackpressure:

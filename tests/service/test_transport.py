@@ -138,6 +138,23 @@ def test_malformed_requests_get_validation_errors_not_disconnects():
     run(_with_server(scenario))
 
 
+def test_large_posterior_crosses_the_wire():
+    # A realistic posterior (12 facts, 4096 support rows) serialises well
+    # past asyncio's default 64 KiB readline limit in both directions: the
+    # client ships it in create_session and reads it back in get_posterior,
+    # so both endpoints must size their stream buffers from MAX_LINE_BYTES.
+    async def scenario(service, port):
+        prior = dense_distribution(12, 4096, seed=33)
+        async with await ServiceClient.connect("127.0.0.1", port) as client:
+            created = await client.create_session(prior, CrowdModel(0.8), budget=4)
+            view = await client.get_posterior(created.session_id)
+            assert len(view.support) == 4096
+            assert len(json.dumps(view.to_payload())) > 64 * 1024
+            assert abs(sum(p for _, p in view.support) - 1.0) < 1e-9
+
+    run(_with_server(scenario))
+
+
 def test_channel_codec_round_trips_heterogeneous_models():
     uniform = CrowdModel(0.85)
     per_fact = PerFactChannelModel(0.8, {"f1": 0.7, "f2": 0.9})
