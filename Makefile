@@ -6,7 +6,7 @@
 PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test bench bench-smoke serve-smoke
+.PHONY: test bench bench-smoke chaos-smoke serve-smoke
 
 # Tier-1 suite: the fast default (excludes the slow 2^20-support scenarios).
 test:
@@ -34,6 +34,15 @@ bench-smoke:
 		tests/test_cli.py
 	REPRO_FORCE_PARALLEL_TESTS=1 $(PYTEST) -q -m "parallel and not slow" \
 		benchmarks/bench_selection_hotpath.py -k persistent_pool_smoke
+
+# The fault-injection chaos suite: worker kills mid-scan, hung dispatches,
+# corrupted generation headers, merge crashes mid-batch, dropped client
+# connections — each asserting the runtime recovers to a trajectory
+# bit-identical to an undisturbed run, degrades gracefully past the circuit
+# breaker, and leaks no worker processes or /dev/shm segments.  Parallel
+# tests are forced on so the fork paths run even on constrained hosts.
+chaos-smoke:
+	REPRO_FORCE_PARALLEL_TESTS=1 $(PYTEST) -q -m chaos
 
 # Boots a real refinement-service server on a loopback port, drives one full
 # create → select → post → posterior → close round-trip through the JSON

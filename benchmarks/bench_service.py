@@ -240,3 +240,145 @@ def test_multi_tenant_throughput_shared_pool():
         "identical_task_sequences": True,
     }
     _record_scenarios({f"service/tenants{tenants}_shared_pool_w2": entry})
+
+
+# -- recovery scenarios (the self-healing runtime under injected faults) -------------
+
+from repro.testing import faults  # noqa: E402
+from repro.testing.faults import FaultPlan  # noqa: E402
+
+
+@pytest.mark.parallel
+def test_recovery_latency_worker_kill():
+    """service/recovery_worker_kill_w2: cost of one transparent pool rebuild.
+
+    The same single-tenant round loop twice — undisturbed, then with the
+    first dispatched worker OOM-killed mid-scan — asserting the recovered
+    trajectory is identical and recording what the kill+rebuild cost in
+    wall-clock terms.
+    """
+    rounds, k = 3, 2
+    prior = service_distribution(12, 1 << 10, seed=70)
+    channel = CrowdModel(0.8)
+    runtime = RuntimeOptions(workers=2, parallel_threshold=0)
+
+    async def drive():
+        async with RefinementService(runtime, pools=1) as service:
+            created = await service.create_session(
+                prior, channel, budget=rounds * k, selector=SELECTOR
+            )
+            started = time.perf_counter()
+            trajectory = await drive_tenant(
+                service, created.session_id, 0, rounds, k
+            )
+            elapsed = time.perf_counter() - started
+            return trajectory, elapsed, service.metrics()
+
+    baseline_trajectory, baseline_elapsed, _ = asyncio.run(drive())
+    with faults.injected(FaultPlan(kill_worker_at_dispatch=1)):
+        trajectory, elapsed, metrics = asyncio.run(drive())
+    assert multiprocessing.active_children() == []
+    assert trajectory == baseline_trajectory, "recovery diverged from baseline"
+
+    recovery = metrics["recovery"]
+    assert recovery["worker_crashes"] == 1
+    assert recovery["pool_rebuilds"] == 1
+    entry = {
+        "suite": "service",
+        "description": (
+            f"One tenant, {rounds} select/post rounds (k={k}) on a shared "
+            "2-worker pool, with the first dispatched worker killed mid-scan "
+            "(injected, exitcode 73); the supervisor rebuilds the pool "
+            "transparently and the trajectory stays identical to the "
+            "undisturbed run."
+        ),
+        "rounds": rounds,
+        "k": k,
+        "num_facts": 12,
+        "support": 1 << 10,
+        "workers": 2,
+        "baseline_wall_seconds": baseline_elapsed,
+        "wall_seconds": elapsed,
+        "recovery_overhead_seconds": elapsed - baseline_elapsed,
+        "worker_crashes": recovery["worker_crashes"],
+        "pool_rebuilds": recovery["pool_rebuilds"],
+        "breaker_trips": recovery["breaker_trips"],
+        "identical_task_sequences": True,
+    }
+    _record_scenarios({"service/recovery_worker_kill_w2": entry})
+
+
+def test_recovery_merge_abort_refund_and_retry():
+    """service/recovery_merge_abort_retry: crash-mid-batch repair cost.
+
+    Three queued merges drain as one batch whose second merge crashes; the
+    third is aborted and refunded, the client resends both, and the repaired
+    posterior must equal the undisturbed run's.  Records the wall-clock cost
+    of the fail-refund-retry round trip next to the clean wave.
+    """
+    prior = service_distribution(10, 256, seed=71)
+    fact_ids = prior.fact_ids
+    waves = [
+        {fact_ids[0]: True, fact_ids[1]: False},
+        {fact_ids[2]: True, fact_ids[3]: True},
+        {fact_ids[4]: False, fact_ids[5]: True},
+    ]
+
+    async def clean_wave():
+        async with RefinementService() as service:
+            created = await service.create_session(
+                prior, CrowdModel(0.8), budget=16
+            )
+            started = time.perf_counter()
+            await asyncio.gather(
+                *(service.post_answers(created.session_id, w) for w in waves)
+            )
+            elapsed = time.perf_counter() - started
+            return elapsed, await service.get_posterior(created.session_id)
+
+    async def faulted_wave():
+        async with RefinementService() as service:
+            created = await service.create_session(
+                prior, CrowdModel(0.8), budget=16
+            )
+            started = time.perf_counter()
+            with faults.injected(FaultPlan(fail_merge_at=2)):
+                results = await asyncio.gather(
+                    *(service.post_answers(created.session_id, w) for w in waves),
+                    return_exceptions=True,
+                )
+            for wave, result in zip(waves, results):
+                if isinstance(result, Exception):
+                    await service.post_answers(created.session_id, wave)
+            elapsed = time.perf_counter() - started
+            view = await service.get_posterior(created.session_id)
+            return elapsed, view, results
+
+    baseline_elapsed, baseline_view = asyncio.run(clean_wave())
+    elapsed, view, results = asyncio.run(faulted_wave())
+
+    failed = sum(isinstance(r, Exception) for r in results)
+    assert failed == 2, "expected one crashed merge plus one aborted merge"
+    for (mask, prob), (ref_mask, ref_prob) in zip(
+        view.support, baseline_view.support
+    ):
+        assert mask == ref_mask
+        assert abs(prob - ref_prob) < 1e-9
+
+    entry = {
+        "suite": "service",
+        "description": (
+            "A 3-merge batch whose second merge crashes (injected): the "
+            "earlier merge stands, the later one is aborted and refunded, "
+            "the failed work is resent, and the repaired posterior equals "
+            "the undisturbed run's (support probabilities within 1e-9)."
+        ),
+        "waves": len(waves),
+        "answers_per_wave": 2,
+        "failed_and_retried": failed,
+        "baseline_wall_seconds": baseline_elapsed,
+        "wall_seconds": elapsed,
+        "repair_overhead_seconds": elapsed - baseline_elapsed,
+        "identical_posterior": True,
+    }
+    _record_scenarios({"service/recovery_merge_abort_retry": entry})

@@ -43,9 +43,19 @@ from repro.core.selection import (
     get_selector,
 )
 from repro.core.selection.parallel import ParallelPolicy
-from repro.service import RefinementService, ServiceClient, ServiceError, serve
+from repro.service import (
+    NO_RETRY,
+    DeadlineExceededError,
+    MergeAbortedError,
+    RefinementService,
+    RetryPolicy,
+    ServiceClient,
+    ServiceError,
+    TransportError,
+    serve,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     # value types
@@ -73,9 +83,14 @@ __all__ = [
     "ParallelPolicy",
     "RuntimeOptions",
     # the refinement service
+    "DeadlineExceededError",
+    "MergeAbortedError",
+    "NO_RETRY",
     "RefinementService",
+    "RetryPolicy",
     "ServiceClient",
     "ServiceError",
+    "TransportError",
     "serve",
     # selection registry and utilities
     "available_selectors",

@@ -204,7 +204,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     try:
         runtime = RuntimeOptions(
-            workers=args.workers, parallel_threshold=args.parallel_threshold
+            workers=args.workers,
+            parallel_threshold=args.parallel_threshold,
+            dispatch_timeout_ms=args.dispatch_timeout_ms,
+            max_rebuilds=args.max_rebuilds,
         )
     except CrowdFusionError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -352,6 +355,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--pools", type=_positive_int, default=1, metavar="N",
         help="number of shared evaluator pools tenants are multiplexed onto "
         "(resident processes = pools x workers, independent of session count)",
+    )
+    serve.add_argument(
+        "--dispatch-timeout-ms", type=_positive_int, default=None, metavar="MS",
+        help="wall-clock budget for one parallel dispatch before the pool "
+        "supervisor declares it hung and rebuilds the pool (default: no "
+        "timeout)",
+    )
+    serve.add_argument(
+        "--max-rebuilds", type=_nonnegative_int, default=2, metavar="N",
+        help="consecutive crashed dispatches the pool supervisor absorbs "
+        "before the circuit breaker degrades the pool to serial scans "
+        "(default: 2)",
     )
     serve.add_argument(
         "--max-pending", type=_positive_int, default=8, metavar="N",

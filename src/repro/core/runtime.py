@@ -32,6 +32,12 @@ The fields mean the same thing everywhere:
     Experiment-level fan-out: whole entities run in fork workers (mutually
     exclusive with ``workers``).  Layers below the experiment runner ignore
     it.
+``dispatch_timeout_ms``
+    Wall-clock budget for one parallel dispatch before the supervisor
+    declares the pool hung and rebuilds it (``None`` disables the timeout).
+``max_rebuilds``
+    Consecutive crashed dispatches the pool supervisor absorbs before its
+    circuit breaker degrades the affected engine(s) to serial evaluation.
 """
 
 from __future__ import annotations
@@ -63,11 +69,21 @@ class RuntimeOptions:
     persistent_pool: bool = False
     recalibrate: bool = False
     parallel_entities: Optional[int] = None
+    dispatch_timeout_ms: Optional[int] = None
+    max_rebuilds: int = 2
 
     def __post_init__(self) -> None:
         if self.workers is not None and self.workers < 1:
             raise CrowdFusionError(
                 f"workers must be a positive integer, got {self.workers}"
+            )
+        if self.dispatch_timeout_ms is not None and self.dispatch_timeout_ms <= 0:
+            raise CrowdFusionError(
+                f"dispatch_timeout_ms must be positive, got {self.dispatch_timeout_ms}"
+            )
+        if self.max_rebuilds < 0:
+            raise CrowdFusionError(
+                f"max_rebuilds must be non-negative, got {self.max_rebuilds}"
             )
         if self.parallel_threshold is not None and self.parallel_threshold < 0:
             raise CrowdFusionError(
@@ -108,6 +124,12 @@ class RuntimeOptions:
                 self.parallel_threshold
                 if self.parallel_threshold is not None
                 else DEFAULT_PARALLEL_THRESHOLD
+            ),
+            max_rebuilds=self.max_rebuilds,
+            dispatch_timeout=(
+                self.dispatch_timeout_ms / 1000.0
+                if self.dispatch_timeout_ms is not None
+                else None
             ),
         )
 

@@ -72,11 +72,16 @@ over those values.
 
 from __future__ import annotations
 
+import atexit
+import logging
 import math
 import multiprocessing
 import os
+import signal
 import threading
+import time
 import warnings
+import weakref
 from dataclasses import dataclass
 from functools import partial
 from multiprocessing import shared_memory
@@ -88,6 +93,9 @@ from repro.core.crowd import ChannelModel
 from repro.core.selection.base import SelectionResult
 from repro.core.selection.engine import EntropyEngine, SelectionState
 from repro.exceptions import SelectionError
+from repro.testing import faults
+
+_LOGGER = logging.getLogger("repro.selection.parallel")
 
 #: Default auto-serial threshold, in work units of candidates × support rows.
 #: One unit is roughly one support-row visit; forking a pool costs on the
@@ -149,6 +157,98 @@ def fork_available() -> bool:
     return "fork" in multiprocessing.get_all_start_methods()
 
 
+class WorkerSyncError(SelectionError):
+    """A pool worker found its fork-inherited state unusable for a dispatch.
+
+    Raised *inside* workers when the fork contract is broken: no inherited
+    engine (the worker was respawned by the pool's maintenance thread rather
+    than our supervised fork), no snapshot ring, or a generation header that
+    advanced the channel generation without shipping the channel model (a
+    torn/corrupt header).  The supervisor treats it exactly like a worker
+    death — rebuild the pool — because the worker's state cannot be trusted
+    to produce serial-identical scores.
+    """
+
+
+class WorkerCrashError(SelectionError):
+    """Parent-side verdict that a supervised dispatch cannot complete.
+
+    Covers a worker process found dead mid-dispatch (sentinel exitcode), a
+    dispatch exceeding its configured timeout (hung/blackholed worker), and a
+    :class:`WorkerSyncError` surfacing through the result queue.  Internal to
+    the supervisor: callers never see it — the pool is rebuilt and the
+    dispatch retried, or the circuit breaker degrades the scan to serial.
+    """
+
+
+# ---------------------------------------------------------------------------------------
+# Shared-memory leak guard.
+#
+# A snapshot ring's /dev/shm segment is normally unlinked by ``close()`` when
+# the owning evaluator/pool shuts down.  A parent killed by SIGTERM (container
+# stop, supervisor restart) never reaches that path — SIGTERM's default
+# disposition skips ``atexit`` entirely — and would orphan one segment per
+# live ring until the resource tracker complains at its own exit.  Every ring
+# registers itself here at creation; the guard reaps whatever is still alive
+# at interpreter exit *and* on SIGTERM (chaining to the previous handler so
+# embedding applications keep their own shutdown behaviour).
+#
+# Both paths are owner-pid-guarded: pool workers fork-inherit the registry
+# and the signal handler, and ``Pool.terminate`` SIGTERMs them — without the
+# pid check a dying worker would unlink the parent's *live* segment out from
+# under every other worker.
+# ---------------------------------------------------------------------------------------
+
+_LIVE_RINGS: "weakref.WeakSet[_SnapshotRing]" = weakref.WeakSet()
+_GUARD_PID: Optional[int] = None
+_PREV_SIGTERM = None
+
+
+def _reap_live_rings() -> None:
+    """Unlink every still-live ring owned by this process (idempotent)."""
+    if os.getpid() != _GUARD_PID:
+        return
+    for ring in list(_LIVE_RINGS):
+        try:
+            ring.close()
+        except Exception:  # pragma: no cover - best effort during shutdown
+            pass
+
+
+def _sigterm_reap_and_chain(signum, frame):  # pragma: no cover - exercised in subprocess
+    _reap_live_rings()
+    previous = _PREV_SIGTERM
+    if callable(previous):
+        previous(signum, frame)
+        return
+    if previous is signal.SIG_IGN:
+        return
+    # Default disposition: restore it and re-deliver so the exit status still
+    # says "terminated by SIGTERM" to whatever sent the signal.
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    os.kill(os.getpid(), signal.SIGTERM)
+
+
+def _ensure_ring_guard() -> None:
+    """Install the atexit + SIGTERM reaper once per owning process."""
+    global _GUARD_PID, _PREV_SIGTERM
+    if _GUARD_PID == os.getpid():
+        return
+    # First ring of this process (or of a fork that inherited a stale guard
+    # pid): (re)register for *this* pid.  The atexit hook may end up
+    # registered once per forked generation; the pid check makes extras no-ops.
+    _GUARD_PID = os.getpid()
+    atexit.register(_reap_live_rings)
+    try:
+        previous = signal.signal(signal.SIGTERM, _sigterm_reap_and_chain)
+    except ValueError:  # pragma: no cover - not on the main thread
+        previous = None
+    if previous is not _sigterm_reap_and_chain:
+        # A fork re-installing over our own inherited handler must keep the
+        # original chain target, not chain to itself.
+        _PREV_SIGTERM = previous
+
+
 class _SnapshotRing:
     """A shared-memory ring of posterior snapshots for one persistent pool.
 
@@ -163,12 +263,15 @@ class _SnapshotRing:
     def __init__(self, support_size: int, slots: int = _SNAPSHOT_SLOTS):
         self._slots = slots
         self._support_size = support_size
+        self._owner_pid = os.getpid()
         self._shm = shared_memory.SharedMemory(
             create=True, size=max(1, slots * support_size * 8)
         )
         self._array = np.ndarray(
             (slots, support_size), dtype=np.float64, buffer=self._shm.buf
         )
+        _ensure_ring_guard()
+        _LIVE_RINGS.add(self)
 
     def publish(self, generation: int, probabilities: np.ndarray) -> int:
         """Copy ``probabilities`` into the slot for ``generation``; return it."""
@@ -187,17 +290,24 @@ class _SnapshotRing:
         return self._array[slot]
 
     def close(self) -> None:
-        """Release the parent's mapping and unlink the segment (idempotent)."""
+        """Release this process's mapping; the owner also unlinks the segment.
+
+        Idempotent, and safe in fork children: only the creating process
+        unlinks (a worker closing its inherited handle must not destroy the
+        segment the parent and its siblings still share).
+        """
         if self._shm is None:
             return
         # The ndarray view pins the exported buffer; drop it before closing.
         self._array = None
         self._shm.close()
-        try:
-            self._shm.unlink()
-        except FileNotFoundError:  # pragma: no cover - already unlinked
-            pass
+        if self._owner_pid == os.getpid():
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already unlinked
+                pass
         self._shm = None
+        _LIVE_RINGS.discard(self)
 
 
 @dataclass(frozen=True)
@@ -216,11 +326,26 @@ class ParallelPolicy:
     chunk_size:
         Candidates per dispatched chunk; ``None`` derives a size giving each
         worker several chunks for load balance.
+    max_rebuilds:
+        Consecutive crashed dispatches the supervisor absorbs (rebuilding the
+        pool after each) before the circuit breaker trips and the evaluator
+        degrades to the serial path for the rest of its life.
+    dispatch_timeout:
+        Wall-clock seconds one dispatch may take before the supervisor
+        declares the pool hung and treats it as crashed; ``None`` (the
+        default) disables the timeout — a healthy scan's duration scales with
+        corpus size, so there is no safe universal default.
+    heartbeat:
+        Seconds between the supervisor's liveness probes of the worker
+        processes while a dispatch is in flight.
     """
 
     workers: Optional[int] = None
     parallel_threshold: int = DEFAULT_PARALLEL_THRESHOLD
     chunk_size: Optional[int] = None
+    max_rebuilds: int = 2
+    dispatch_timeout: Optional[float] = None
+    heartbeat: float = 0.05
 
     def __post_init__(self) -> None:
         if self.workers is not None and self.workers < 1:
@@ -231,6 +356,16 @@ class ParallelPolicy:
             )
         if self.chunk_size is not None and self.chunk_size < 1:
             raise SelectionError(f"chunk_size must be positive, got {self.chunk_size}")
+        if self.max_rebuilds < 0:
+            raise SelectionError(
+                f"max_rebuilds must be non-negative, got {self.max_rebuilds}"
+            )
+        if self.dispatch_timeout is not None and self.dispatch_timeout <= 0:
+            raise SelectionError(
+                f"dispatch_timeout must be positive, got {self.dispatch_timeout}"
+            )
+        if self.heartbeat <= 0:
+            raise SelectionError(f"heartbeat must be positive, got {self.heartbeat}")
 
     def resolved_workers(self) -> int:
         """The worker count this policy resolves to on this machine."""
@@ -282,9 +417,13 @@ def _replay_state(engine: EntropyEngine, task_ids: Tuple[str, ...]) -> Selection
 
 def _evaluate_chunk(task_ids: Tuple[str, ...], chunk: Sequence[str]) -> List[float]:
     """Worker entry point: ``H(T ∪ {f})`` for every candidate in ``chunk``."""
+    faults.fire("worker_dispatch")
     engine = _FORK_ENGINE
-    if engine is None:  # pragma: no cover - defensive: fork contract broken
-        raise SelectionError("parallel worker started without a fork-shared engine")
+    if engine is None:
+        # A respawned worker (the pool's maintenance thread replaced a dead
+        # one) never went through our supervised fork and has no engine; the
+        # supervisor turns this into a full rebuild.
+        raise WorkerSyncError("parallel worker started without a fork-shared engine")
     state = _replay_state(engine, task_ids)
     return [engine.extension_entropy(state, fact_id) for fact_id in chunk]
 
@@ -310,15 +449,15 @@ def _sync_worker_engine(engine: EntropyEngine, header: _SyncHeader) -> None:
     reweights, slot, channel_swaps, channel = header
     if reweights != engine.reweights:
         ring = _FORK_RING
-        if ring is None:  # pragma: no cover - defensive: fork contract broken
-            raise SelectionError(
+        if ring is None:
+            raise WorkerSyncError(
                 "persistent parallel worker has no fork-shared snapshot ring"
             )
         engine.load_probabilities(ring.read(slot), reweights)
         _WORKER_STATE = None
     if channel_swaps != engine.channel_swaps:
-        if channel is None:  # pragma: no cover - defensive: header contract broken
-            raise SelectionError(
+        if channel is None:
+            raise WorkerSyncError(
                 "persistent pool header advanced the channel generation "
                 "without shipping the channel model"
             )
@@ -331,9 +470,10 @@ def _evaluate_chunk_persistent(
     header: _SyncHeader, task_ids: Tuple[str, ...], chunk: Sequence[str]
 ) -> List[float]:
     """Persistent-pool worker entry point: sync generations, then score."""
+    faults.fire("worker_dispatch")
     engine = _FORK_ENGINE
-    if engine is None:  # pragma: no cover - defensive: fork contract broken
-        raise SelectionError("parallel worker started without a fork-shared engine")
+    if engine is None:
+        raise WorkerSyncError("parallel worker started without a fork-shared engine")
     _sync_worker_engine(engine, header)
     state = _replay_state(engine, task_ids)
     return [engine.extension_entropy(state, fact_id) for fact_id in chunk]
@@ -355,17 +495,18 @@ def _evaluate_chunk_multiplexed(
     :data:`_WORKER_STATES`, so interleaved dispatches for different tenants
     never invalidate each other's incremental state.
     """
+    faults.fire("worker_dispatch")
     engines = _FORK_ENGINES
     rings = _FORK_RING_MAP
-    if engines is None or rings is None:  # pragma: no cover - fork contract broken
-        raise SelectionError(
+    if engines is None or rings is None:
+        raise WorkerSyncError(
             "multiplexed parallel worker started without a fork-shared "
             "engine registry"
         )
     engine_id, reweights, slot, channel_swaps, channel = header
     engine = engines.get(engine_id)
-    if engine is None:  # pragma: no cover - defensive: refork contract broken
-        raise SelectionError(
+    if engine is None:
+        raise WorkerSyncError(
             f"multiplexed worker has no fork-inherited engine {engine_id} "
             "(the pool should have re-forked after the attach)"
         )
@@ -373,8 +514,8 @@ def _evaluate_chunk_multiplexed(
         engine.load_probabilities(rings[engine_id].read(slot), reweights)
         _WORKER_STATES.pop(engine_id, None)
     if channel_swaps != engine.channel_swaps:
-        if channel is None:  # pragma: no cover - defensive: header contract broken
-            raise SelectionError(
+        if channel is None:
+            raise WorkerSyncError(
                 "multiplexed pool header advanced the channel generation "
                 "without shipping the channel model"
             )
@@ -384,6 +525,100 @@ def _evaluate_chunk_multiplexed(
     state = _advance_state(engine, _WORKER_STATES.get(engine_id), task_ids)
     _WORKER_STATES[engine_id] = state
     return [engine.extension_entropy(state, fact_id) for fact_id in chunk]
+
+
+def _supervised_map(pool, procs, worker, chunks, policy: ParallelPolicy):
+    """One crash-aware ``pool.map``: dispatch, watch the workers, collect.
+
+    ``procs`` is the snapshot of worker processes taken immediately after the
+    supervised fork — *not* ``pool._pool`` at call time, because the pool's
+    maintenance thread silently replaces dead workers (with processes that
+    never inherited the engine) and would hide the death from a late
+    snapshot.  Raises :class:`WorkerCrashError` when a snapshot worker has
+    died, the dispatch exceeds ``policy.dispatch_timeout``, or a worker
+    reported :class:`WorkerSyncError`; any other worker exception (an
+    application-level scoring error) propagates unchanged.
+    """
+    for proc in procs:
+        if proc.exitcode is not None:
+            raise WorkerCrashError(
+                f"pool worker {proc.pid} died with exit code {proc.exitcode} "
+                "before dispatch"
+            )
+    result = pool.map_async(worker, chunks)
+    timeout = policy.dispatch_timeout
+    deadline = None if timeout is None else time.monotonic() + timeout
+    while not result.ready():
+        result.wait(policy.heartbeat)
+        if result.ready():
+            break
+        for proc in procs:
+            if proc.exitcode is not None:
+                raise WorkerCrashError(
+                    f"pool worker {proc.pid} died with exit code "
+                    f"{proc.exitcode} mid-dispatch"
+                )
+        if deadline is not None and time.monotonic() >= deadline:
+            raise WorkerCrashError(
+                f"dispatch did not complete within its {timeout:g}s timeout"
+            )
+    try:
+        return result.get()
+    except WorkerSyncError as error:
+        raise WorkerCrashError(f"pool worker desynchronised: {error}") from error
+
+
+#: How long a graceful ``Pool.terminate`` may take before the teardown
+#: watchdog SIGKILLs the workers.  Generous: a healthy teardown is
+#: milliseconds; only a wedged pool ever waits this out.
+_TEARDOWN_GRACE = 5.0
+
+
+def _teardown_pool(pool, procs, grace: float = _TEARDOWN_GRACE) -> None:
+    """Terminate a (possibly wedged) fork pool without hanging the caller.
+
+    ``Pool.terminate`` shuts down gracefully — drain the task queue, SIGTERM
+    the workers, join everything — and every step of that choreography can
+    block forever when a worker died while holding one of the pool's (or the
+    application's) fork-shared locks.  A supervisor tearing down a pool it
+    already distrusts must not inherit that hang: run the graceful path on a
+    watchdog thread, and if it stalls past ``grace``, SIGKILL every worker we
+    know about (the fork-time snapshot plus any maintenance respawns).
+    Recovery re-forks from the parent's state, so workers hold nothing worth
+    a graceful exit.
+    """
+
+    def _graceful():
+        pool.terminate()
+        pool.join()
+
+    thread = threading.Thread(
+        target=_graceful, name="repro-pool-teardown", daemon=True
+    )
+    thread.start()
+    thread.join(grace)
+    if not thread.is_alive():
+        return
+    stragglers = {id(proc): proc for proc in procs}
+    for proc in list(getattr(pool, "_pool", ()) or ()):
+        stragglers.setdefault(id(proc), proc)
+    _LOGGER.warning(
+        "pool teardown stalled for %.1fs; hard-killing %d worker(s)",
+        grace,
+        len(stragglers),
+    )
+    for proc in stragglers.values():
+        try:
+            if proc.is_alive():
+                proc.kill()
+        except Exception:  # pragma: no cover - best effort during teardown
+            pass
+    thread.join(grace)
+    if thread.is_alive():  # pragma: no cover - should be unreachable
+        _LOGGER.error(
+            "pool teardown did not complete after hard-killing its workers; "
+            "abandoning the teardown thread"
+        )
 
 
 class ParallelEvaluator:
@@ -413,6 +648,13 @@ class ParallelEvaluator:
     parallel_evaluations:
         Total candidate evaluations served by the pool (cumulative over the
         evaluator's lifetime, i.e. over all rounds for a persistent pool).
+    worker_crashes:
+        Dispatches the supervisor aborted (dead worker, hung dispatch, or a
+        desynchronised worker).
+    pool_rebuilds:
+        Transparent pool rebuilds performed after a crashed dispatch.
+    breaker_trips:
+        Circuit-breaker trips (at most one: a tripped evaluator stays serial).
     """
 
     def __init__(
@@ -433,18 +675,28 @@ class ParallelEvaluator:
         self._policy = policy
         self._persistent = persistent
         self._pool = None
+        self._procs: Tuple = ()
         self._ring: Optional[_SnapshotRing] = None
         self._published_reweights = 0
         self._published_slot = -1
         self._fork_channel_swaps = 0
+        self._broken = False
         self.workers = 0
         self.chunk_size = 0
         self.parallel_evaluations = 0
+        self.worker_crashes = 0
+        self.pool_rebuilds = 0
+        self.breaker_trips = 0
 
     @property
     def persistent(self) -> bool:
         """Whether this evaluator survives posterior reweights between scans."""
         return self._persistent
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the circuit breaker has pinned this evaluator to serial."""
+        return self._broken
 
     def __enter__(self) -> "ParallelEvaluator":
         return self
@@ -456,13 +708,17 @@ class ParallelEvaluator:
         """Terminate the worker pool and release the snapshot ring (idempotent)."""
         try:
             if self._pool is not None:
-                self._pool.terminate()
-                self._pool.join()
+                _teardown_pool(self._pool, self._procs)
                 self._pool = None
         finally:
+            self._procs = ()
             if self._ring is not None:
                 self._ring.close()
                 self._ring = None
+
+    def _discard_pool(self) -> None:
+        """Tear down a crashed pool (and its ring) ahead of a rebuild."""
+        self.close()
 
     def refresh_batch_size(self) -> int:
         """Candidates a lazy (CELF) selector should refresh per wave.
@@ -511,6 +767,11 @@ class ParallelEvaluator:
                 finally:
                     _FORK_ENGINE = None
                     _FORK_RING = None
+            # Snapshot the freshly forked workers for the supervisor.  Later
+            # snapshots would be useless: the pool's maintenance thread swaps
+            # dead workers out of ``_pool`` for respawns that never inherited
+            # the engine, erasing the evidence of the death.
+            self._procs = tuple(self._pool._pool)
         return self._pool
 
     def _sync_header(self) -> _SyncHeader:
@@ -539,28 +800,64 @@ class ParallelEvaluator:
         """Score all ``candidates`` against ``state``, in candidate order.
 
         Returns ``None`` when the policy elects the serial path for this scan
-        (too little work, too few workers, or no ``fork`` support); the caller
-        then runs its ordinary in-process loop.
+        (too little work, too few workers, no ``fork`` support, or a tripped
+        circuit breaker); the caller then runs its ordinary in-process loop.
+
+        Dispatches are supervised: a crashed or hung worker aborts the
+        dispatch, the pool is rebuilt from the engine's *current* state (so
+        the retried scan is still bit-identical to serial), and after
+        ``policy.max_rebuilds`` consecutive failures the breaker degrades
+        this evaluator to serial for good — never an error to the caller.
         """
         support_size = self._engine.support_masks.shape[0]
         if not self._policy.should_parallelise(len(candidates), support_size):
             return None
-        pool = self._ensure_pool()
+        if self._broken:
+            return None
         chunk_size = self._policy.resolved_chunk_size(len(candidates))
         self.chunk_size = chunk_size
         chunks = [
             list(candidates[start:start + chunk_size])
             for start in range(0, len(candidates), chunk_size)
         ]
-        if self._persistent:
-            worker = partial(
-                _evaluate_chunk_persistent, self._sync_header(), state.task_ids
-            )
-        else:
-            worker = partial(_evaluate_chunk, state.task_ids)
-        scored = pool.map(worker, chunks)
-        self.parallel_evaluations += len(candidates)
-        return [entropy for part in scored for entropy in part]
+        crashes = 0
+        while True:
+            pool = self._ensure_pool()
+            directive = faults.fire("pool_dispatch")
+            if self._persistent:
+                header = self._sync_header()
+                if directive == "corrupt_header":
+                    reweights, slot, channel_swaps, _channel = header
+                    header = (reweights, slot, channel_swaps + 1, None)
+                worker = partial(_evaluate_chunk_persistent, header, state.task_ids)
+            else:
+                worker = partial(_evaluate_chunk, state.task_ids)
+            try:
+                scored = _supervised_map(pool, self._procs, worker, chunks, self._policy)
+            except WorkerCrashError as crash:
+                crashes += 1
+                self.worker_crashes += 1
+                self._discard_pool()
+                if crashes > self._policy.max_rebuilds:
+                    self._broken = True
+                    self.breaker_trips += 1
+                    _LOGGER.warning(
+                        "circuit breaker tripped after %d crashed dispatches; "
+                        "degrading to serial evaluation (%s)",
+                        crashes,
+                        crash,
+                    )
+                    return None
+                self.pool_rebuilds += 1
+                _LOGGER.warning(
+                    "pool dispatch crashed (%s); rebuilding pool (attempt %d/%d)",
+                    crash,
+                    crashes,
+                    self._policy.max_rebuilds,
+                )
+                continue
+            self.parallel_evaluations += len(candidates)
+            return [entropy for part in scored for entropy in part]
 
 
 @dataclass
@@ -617,12 +914,17 @@ class EvaluatorPool:
         self._policy = policy
         self._attachments: Dict[int, _Attachment] = {}
         self._pool = None
+        self._procs: Tuple = ()
         self._stale = False
+        self._broken = False
         self._next_id = 0
         self._lock = threading.Lock()
         self.workers = 0
         self.dispatches = 0
         self.reforks = 0
+        self.worker_crashes = 0
+        self.pool_rebuilds = 0
+        self.breaker_trips = 0
 
     @property
     def policy(self) -> ParallelPolicy:
@@ -639,6 +941,11 @@ class EvaluatorPool:
     def forked(self) -> bool:
         """Whether the shared worker pool is currently alive."""
         return self._pool is not None
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the breaker has pinned this shared pool to serial scans."""
+        return self._broken
 
     def attach(self, engine: EntropyEngine) -> "PooledEvaluator":
         """Register ``engine`` and return its evaluator facade.
@@ -691,9 +998,9 @@ class EvaluatorPool:
     def _terminate_pool(self) -> None:
         """Tear down the fork pool; caller holds the lock."""
         if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
+            _teardown_pool(self._pool, self._procs)
             self._pool = None
+        self._procs = ()
         self._stale = False
 
     def _ensure_pool(self):
@@ -730,6 +1037,9 @@ class EvaluatorPool:
             finally:
                 _FORK_ENGINES = None
                 _FORK_RING_MAP = None
+        # Supervisor snapshot — must be taken before the maintenance thread
+        # has any chance to swap a dead worker for an engine-less respawn.
+        self._procs = tuple(self._pool._pool)
         self._stale = False
         return self._pool
 
@@ -761,7 +1071,15 @@ class EvaluatorPool:
 
         Returns ``(entropies, chunk_size)``; entropies are ``None`` when the
         policy elects the serial path for this scan (the caller then runs its
-        ordinary in-process loop, exactly as with a dedicated evaluator).
+        ordinary in-process loop, exactly as with a dedicated evaluator) and
+        when the shared pool's circuit breaker has tripped.
+
+        Dispatches are supervised exactly as on a dedicated evaluator: a
+        crash rebuilds the whole shared pool (every attachment's generation
+        baselines reset to its engine's current state, so every tenant's
+        recovered scans stay bit-identical to serial), and repeated failures
+        degrade the pool to serial for all tenants rather than erroring any
+        of them.
         """
         with self._lock:
             try:
@@ -774,20 +1092,54 @@ class EvaluatorPool:
             support_size = attachment.engine.support_masks.shape[0]
             if not self._policy.should_parallelise(len(candidates), support_size):
                 return None, 0
-            pool = self._ensure_pool()
+            if self._broken:
+                return None, 0
             chunk_size = self._policy.resolved_chunk_size(len(candidates))
             chunks = [
                 list(candidates[start:start + chunk_size])
                 for start in range(0, len(candidates), chunk_size)
             ]
-            worker = partial(
-                _evaluate_chunk_multiplexed,
-                self._header(engine_id, attachment),
-                state.task_ids,
-            )
-            scored = pool.map(worker, chunks)
-            attachment.served += len(candidates)
-            self.dispatches += 1
+            crashes = 0
+            while True:
+                pool = self._ensure_pool()
+                directive = faults.fire("pool_dispatch")
+                header = self._header(engine_id, attachment)
+                if directive == "corrupt_header":
+                    hdr_engine_id, reweights, slot, channel_swaps, _channel = header
+                    header = (hdr_engine_id, reweights, slot, channel_swaps + 1, None)
+                worker = partial(_evaluate_chunk_multiplexed, header, state.task_ids)
+                try:
+                    scored = _supervised_map(
+                        pool, self._procs, worker, chunks, self._policy
+                    )
+                except WorkerCrashError as crash:
+                    crashes += 1
+                    self.worker_crashes += 1
+                    self._terminate_pool()
+                    if crashes > self._policy.max_rebuilds:
+                        self._broken = True
+                        self.breaker_trips += 1
+                        _LOGGER.warning(
+                            "shared pool circuit breaker tripped after %d "
+                            "crashed dispatches; all %d attached engines "
+                            "degrade to serial evaluation (%s)",
+                            crashes,
+                            len(self._attachments),
+                            crash,
+                        )
+                        return None, 0
+                    self.pool_rebuilds += 1
+                    _LOGGER.warning(
+                        "shared pool dispatch crashed (%s); rebuilding pool "
+                        "(attempt %d/%d)",
+                        crash,
+                        crashes,
+                        self._policy.max_rebuilds,
+                    )
+                    continue
+                attachment.served += len(candidates)
+                self.dispatches += 1
+                break
         return [entropy for part in scored for entropy in part], chunk_size
 
 
@@ -820,6 +1172,11 @@ class PooledEvaluator:
     def engine_id(self) -> int:
         """The id this engine travels under in the pool's dispatch headers."""
         return self._engine_id
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the shared pool's breaker has pinned this tenant to serial."""
+        return self._shared_pool.degraded
 
     def would_parallelise(self, num_candidates: int) -> bool:
         """Whether a scan of ``num_candidates`` would engage the shared pool."""

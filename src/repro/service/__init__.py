@@ -24,6 +24,8 @@ Layers (each importable on its own):
 
 from repro.service.api import (
     BudgetExhaustedError,
+    DeadlineExceededError,
+    MergeAbortedError,
     MergeReport,
     PosteriorView,
     SelectionReply,
@@ -34,21 +36,26 @@ from repro.service.api import (
     UnknownSessionError,
     ValidationFailedError,
 )
-from repro.service.client import ServiceClient
+from repro.service.client import NO_RETRY, RetryPolicy, ServiceClient
 from repro.service.server import RefinementService
-from repro.service.transport import serve
+from repro.service.transport import TransportError, serve
 
 __all__ = [
     "BudgetExhaustedError",
+    "DeadlineExceededError",
+    "MergeAbortedError",
     "MergeReport",
+    "NO_RETRY",
     "PosteriorView",
     "RefinementService",
+    "RetryPolicy",
     "SelectionReply",
     "ServiceClient",
     "ServiceError",
     "SessionClosed",
     "SessionCreated",
     "SessionOverloadedError",
+    "TransportError",
     "UnknownSessionError",
     "ValidationFailedError",
     "serve",

@@ -45,10 +45,17 @@ class ServiceError(CrowdFusionError):
     ``code`` is the stable wire identifier; ``status`` the HTTP-flavoured
     class of the failure.  Both are class attributes so a transport can
     serialise any service error without knowing the concrete type.
+
+    ``retry_safe`` is the server's explicit promise that the failed request
+    performed **no state change** — a client may resend it without risking a
+    double merge or double charge.  It travels on the wire, so the client's
+    retry policy follows the server's verdict rather than guessing from
+    status codes.  The conservative default is ``False``.
     """
 
     code = "service_error"
     status = 500
+    retry_safe = False
 
 
 class UnknownSessionError(ServiceError):
@@ -64,10 +71,12 @@ class SessionOverloadedError(ServiceError):
     The 429 of the service: per-tenant backpressure rejects new work
     *immediately* instead of letting one chatty tenant grow an unbounded
     backlog that starves every other tenant of the shared worker pools.
+    Retry-safe by construction — the rejected request was never queued.
     """
 
     code = "session_overloaded"
     status = 429
+    retry_safe = True
 
 
 class BudgetExhaustedError(ServiceError):
@@ -84,6 +93,35 @@ class ValidationFailedError(ServiceError):
     status = 400
 
 
+class DeadlineExceededError(ServiceError):
+    """The request's ``deadline_ms`` elapsed before the work started/finished.
+
+    Retry-safe by contract: a deadline is only ever enforced at points where
+    no session state has changed — before a queued job begins, before a merge
+    is charged, or around a *read-only* selection/posterior computation whose
+    abandoned result is discarded without touching the caches.  Merges that
+    have started are never deadline-aborted (at-most-once would be lost).
+    """
+
+    code = "deadline_exceeded"
+    status = 504
+    retry_safe = True
+
+
+class MergeAbortedError(ServiceError):
+    """A queued merge never ran because an earlier merge in its batch failed.
+
+    Its budget charge has been refunded and the posterior is exactly as if
+    the request had never been sent — the retry-safe sibling of the
+    *failed* merge (which stays a plain non-retry-safe ``service_error``:
+    its session state is indeterminate).
+    """
+
+    code = "merge_aborted"
+    status = 503
+    retry_safe = True
+
+
 #: ``code → exception class`` — how the client re-raises a wire error.
 ERROR_TYPES: Dict[str, Type[ServiceError]] = {
     cls.code: cls
@@ -93,19 +131,34 @@ ERROR_TYPES: Dict[str, Type[ServiceError]] = {
         SessionOverloadedError,
         BudgetExhaustedError,
         ValidationFailedError,
+        DeadlineExceededError,
+        MergeAbortedError,
     )
 }
 
 
 def error_payload(error: ServiceError) -> Dict[str, Any]:
     """The wire form of a service error."""
-    return {"code": error.code, "status": error.status, "message": str(error)}
+    return {
+        "code": error.code,
+        "status": error.status,
+        "message": str(error),
+        "retry_safe": bool(error.retry_safe),
+    }
 
 
 def raise_from_payload(payload: Mapping[str, Any]) -> None:
-    """Re-raise a wire error as its typed :class:`ServiceError` subclass."""
+    """Re-raise a wire error as its typed :class:`ServiceError` subclass.
+
+    The wire ``retry_safe`` flag wins over the class default (an instance
+    attribute shadows it), so a newer server's verdict survives a client
+    that does not know the concrete error code.
+    """
     error_type = ERROR_TYPES.get(str(payload.get("code")), ServiceError)
-    raise error_type(str(payload.get("message", "service call failed")))
+    error = error_type(str(payload.get("message", "service call failed")))
+    if "retry_safe" in payload:
+        error.retry_safe = bool(payload["retry_safe"])
+    raise error
 
 
 # -- core value codecs -----------------------------------------------------------------

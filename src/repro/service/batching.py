@@ -72,9 +72,21 @@ class EngineGroup:
                     "forked": pool.forked,
                     "dispatches": pool.dispatches,
                     "reforks": pool.reforks,
+                    "worker_crashes": pool.worker_crashes,
+                    "pool_rebuilds": pool.pool_rebuilds,
+                    "breaker_trips": pool.breaker_trips,
+                    "degraded": pool.degraded,
                 }
                 for pool in self._pools
             ],
+        }
+
+    def recovery_counters(self) -> Dict[str, int]:
+        """Crash/recovery totals across every pool, for the service metrics."""
+        return {
+            "worker_crashes": sum(pool.worker_crashes for pool in self._pools),
+            "pool_rebuilds": sum(pool.pool_rebuilds for pool in self._pools),
+            "breaker_trips": sum(pool.breaker_trips for pool in self._pools),
         }
 
     def close(self) -> None:

@@ -75,6 +75,8 @@ class ServiceMetrics:
         self.posterior_cache_hits = 0
         self.rejected_overload = 0
         self.errors = 0
+        self.deadline_hits = 0
+        self.client_retries = 0
         self.merge_latency = LatencyStats(latency_window)
         self.selection_latency = LatencyStats(latency_window)
 
@@ -89,9 +91,14 @@ class ServiceMetrics:
         uptime = self.uptime_seconds()
         return self.merges / uptime if uptime > 0 else 0.0
 
-    def snapshot(self, pools: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
-        """The metrics-endpoint payload (pool utilisation spliced in by the
-        server, which owns the evaluator-pool group)."""
+    def snapshot(
+        self,
+        pools: Optional[Dict[str, Any]] = None,
+        recovery: Optional[Dict[str, int]] = None,
+    ) -> Dict[str, Any]:
+        """The metrics-endpoint payload (pool utilisation and crash/recovery
+        counters spliced in by the server, which owns the evaluator-pool
+        group)."""
         payload: Dict[str, Any] = {
             "uptime_seconds": round(self.uptime_seconds(), 3),
             "sessions": {
@@ -114,6 +121,14 @@ class ServiceMetrics:
             "posterior_cache_hits": self.posterior_cache_hits,
             "rejected_overload": self.rejected_overload,
             "errors": self.errors,
+            "recovery": {
+                "worker_crashes": 0,
+                "pool_rebuilds": 0,
+                "breaker_trips": 0,
+                **(recovery or {}),
+                "deadline_hits": self.deadline_hits,
+                "client_retries": self.client_retries,
+            },
         }
         if pools is not None:
             payload["pools"] = pools

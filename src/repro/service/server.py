@@ -41,6 +41,8 @@ from repro.core.distribution import JointDistribution
 from repro.core.runtime import RuntimeOptions
 from repro.service.api import (
     BudgetExhaustedError,
+    DeadlineExceededError,
+    MergeAbortedError,
     MergeReport,
     PosteriorView,
     SelectionReply,
@@ -55,9 +57,21 @@ from repro.service.api import (
 from repro.service.batching import EngineGroup
 from repro.service.metrics import ServiceMetrics
 from repro.service.registry import SessionRecord, SessionRegistry
+from repro.testing import faults
 
 #: Default bound of a session's pending-request queue.
 DEFAULT_MAX_PENDING = 8
+
+
+def _deadline_from_ms(deadline_ms: Optional[int]) -> Optional[float]:
+    """A request's ``deadline_ms`` as an absolute monotonic instant."""
+    if deadline_ms is None:
+        return None
+    if deadline_ms <= 0:
+        raise ValidationFailedError(
+            f"deadline_ms must be positive, got {deadline_ms}"
+        )
+    return time.monotonic() + deadline_ms / 1000.0
 
 
 @dataclass
@@ -67,6 +81,18 @@ class _Job:
     kind: str  # "merge" | "select" | "posterior" | "stop"
     payload: Any
     future: "Optional[asyncio.Future]"
+    #: Absolute ``time.monotonic()`` instant after which the job must not
+    #: *start* (``None`` = no deadline).  Enforced only at retry-safe points.
+    deadline: Optional[float] = None
+
+    def expired(self) -> bool:
+        return self.deadline is not None and time.monotonic() >= self.deadline
+
+    def remaining(self) -> Optional[float]:
+        """Seconds left before the deadline (``None`` = unbounded)."""
+        if self.deadline is None:
+            return None
+        return max(0.0, self.deadline - time.monotonic())
 
 
 class _SessionWorker:
@@ -80,7 +106,9 @@ class _SessionWorker:
         self.task = asyncio.get_running_loop().create_task(self._drain())
         self.task.add_done_callback(self._on_drain_done)
 
-    def submit(self, kind: str, payload: Any) -> "asyncio.Future":
+    def submit(
+        self, kind: str, payload: Any, deadline: Optional[float] = None
+    ) -> "asyncio.Future":
         """Enqueue one request, failing fast when the tenant is overloaded."""
         if self.closed:
             raise UnknownSessionError(
@@ -88,7 +116,7 @@ class _SessionWorker:
             )
         future = asyncio.get_running_loop().create_future()
         try:
-            self.queue.put_nowait(_Job(kind, payload, future))
+            self.queue.put_nowait(_Job(kind, payload, future, deadline))
         except asyncio.QueueFull:
             self._service._metrics.rejected_overload += 1
             raise SessionOverloadedError(
@@ -283,33 +311,49 @@ class RefinementService:
         )
 
     async def post_answers(
-        self, session_id: str, answers: Union[AnswerSet, Mapping[str, bool]]
+        self,
+        session_id: str,
+        answers: Union[AnswerSet, Mapping[str, bool]],
+        deadline_ms: Optional[int] = None,
     ) -> MergeReport:
         """Fold one round of crowd answers into the session's posterior.
 
         Charged against the budget (answers are collected work); rejected
-        whole when the remaining budget cannot cover the batch.
+        whole when the remaining budget cannot cover the batch.  A
+        ``deadline_ms`` is enforced only *before* the merge is charged and
+        started — a queued merge whose deadline lapses fails retry-safe with
+        :class:`DeadlineExceededError`; a merge that began is never aborted.
         """
         if not isinstance(answers, AnswerSet):
             answers = decode_answers(answers)
+        deadline = _deadline_from_ms(deadline_ms)
         worker = self._worker(session_id)
-        return await worker.submit("merge", answers)
+        return await worker.submit("merge", answers, deadline)
 
-    async def select_next(self, session_id: str, batch: int = 1) -> SelectionReply:
+    async def select_next(
+        self, session_id: str, batch: int = 1, deadline_ms: Optional[int] = None
+    ) -> SelectionReply:
         """The next task set to publish, at most ``batch`` tasks.
 
         Idempotent between merges: repeated calls at one posterior
-        generation are served from the selection cache.
+        generation are served from the selection cache.  ``deadline_ms``
+        bounds queue wait plus the scan itself; an over-deadline scan fails
+        retry-safe (the selection is read-only and its result is discarded
+        without touching the cache).
         """
         if batch < 1:
             raise ValidationFailedError(f"batch must be at least 1, got {batch}")
+        deadline = _deadline_from_ms(deadline_ms)
         worker = self._worker(session_id)
-        return await worker.submit("select", batch)
+        return await worker.submit("select", batch, deadline)
 
-    async def get_posterior(self, session_id: str) -> PosteriorView:
+    async def get_posterior(
+        self, session_id: str, deadline_ms: Optional[int] = None
+    ) -> PosteriorView:
         """The session's current posterior, cached per generation."""
+        deadline = _deadline_from_ms(deadline_ms)
         worker = self._worker(session_id)
-        return await worker.submit("posterior", None)
+        return await worker.submit("posterior", None, deadline)
 
     async def close_session(self, session_id: str) -> SessionClosed:
         """Drain the session's queue, then evict it and free its pool slot."""
@@ -326,7 +370,10 @@ class RefinementService:
 
     def metrics(self) -> Dict[str, Any]:
         """The metrics-endpoint payload, shared-pool utilisation included."""
-        return self._metrics.snapshot(pools=self._group.utilisation())
+        return self._metrics.snapshot(
+            pools=self._group.utilisation(),
+            recovery=self._group.recovery_counters(),
+        )
 
     # -- request execution -------------------------------------------------------------
 
@@ -364,6 +411,19 @@ class RefinementService:
         """
         accepted: List[_Job] = []
         for job in jobs:
+            if job.expired():
+                # Deadline enforcement in the drain loop: the merge spent its
+                # whole budget queued, nothing was validated or charged —
+                # retry-safe by construction.
+                self._metrics.deadline_hits += 1
+                if not job.future.done():
+                    job.future.set_exception(
+                        DeadlineExceededError(
+                            "merge deadline expired while queued; the answers "
+                            "were not charged or merged — safe to retry"
+                        )
+                    )
+                continue
             try:
                 self._validate_answers(record, job.payload)
                 record.charge(len(job.payload))
@@ -385,6 +445,7 @@ class RefinementService:
             # failure partway through the batch tells the caller exactly
             # which merges applied, which job failed, and which never ran.
             for job in accepted:
+                faults.fire("merge")
                 session.merge(job.payload)
                 completed.append(
                     MergeReport(
@@ -433,7 +494,7 @@ class RefinementService:
             record.spent -= len(job.payload)
             if not job.future.done():
                 job.future.set_exception(
-                    ServiceError(
+                    MergeAbortedError(
                         "merge aborted: an earlier merge in the batch failed "
                         f"({failure}); these answers were not merged and "
                         "their budget charge was refunded — safe to retry"
@@ -442,10 +503,17 @@ class RefinementService:
 
     async def _run_job(self, record: SessionRecord, job: _Job) -> None:
         try:
+            if job.expired():
+                # The job spent its whole deadline queued behind other work;
+                # nothing has run — retry-safe.
+                self._metrics.deadline_hits += 1
+                raise DeadlineExceededError(
+                    f"{job.kind} deadline expired while queued — safe to retry"
+                )
             if job.kind == "select":
-                result: Any = await self._run_select(record, job.payload)
+                result: Any = await self._run_select(record, job.payload, job)
             elif job.kind == "posterior":
-                result = await self._run_posterior(record)
+                result = await self._run_posterior(record, job)
             else:  # pragma: no cover - defensive: unknown kinds cannot be queued
                 raise ServiceError(f"unknown request kind {job.kind!r}")
         except Exception as error:
@@ -462,7 +530,37 @@ class RefinementService:
         if not job.future.done():
             job.future.set_result(result)
 
-    async def _run_select(self, record: SessionRecord, batch: int) -> SelectionReply:
+    async def _hop(self, call, job: Optional[_Job], kind: str):
+        """Run ``call`` on the executor, bounded by the job's deadline.
+
+        Only used for *read-only* work (selection scans, posterior builds):
+        on timeout the executor thread finishes on its own and its result is
+        discarded — no cache is written, no session state has changed, so the
+        raised :class:`DeadlineExceededError` is honestly retry-safe.
+        """
+        loop = asyncio.get_running_loop()
+        remaining = job.remaining() if job is not None else None
+        future = loop.run_in_executor(self._executor, call)
+        if remaining is None:
+            return await future
+        try:
+            return await asyncio.wait_for(asyncio.shield(future), remaining)
+        except asyncio.TimeoutError:
+            # The abandoned computation still finishes on its thread; retrieve
+            # its eventual outcome so a late failure is not logged as an
+            # unretrieved exception.
+            future.add_done_callback(
+                lambda f: f.cancelled() or f.exception()
+            )
+            self._metrics.deadline_hits += 1
+            raise DeadlineExceededError(
+                f"{kind} deadline expired mid-computation; the result was "
+                "discarded without updating any session state — safe to retry"
+            ) from None
+
+    async def _run_select(
+        self, record: SessionRecord, batch: int, job: Optional[_Job] = None
+    ) -> SelectionReply:
         if record.remaining <= 0:
             raise BudgetExhaustedError(
                 f"session {record.session_id} has exhausted its budget of "
@@ -477,10 +575,13 @@ class RefinementService:
             return replace(cached, cached=True, budget_remaining=record.remaining)
 
         session, selector = record.session, record.selector
+
+        def scan():
+            faults.fire("select")
+            return selector.select_with_session(session, k)
+
         started = time.perf_counter()
-        selection = await asyncio.get_running_loop().run_in_executor(
-            self._executor, lambda: selector.select_with_session(session, k)
-        )
+        selection = await self._hop(scan, job, "select")
         self._metrics.selection_latency.record(time.perf_counter() - started)
         self._metrics.selections += 1
         reply = SelectionReply(
@@ -493,7 +594,9 @@ class RefinementService:
         record.selection_cache[key] = reply
         return reply
 
-    async def _run_posterior(self, record: SessionRecord) -> PosteriorView:
+    async def _run_posterior(
+        self, record: SessionRecord, job: Optional[_Job] = None
+    ) -> PosteriorView:
         key = record.generation()
         cached = record.posterior_cache.get(key)
         if cached is not None:
@@ -513,6 +616,6 @@ class RefinementService:
                 rounds_merged=session.rounds_merged,
             )
 
-        view = await asyncio.get_running_loop().run_in_executor(self._executor, build)
+        view = await self._hop(build, job, "posterior")
         record.posterior_cache[key] = view
         return view

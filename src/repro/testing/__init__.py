@@ -1,0 +1,14 @@
+"""Test-support utilities shipped with the library.
+
+:mod:`repro.testing.faults` is the fault-injection harness the chaos suite
+drives: deterministic, opt-in failures (worker kills, hung dispatches,
+corrupted generation headers, dropped connections) injected at the runtime's
+fault points so recovery behaviour can be asserted instead of hoped for.
+Importing :mod:`repro.testing` never changes behaviour on its own — every
+fault is inert until a :class:`~repro.testing.faults.FaultPlan` is installed
+(programmatically or through the ``REPRO_FAULTS`` environment variable).
+"""
+
+from repro.testing.faults import FaultPlan, injected, install, plan_from_env, uninstall
+
+__all__ = ["FaultPlan", "injected", "install", "plan_from_env", "uninstall"]
