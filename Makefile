@@ -6,7 +6,7 @@
 PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test bench bench-smoke chaos-smoke serve-smoke
+.PHONY: test bench bench-smoke bench-compiled-smoke chaos-smoke serve-smoke
 
 # Tier-1 suite: the fast default (excludes the slow 2^20-support scenarios).
 test:
@@ -34,6 +34,19 @@ bench-smoke:
 		tests/test_cli.py
 	REPRO_FORCE_PARALLEL_TESTS=1 $(PYTEST) -q -m "parallel and not slow" \
 		benchmarks/bench_selection_hotpath.py -k persistent_pool_smoke
+
+# CI-sized exercise of the kernel ladder and the packed wide-fact
+# representation: unit + property suites for the bit planes and the kernel
+# registry, the cross-tier selection-equivalence suite, and the CI-sized
+# compiled/wide-fact benchmark scenarios.  On hosts without numba the
+# compiled-tier cases skip (never fail) and the numpy/reference tiers still
+# run, so the target is green everywhere.
+bench-compiled-smoke:
+	$(PYTEST) -q \
+		tests/core/test_bitplanes.py \
+		tests/core/test_kernels.py \
+		tests/core/selection/test_kernel_equivalence.py
+	$(PYTEST) -q benchmarks/bench_compiled_kernels.py -k "smoke or wide_facts"
 
 # The fault-injection chaos suite: worker kills mid-scan, hung dispatches,
 # corrupted generation headers, merge crashes mid-batch, dropped client

@@ -48,6 +48,7 @@ from repro.core.answers import AnswerSet
 from repro.core.crowd import CrowdModel, PerFactChannelModel
 from repro.core.distribution import JointDistribution
 from repro.core.engine import CrowdFusionEngine
+from repro.core.kernels import default_tier
 from repro.core.merging import merge_answers
 from repro.core.query import Query
 from repro.core.selection import (
@@ -153,9 +154,14 @@ def _migrate_legacy(artifact: dict) -> dict:
         for row in legacy_session.get("scenarios", []):
             key = f"session/n{row['num_facts']}_s{row['support']}_k{row['k']}"
             migrated[key] = dict(row, suite="session")
+    # Schema v3: every scenario row carries the kernel tier its engine-path
+    # timings ran on.  Rows recorded before the field existed predate the
+    # compiled tier and therefore ran the numpy kernels.
+    for row in migrated.values():
+        row.setdefault("kernel", "numpy")
     return {
         "benchmark": "selection_hotpath",
-        "schema_version": 2,
+        "schema_version": 3,
         "description": _ARTIFACT_DESCRIPTION,
         "scenarios": migrated,
     }
@@ -169,8 +175,16 @@ def _load_artifact() -> dict:
 
 
 def _record_scenarios(entries: dict) -> dict:
-    """Merge-append ``entries`` (scenario id -> row) into the shared artifact."""
+    """Merge-append ``entries`` (scenario id -> row) into the shared artifact.
+
+    Rows that do not state their kernel tier are stamped with the host's
+    auto-resolved tier — the tier every engine built in this process actually
+    ran on (schema v3).
+    """
     artifact = _load_artifact()
+    for row in entries.values():
+        if isinstance(row, dict):
+            row.setdefault("kernel", default_tier())
     artifact["scenarios"].update(entries)
     RESULTS_DIR.mkdir(exist_ok=True)
     _artifact_path().write_text(json.dumps(artifact, indent=2) + "\n")

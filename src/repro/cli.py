@@ -21,6 +21,7 @@ import sys
 from typing import List, Optional, Sequence
 
 from repro.core import CrowdFusionEngine, CrowdModel, pws_quality
+from repro.core.kernels import KERNEL_CHOICES
 from repro.core.runtime import RuntimeOptions
 from repro.core.selection import available_selectors, get_selector
 from repro.crowdsim import SimulatedPlatform, WorkerPool
@@ -155,6 +156,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
                 persistent_pool=args.persistent_pool,
                 recalibrate=args.recalibrate,
                 parallel_entities=args.parallel_entities,
+                kernel=args.kernel,
             ),
         )
     except CrowdFusionError as error:
@@ -176,6 +178,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         extras += f", {args.parallel_entities} entity workers"
     if args.recalibrate:
         extras += ", recalibrating"
+    if args.kernel != "auto":
+        extras += f", kernel {args.kernel}"
     print(
         f"Selector {args.selector}, k={args.k}, budget {args.budget}/book, "
         f"Pc={args.pc} (assumed {config.model_accuracy}), allocation {args.allocation}, "
@@ -208,6 +212,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             parallel_threshold=args.parallel_threshold,
             dispatch_timeout_ms=args.dispatch_timeout_ms,
             max_rebuilds=args.max_rebuilds,
+            kernel=args.kernel,
         )
     except CrowdFusionError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -332,6 +337,12 @@ def build_parser() -> argparse.ArgumentParser:
         "entity's complete refinement trajectory; curves are identical to "
         "the serial loop); mutually exclusive with --workers",
     )
+    experiment.add_argument(
+        "--kernel", default="auto", choices=list(KERNEL_CHOICES),
+        help="entropy kernel tier: 'auto' uses the numba-compiled kernels "
+        "when numba is importable and falls back to numpy otherwise; "
+        "'reference' runs the uncompiled kernel bodies (debugging)",
+    )
     experiment.add_argument("--curve", action="store_true", help="print the full quality curve")
     experiment.set_defaults(handler=_cmd_experiment)
 
@@ -367,6 +378,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="consecutive crashed dispatches the pool supervisor absorbs "
         "before the circuit breaker degrades the pool to serial scans "
         "(default: 2)",
+    )
+    serve.add_argument(
+        "--kernel", default="auto", choices=list(KERNEL_CHOICES),
+        help="entropy kernel tier for every tenant's engine (auto: compiled "
+        "when numba is importable, numpy otherwise)",
     )
     serve.add_argument(
         "--max-pending", type=_positive_int, default=8, metavar="N",

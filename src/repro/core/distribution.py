@@ -16,6 +16,7 @@ from typing import Dict, Iterable, Iterator, Mapping, Optional, Sequence, Tuple,
 import numpy as np
 
 from repro.core.assignment import Assignment, mask_from_bools, project_mask
+from repro.core.bitplanes import pack_masks, unpack_planes
 from repro.core.entropy import entropy_bits, project_columns
 from repro.exceptions import InvalidDistributionError, InvalidFactError
 
@@ -53,7 +54,7 @@ class JointDistribution:
         When true (the default), the masses are rescaled to sum to one.
     """
 
-    __slots__ = ("_fact_ids", "_positions", "_probs", "_arrays")
+    __slots__ = ("_fact_ids", "_positions", "_probs", "_arrays", "_planes")
 
     def __init__(
         self,
@@ -101,6 +102,7 @@ class JointDistribution:
                 )
             self._probs = dict(cleaned)
         self._arrays: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        self._planes: Optional[np.ndarray] = None
 
     # -- constructors -------------------------------------------------------------
 
@@ -252,6 +254,48 @@ class JointDistribution:
             self._arrays = (masks, probs)
         return self._arrays
 
+    def support_planes(self) -> np.ndarray:
+        """Return the support as packed ``(rows, ceil(n/64))`` uint64 bit planes.
+
+        Row ``i`` packs the same assignment as ``support_arrays()[0][i]``
+        (same alignment contract), with bit ``j`` of word ``w`` holding fact
+        bit ``64w + j`` — the wide-fact representation every engine kernel
+        stays vectorized on (see :mod:`repro.core.bitplanes`).  Built once
+        and cached read-only; distributions constructed through
+        :meth:`from_packed_arrays` carry their planes from birth.
+        """
+        if self._planes is None:
+            if self._arrays is not None or self.num_facts <= 63:
+                source = self.support_arrays()[0]
+            else:
+                # Pack straight from the dict keys: building the legacy
+                # object-dtype mask array first would materialise the very
+                # representation the planes exist to avoid.
+                source = self._probs.keys()
+            planes = pack_masks(source, self.num_facts)
+            planes.setflags(write=False)
+            self._planes = planes
+        return self._planes
+
+    def support_probabilities(self) -> np.ndarray:
+        """The probability column of :meth:`support_arrays`, masks not required.
+
+        Wide-fact consumers (the packed-plane engine path) call this instead
+        of :meth:`support_arrays` so a 64+-fact hot path never materialises
+        the object-dtype mask column at all.  Dict iteration order is stable,
+        so the result is aligned with :meth:`support_planes` rows and with a
+        later :meth:`support_arrays` call.
+        """
+        if self._arrays is not None:
+            return self._arrays[1]
+        if self.num_facts <= 63:
+            return self.support_arrays()[1]
+        probs = np.fromiter(
+            self._probs.values(), dtype=np.float64, count=len(self._probs)
+        )
+        probs.setflags(write=False)
+        return probs
+
     def _use_arrays(self) -> bool:
         return self._arrays is not None or len(self._probs) >= _VECTOR_MIN_SUPPORT
 
@@ -391,6 +435,43 @@ class JointDistribution:
         }
         instance._probs = dict(zip(masks.tolist(), masses.tolist()))
         instance._arrays = None
+        instance._planes = None
+        return instance
+
+    @classmethod
+    def from_packed_arrays(
+        cls, fact_ids: Sequence[str], planes: np.ndarray, masses: np.ndarray
+    ) -> "JointDistribution":
+        """Build a distribution from packed uint64 bit planes and masses.
+
+        The wide-fact counterpart of :meth:`from_support_arrays`: ``planes``
+        rows (see :mod:`repro.core.bitplanes`) must be unique assignments;
+        masses may be unnormalised, and exactly-zero rows are dropped.  The
+        planes are adopted as the cached :meth:`support_planes` value, so
+        generators (``datasets.scale``) hand the engine its vectorized
+        representation without ever round-tripping through Python ints on
+        the hot path.
+        """
+        masses = np.asarray(masses, dtype=np.float64)
+        keep = masses > 0.0
+        if not keep.any():
+            raise InvalidDistributionError("distribution has no probability mass")
+        if not keep.all():
+            planes = planes[keep]
+            masses = masses[keep]
+        masses = masses / masses.sum()
+        planes = np.ascontiguousarray(planes, dtype=np.uint64)
+        planes.setflags(write=False)
+        instance = cls.__new__(cls)
+        instance._fact_ids = tuple(fact_ids)
+        instance._positions = {
+            fact_id: position for position, fact_id in enumerate(instance._fact_ids)
+        }
+        instance._probs = dict(
+            zip(unpack_planes(planes).tolist(), masses.tolist())
+        )
+        instance._arrays = None
+        instance._planes = planes
         return instance
 
     # -- decisions -----------------------------------------------------------------

@@ -249,6 +249,7 @@ class CrowdFusionEngine:
         self._parallel = parallel
         self._recalibrate = recalibrate_resolved
         self._persistent_pool = persistent_resolved
+        self._kernel = runtime.kernel if runtime is not None else "auto"
 
     @property
     def budget(self) -> int:
@@ -314,7 +315,9 @@ class CrowdFusionEngine:
         session = RefinementSession(
             distribution,
             self._crowd,
-            runtime=RuntimeOptions(recalibrate=self._recalibrate),
+            runtime=RuntimeOptions(
+                recalibrate=self._recalibrate, kernel=self._kernel
+            ),
             parallel=self._parallel if self._persistent_pool else None,
         )
         try:

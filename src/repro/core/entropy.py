@@ -30,6 +30,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.bitplanes import pack_masks, plane_bit_column, project_planes
+
 #: 16-bit popcount lookup table; :func:`popcount_array` indexes it four times
 #: (shifts of 0/16/32/48) to cover the full int64 range — support masks carry
 #: up to 63 bits even though projected task masks stay at 24 or fewer.
@@ -64,14 +66,36 @@ def project_columns(masks: np.ndarray, positions: "tuple[int, ...]") -> np.ndarr
     """Vectorised :func:`repro.core.assignment.project_mask` over a mask array.
 
     Bit ``i`` of each result is bit ``positions[i]`` of the corresponding
-    mask.  Accepts object-dtype mask arrays (distributions past 63 facts);
-    the projection itself always fits ``int64`` and is returned as such.
+    mask.  ``masks`` may be an ``int64`` column (<= 63 facts), a packed
+    ``(rows, words)`` uint64 bit-plane array (the wide-fact fast path, see
+    :mod:`repro.core.bitplanes`), or a legacy object-dtype array of Python
+    ints — the object path is routed through a one-shot packing so the
+    projection itself always runs vectorized.  The projection fits ``int64``
+    (task sets are <= 24 bits) and is returned as such.
     """
-    accumulator_dtype = object if masks.dtype == object else np.int64
-    projected = np.zeros(masks.shape[0], dtype=accumulator_dtype)
+    if masks.ndim == 2:
+        return project_planes(masks, positions)
+    if masks.dtype == object:
+        if not positions:
+            return np.zeros(masks.shape[0], dtype=np.int64)
+        return project_planes(pack_masks(masks, max(positions) + 1), positions)
+    projected = np.zeros(masks.shape[0], dtype=np.int64)
     for index, position in enumerate(positions):
         projected |= ((masks >> position) & 1) << index
-    return projected.astype(np.int64, copy=False)
+    return projected
+
+
+def bit_column(masks: np.ndarray, position: int) -> np.ndarray:
+    """0/1 ``int8`` truth column of bit ``position`` over any mask layout.
+
+    The single dispatch point the bit-column consumers (the engine's cached
+    columns, Bayesian merging) share: ``int64`` columns and object-dtype
+    arrays use the shift/AND idiom, packed uint64 planes extract from the
+    word holding the bit.
+    """
+    if masks.ndim == 2:
+        return plane_bit_column(masks, position)
+    return ((masks >> position) & 1).astype(np.int8, copy=False)
 
 
 def bsc_transform(vector: np.ndarray, num_bits: int, accuracy: float) -> np.ndarray:

@@ -21,7 +21,7 @@ import numpy as np
 from repro.core.answers import AnswerSet
 from repro.core.crowd import ChannelModel
 from repro.core.distribution import JointDistribution
-from repro.core.entropy import popcount_array, project_columns
+from repro.core.entropy import bit_column, popcount_array, project_columns
 from repro.exceptions import SelectionError
 
 
@@ -37,7 +37,13 @@ def answer_likelihood_array(
     judgments = answers.judgments()
     if not judgments:
         raise SelectionError("cannot merge an empty answer set")
-    masks, _ = distribution.support_arrays()
+    if distribution.num_facts > 63:
+        # Wide-fact supports merge on the packed uint64 bit planes so the
+        # per-round Bayesian update stays vectorized (the object-dtype mask
+        # column is never materialised on this path).
+        masks = distribution.support_planes()
+    else:
+        masks, _ = distribution.support_arrays()
 
     uniform = crowd.uniform_accuracy
     if uniform is not None:
@@ -56,7 +62,7 @@ def answer_likelihood_array(
     for fact_id, judgment in judgments.items():
         position = distribution.position(fact_id)
         accuracy = crowd.accuracy_for(fact_id)
-        agrees = ((masks >> position) & 1).astype(bool)
+        agrees = bit_column(masks, position).astype(bool)
         if not judgment:
             agrees = ~agrees
         values *= np.where(agrees, accuracy, 1.0 - accuracy)

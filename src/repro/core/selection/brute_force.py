@@ -35,8 +35,8 @@ class BruteForceSelector(TaskSelector):
         k: int,
         candidates: Sequence[str],
     ) -> SelectionResult:
-        stats = SelectionStats()
         engine = EntropyEngine(distribution, crowd)
+        stats = SelectionStats(kernel=engine.kernel_tier)
         best_ids: tuple = ()
         best_entropy = float("-inf")
         for subset in itertools.combinations(candidates, k):

@@ -49,6 +49,7 @@ import numpy as np
 from repro.core.crowd import ChannelModel
 from repro.core.distribution import JointDistribution
 from repro.core.entropy import (
+    bit_column,
     bsc_transform,
     bsc_transform_rows,
     channel_transform,
@@ -56,6 +57,7 @@ from repro.core.entropy import (
     entropy_bits,
     project_columns,
 )
+from repro.core.kernels import KernelSet, resolve_kernels, warmup
 from repro.core.utility import crowd_entropy
 from repro.exceptions import SelectionError
 
@@ -73,6 +75,10 @@ _MAX_TASK_BITS = 24
 #: ~1 ms to redo.  The recomputed product is the identical float array, so
 #: results are unchanged either way.
 _WEIGHTED_CACHE_MAX_SUPPORT = 1 << 18
+
+#: Placeholder passed to the fused scan kernels for uniform channel models
+#: (a kernel signature takes the per-bit accuracy vector unconditionally).
+_NO_BIT_ACCURACIES = np.empty(0, dtype=np.float64)
 
 
 @dataclass(frozen=True)
@@ -131,6 +137,19 @@ class EntropyEngine:
         Optional facts of interest.  When given, states additionally track
         ``H(I, T)`` so query-based utilities ``Q(I|T) = H(T) − H(I, T)`` come
         from the same cached table.
+    kernel:
+        Kernel-tier request resolved through
+        :func:`repro.core.kernels.resolve_kernels` — ``auto`` (the default;
+        env-overridable via ``REPRO_KERNEL``), ``compiled``, ``numpy`` or
+        ``reference``.  Selections are identical across tiers; the compiled
+        tier fuses each per-candidate scan into one native call.
+    packed:
+        Support-mask layout override.  ``None`` (the default) keeps the
+        ``int64`` column up to 63 facts and switches to packed uint64 bit
+        planes (:mod:`repro.core.bitplanes`) beyond; ``True``/``False``
+        force the packed/legacy layout — ``False`` on a wide distribution
+        reinstates the historical object-dtype path (benchmarked as the
+        ``wide_facts/*`` baseline, not meant for production use).
     """
 
     #: Whether this engine is an :meth:`interest_view` snapshot (views share
@@ -142,13 +161,25 @@ class EntropyEngine:
         distribution: JointDistribution,
         crowd: ChannelModel,
         interest_ids: Optional[Sequence[str]] = None,
+        kernel: str = "auto",
+        packed: Optional[bool] = None,
     ):
         self._distribution = distribution
         self._crowd = crowd
         self._uniform = crowd.uniform_accuracy
-        masks, probabilities = distribution.support_arrays()
-        self._masks = masks
-        self._probabilities = probabilities
+        self._kernels: KernelSet = resolve_kernels(kernel)
+        if packed is None:
+            packed = distribution.num_facts > 63
+        if packed:
+            # The packed layout never materialises the object-dtype mask
+            # column: planes and the probability vector come straight from
+            # the distribution's dict storage.
+            self._masks = distribution.support_planes()
+            self._probabilities = distribution.support_probabilities()
+        else:
+            masks, probabilities = distribution.support_arrays()
+            self._masks = masks
+            self._probabilities = probabilities
         self._cell_index, self._num_cells = self._build_interest_cells(interest_ids)
         self._bits: Dict[str, np.ndarray] = {}
         self._weighted_bits: Dict[str, np.ndarray] = {}
@@ -201,8 +232,26 @@ class EntropyEngine:
 
     @property
     def support_masks(self) -> np.ndarray:
-        """Support bitmasks, aligned with :attr:`probabilities` (never mutated)."""
+        """Support bitmasks, aligned with :attr:`probabilities` (never mutated).
+
+        An ``int64`` column up to 63 facts; a packed ``(rows, words)`` uint64
+        bit-plane array beyond (``shape[0]`` is the support size either way).
+        """
         return self._masks
+
+    @property
+    def kernel_tier(self) -> str:
+        """The resolved kernel tier scoring this engine's candidate scans."""
+        return self._kernels.tier
+
+    def warmup_kernels(self) -> None:
+        """Force-compile this engine's kernel tier (no-op past the first call).
+
+        The parallel evaluators call this in the parent process immediately
+        before forking worker pools, so JIT compilation happens exactly once
+        and the workers inherit the machine code through copy-on-write.
+        """
+        warmup(self._kernels)
 
     @property
     def probabilities(self) -> np.ndarray:
@@ -220,9 +269,9 @@ class EntropyEngine:
         column = self._bits.get(fact_id)
         if column is None:
             position = self._distribution.position(fact_id)
-            # astype also re-packs the object-dtype masks of 64+-fact
-            # distributions into a plain integer 0/1 column.
-            column = ((self._masks >> position) & 1).astype(np.int8, copy=False)
+            # bit_column dispatches on the mask layout: int64 column, packed
+            # uint64 planes, or (legacy) object-dtype Python ints.
+            column = bit_column(self._masks, position)
             self._bits[fact_id] = column
         return column
 
@@ -294,6 +343,7 @@ class EntropyEngine:
         view._distribution = self._distribution
         view._crowd = self._crowd
         view._uniform = self._uniform
+        view._kernels = self._kernels
         view._masks = self._masks
         view._probabilities = self._probabilities
         # The bit columns are channel- and probability-independent, so the
@@ -426,6 +476,31 @@ class EntropyEngine:
     ) -> Tuple[float, float]:
         """Return ``(H(T ∪ {f}), H(I, T ∪ {f}))`` without mutating the state."""
         self.evaluations += 1
+        scan = self._kernels.extension_scan
+        if scan is not None:
+            # The fused tiers (compiled / reference) run the whole pipeline —
+            # masked grouping, channel butterflies, candidate channel, both
+            # entropies — as one kernel call with no temporary tables.
+            if self._uniform is not None:
+                uniform_accuracy = self._uniform
+                candidate_accuracy = self._uniform
+                bit_accuracies = _NO_BIT_ACCURACIES
+            else:
+                uniform_accuracy = -1.0
+                candidate_accuracy = self.accuracy_for(fact_id)
+                bit_accuracies = state.bit_accuracies
+            task_entropy, joint_entropy = scan(
+                state.combined,
+                self.bits(fact_id),
+                self._probabilities,
+                state.table.reshape(-1),
+                self._num_cells,
+                state.width,
+                bit_accuracies,
+                uniform_accuracy,
+                candidate_accuracy,
+            )
+            return float(task_entropy), float(joint_entropy)
         answer_false, answer_true, _ = self._convolve_extension(state, fact_id)
         joint_entropy = entropy_bits(answer_false) + entropy_bits(answer_true)
         if self._num_cells == 1:
@@ -461,7 +536,16 @@ class EntropyEngine:
             task_entropy = entropy_bits(answer_false.sum(axis=0)) + entropy_bits(
                 answer_true.sum(axis=0)
             )
-        projection = (state.projection << 1) | self.bits(fact_id)
+        refine = self._kernels.refine_partition
+        if refine is not None:
+            # Integer-only fused refinement — bit-identical to the two
+            # vectorized expressions below.
+            projection, combined = refine(
+                state.projection, self.bits(fact_id), self._cell_index, width
+            )
+        else:
+            projection = (state.projection << 1) | self.bits(fact_id)
+            combined = (self._cell_index << width) | projection
         if state.bit_accuracies is None:
             bit_accuracies = None
         else:
@@ -472,7 +556,7 @@ class EntropyEngine:
             entropy=task_entropy,
             joint_entropy=joint_entropy,
             projection=projection,
-            combined=(self._cell_index << width) | projection,
+            combined=combined,
             table=table,
             bit_accuracies=bit_accuracies,
         )

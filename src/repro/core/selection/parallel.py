@@ -746,6 +746,10 @@ class ParallelEvaluator:
             global _FORK_ENGINE, _FORK_RING
             context = multiprocessing.get_context("fork")
             self.workers = self._policy.resolved_workers()
+            # JIT-compile the engine's kernel tier *before* forking: workers
+            # inherit the compiled machine code through copy-on-write memory
+            # instead of each paying its own compile stall mid-dispatch.
+            self._engine.warmup_kernels()
             if self._persistent:
                 # The ring must exist before the fork so workers inherit the
                 # shared mapping; the generation counters pin the fork-time
@@ -1015,7 +1019,10 @@ class EvaluatorPool:
         self.workers = self._policy.resolved_workers()
         for attachment in self._attachments.values():
             # Workers inherit each engine's current posterior and channel;
-            # reset the generation baselines the headers diff against.
+            # reset the generation baselines the headers diff against.  The
+            # kernel warmup runs pre-fork for the same copy-on-write reason:
+            # compiled tiers JIT once in the parent, never per worker.
+            attachment.engine.warmup_kernels()
             attachment.published_reweights = attachment.engine.reweights
             attachment.published_slot = -1
             attachment.fork_channel_swaps = attachment.engine.channel_swaps

@@ -88,9 +88,10 @@ def _resolve_runtime(
     runtime: "Optional[RuntimeOptions]",
     evaluator_pool: Optional[EvaluatorPool],
     owner: str,
-) -> "Tuple[bool, Optional[ParallelPolicy]]":
+) -> "Tuple[bool, Optional[ParallelPolicy], str]":
     """Fold the deprecated ``recalibrate`` keyword and ``runtime`` into one
-    ``(recalibrate, session_policy)`` pair, enforcing the exclusivity rules."""
+    ``(recalibrate, session_policy, kernel)`` triple, enforcing the
+    exclusivity rules."""
     if recalibrate is not _UNSET:
         if runtime is not None:
             raise SelectionError(
@@ -104,8 +105,10 @@ def _resolve_runtime(
             stacklevel=3,
         )
     resolved_recalibrate = bool(recalibrate) if recalibrate is not _UNSET else False
+    kernel = "auto"
     if runtime is not None:
         resolved_recalibrate = runtime.recalibrate
+        kernel = runtime.kernel
         if parallel is None:
             parallel = runtime.session_policy
     if evaluator_pool is not None and parallel is not None:
@@ -113,7 +116,7 @@ def _resolve_runtime(
             f"{owner} cannot combine a dedicated parallel policy with a "
             "shared evaluator_pool; the pool already carries its own policy"
         )
-    return resolved_recalibrate, parallel
+    return resolved_recalibrate, parallel, kernel
 
 
 class RefinementSession:
@@ -179,7 +182,7 @@ class RefinementSession:
             raise SelectionError(
                 f"recalibration smoothing must be positive, got {recalibration_smoothing}"
             )
-        recalibrate, parallel = _resolve_runtime(
+        recalibrate, parallel, kernel = _resolve_runtime(
             recalibrate, parallel, runtime, evaluator_pool, "RefinementSession"
         )
         self._initial = distribution
@@ -187,7 +190,7 @@ class RefinementSession:
         self._channel = channel
         self._interest_ids = tuple(interest_ids) if interest_ids else ()
         self._engine = EntropyEngine(
-            distribution, channel, interest_ids=interest_ids
+            distribution, channel, interest_ids=interest_ids, kernel=kernel
         )
         self._materialized: Optional[JointDistribution] = distribution
         self._rounds_merged = 0
@@ -320,11 +323,20 @@ class RefinementSession:
         from the materialised object (matching :func:`merge_answers`), while
         the session itself keeps them for row alignment."""
         if self._materialized is None:
-            self._materialized = JointDistribution.from_support_arrays(
-                self._initial.fact_ids,
-                self._engine.support_masks,
-                self._engine.probabilities,
-            )
+            if self._engine.support_masks.ndim == 2:
+                # Wide-fact engines hold packed uint64 bit planes; the packed
+                # constructor keeps the same drop-zero/renormalise semantics.
+                self._materialized = JointDistribution.from_packed_arrays(
+                    self._initial.fact_ids,
+                    self._engine.support_masks,
+                    self._engine.probabilities,
+                )
+            else:
+                self._materialized = JointDistribution.from_support_arrays(
+                    self._initial.fact_ids,
+                    self._engine.support_masks,
+                    self._engine.probabilities,
+                )
         return self._materialized
 
     def entropy(self) -> float:

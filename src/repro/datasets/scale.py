@@ -8,16 +8,16 @@ beyond, over wide fact sets (hundreds of candidate facts), for the selection
 benchmarks in ``benchmarks/bench_selection_hotpath.py`` and the slow tier of
 the test suite.
 
-Up to 63 facts the support masks pack into an ``int64`` column and every
-engine kernel stays on the fast path; wider fact sets fall back to the
-object-dtype mask representation (Python ints), which works everywhere but
-pays Python-level cost per bit column — fine for breadth coverage, not for
-timing runs.
+Up to 63 facts the support masks pack into an ``int64`` column; wider fact
+sets are generated directly as packed ``(rows, ceil(n/64))`` uint64 bit
+planes (:mod:`repro.core.bitplanes`) and handed to the engine through
+:meth:`~repro.core.distribution.JointDistribution.from_packed_arrays`, so
+hundreds-of-facts corpora stay on vectorized numeric arrays end to end —
+both during generation and on the selection hot path.
 """
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 
 import numpy as np
@@ -99,14 +99,41 @@ def generate_scale_distribution(
             # assignment space and flatten the high-order fact columns.
             masks = rng.permutation(masks)[: config.support_size]
     else:
-        # Wide fact sets: Python-int masks in an object array.  Uniqueness is
-        # enforced by a set; collisions are vanishingly unlikely at 2^64+.
-        wide_rng = random.Random(config.seed)
-        seen = set()
-        while len(seen) < config.support_size:
-            seen.add(wide_rng.getrandbits(config.num_facts))
-        masks = np.empty(len(seen), dtype=object)
-        for index, mask in enumerate(sorted(seen)):
-            masks[index] = mask
+        # Wide fact sets: draw packed uint64 bit planes directly (one row of
+        # words per assignment), de-duplicate row-wise like the sparse
+        # regime, and build through the packed trusted constructor — the
+        # object-dtype Python-int representation never exists.
+        fact_ids = tuple(f"f{i}" for i in range(config.num_facts))
+        planes = _unique_planes(rng, config)
+        return JointDistribution.from_packed_arrays(fact_ids, planes, masses)
     fact_ids = tuple(f"f{i}" for i in range(config.num_facts))
     return JointDistribution.from_support_arrays(fact_ids, masks, masses)
+
+
+def _unique_planes(rng: np.random.Generator, config: ScaleCorpusConfig) -> np.ndarray:
+    """``support_size`` distinct packed rows over ``num_facts`` bits.
+
+    Batched draw-and-unique like the sparse ``int64`` regime; collisions are
+    vanishingly unlikely past 64 bits, so the loop essentially never runs a
+    second round.  The overshoot is trimmed by permutation for the same
+    reason as the narrow path (``np.unique`` sorts its pool).
+    """
+    words = (config.num_facts + 63) >> 6
+    top_bits = config.num_facts - ((words - 1) << 6)
+    top_mask = np.uint64((1 << top_bits) - 1) if top_bits < 64 else np.uint64(_WORD_MAX)
+
+    def draw() -> np.ndarray:
+        batch = rng.integers(
+            0, 1 << 64, size=(config.support_size, words), dtype=np.uint64
+        )
+        batch[:, -1] &= top_mask
+        return batch
+
+    planes = np.unique(draw(), axis=0)
+    while planes.shape[0] < config.support_size:
+        planes = np.unique(np.concatenate([planes, draw()]), axis=0)
+    return rng.permutation(planes, axis=0)[: config.support_size]
+
+
+#: All 64 bits set — the top-word mask when ``num_facts`` is a word multiple.
+_WORD_MAX = (1 << 64) - 1

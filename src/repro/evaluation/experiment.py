@@ -643,7 +643,10 @@ def _entity_trajectory(index: int) -> _EntityTrajectory:
     session = RefinementSession(
         problem.prior,
         channel,
-        runtime=RuntimeOptions(recalibrate=config.runtime_options.recalibrate),
+        runtime=RuntimeOptions(
+            recalibrate=config.runtime_options.recalibrate,
+            kernel=config.runtime_options.kernel,
+        ),
     )
     trajectory = _EntityTrajectory(
         # Only calibration pre-tests have spent platform answers at this

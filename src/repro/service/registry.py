@@ -16,6 +16,7 @@ from typing import Any, Dict, Optional, Tuple
 
 from repro.core.crowd import ChannelModel
 from repro.core.distribution import JointDistribution
+from repro.core.runtime import RuntimeOptions
 from repro.core.selection import available_selectors, get_selector
 from repro.core.selection.base import TaskSelector
 from repro.core.selection.session import RefinementSession, SessionPool
@@ -84,8 +85,12 @@ class SessionRecord:
 class SessionRegistry:
     """Creates, resolves and evicts the service's sessions."""
 
-    def __init__(self, group: EngineGroup):
+    def __init__(self, group: EngineGroup, kernel: str = "auto"):
         self._group = group
+        # Every tenant's engine is built on the same kernel tier — the tier is
+        # a service-deployment property (is numba installed in this image?),
+        # not a per-session choice.
+        self._kernel = kernel
         self._pool = SessionPool()
         self._records: Dict[str, SessionRecord] = {}
         self._ids = itertools.count(1)
@@ -114,6 +119,7 @@ class SessionRegistry:
                 session_id,
                 distribution,
                 channel,
+                runtime=RuntimeOptions(kernel=self._kernel),
                 evaluator_pool=self._group.acquire(),
             )
         except (BudgetError, SelectionError, CrowdFusionError) as error:

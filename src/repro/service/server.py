@@ -248,7 +248,9 @@ class RefinementService:
             )
         policy = runtime.parallel_policy if runtime is not None else None
         self._group = EngineGroup(policy, pools=pools)
-        self._registry = SessionRegistry(self._group)
+        self._registry = SessionRegistry(
+            self._group, kernel=runtime.kernel if runtime is not None else "auto"
+        )
         self._metrics = ServiceMetrics(latency_window)
         self._max_pending = max_pending
         self._executor = ThreadPoolExecutor(
