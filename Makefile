@@ -6,7 +6,7 @@
 PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test bench bench-smoke bench-compiled-smoke chaos-smoke serve-smoke
+.PHONY: test bench bench-smoke bench-compiled-smoke chaos-smoke serve-smoke orchestrate-smoke
 
 # Tier-1 suite: the fast default (excludes the slow 2^20-support scenarios).
 test:
@@ -56,6 +56,18 @@ bench-compiled-smoke:
 # tests are forced on so the fork paths run even on constrained hosts.
 chaos-smoke:
 	REPRO_FORCE_PARALLEL_TESTS=1 $(PYTEST) -q -m chaos
+
+# CI-sized exercise of the durable orchestrator: the journal/checkpoint/lock
+# primitives, the sharded sweep's serial-equivalence and crash-resume suites,
+# the service snapshot/restore + eviction suite, and the orchestration
+# benchmark scenarios (checkpoint overhead vs the in-memory fan-out, resume
+# latency) recorded into benchmarks/results/BENCH_selection.json.  Parallel
+# tests are forced on so the fork paths run even on constrained hosts.
+orchestrate-smoke:
+	REPRO_FORCE_PARALLEL_TESTS=1 $(PYTEST) -q \
+		tests/orchestration \
+		tests/service/test_persistence.py
+	REPRO_FORCE_PARALLEL_TESTS=1 $(PYTEST) -q benchmarks/bench_orchestrator.py
 
 # Boots a real refinement-service server on a loopback port, drives one full
 # create → select → post → posterior → close round-trip through the JSON

@@ -9,8 +9,9 @@ and friends (deep paths may move between releases; these names will not).
 The surface covers the full workflow: value types (facts, distributions,
 answers), channel models, the multi-round engine, persistent refinement
 sessions, the typed :class:`RuntimeOptions` execution configuration, and the
-multi-tenant refinement service with its client.  ``docs/API.md`` documents
-every group.
+multi-tenant refinement service with its client, and the durable
+checkpointed experiment orchestrator.  ``docs/API.md`` documents every
+group.
 """
 
 from repro.core import (
@@ -43,6 +44,12 @@ from repro.core.selection import (
     get_selector,
 )
 from repro.core.selection.parallel import ParallelPolicy
+from repro.exceptions import OrchestrationError
+from repro.orchestration import (
+    OrchestratorConfig,
+    OrchestratorReport,
+    run_checkpointed_experiment,
+)
 from repro.service import (
     NO_RETRY,
     DeadlineExceededError,
@@ -55,7 +62,7 @@ from repro.service import (
     serve,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     # value types
@@ -92,6 +99,11 @@ __all__ = [
     "ServiceError",
     "TransportError",
     "serve",
+    # durable experiment orchestration
+    "OrchestrationError",
+    "OrchestratorConfig",
+    "OrchestratorReport",
+    "run_checkpointed_experiment",
     # selection registry and utilities
     "available_selectors",
     "crowd_entropy",

@@ -168,7 +168,32 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     if args.allocation != "fixed":
         total = args.budget * len(problems)
         budgets = allocate_budget(problems, total, strategy=args.allocation)
-    result = run_quality_experiment(problems, config, budgets=budgets)
+    report = None
+    if args.run_dir is not None:
+        # Durable orchestration: journalled, checkpointed, resumable.  Lazy
+        # import keeps plain in-memory runs free of the orchestration stack.
+        from repro.evaluation.reporting import CurveStream
+        from repro.orchestration import OrchestratorConfig, run_checkpointed_experiment
+
+        try:
+            report = run_checkpointed_experiment(
+                problems,
+                config,
+                OrchestratorConfig(
+                    run_dir=args.run_dir,
+                    shards=args.shards,
+                    max_attempts=args.max_attempts,
+                    resume=args.resume,
+                ),
+                budgets=budgets,
+                stream=CurveStream(sys.stdout) if args.curve else None,
+            )
+        except CrowdFusionError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        result = report.result
+    else:
+        result = run_quality_experiment(problems, config, budgets=budgets)
     extras = ""
     if args.workers is not None:
         extras += f", workers {args.workers}"
@@ -180,6 +205,14 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         extras += ", recalibrating"
     if args.kernel != "auto":
         extras += f", kernel {args.kernel}"
+    if report is not None:
+        extras += (
+            f", run dir {report.run_dir} ({report.completed} done, "
+            f"{report.resumed} resumed"
+        )
+        if report.quarantined:
+            extras += f", {len(report.quarantined)} quarantined"
+        extras += ")"
     print(
         f"Selector {args.selector}, k={args.k}, budget {args.budget}/book, "
         f"Pc={args.pc} (assumed {config.model_accuracy}), allocation {args.allocation}, "
@@ -192,7 +225,9 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
          result.final_point.utility],
     ]
     print(format_table(["stage", "cost", "F1", "utility"], rows, float_format="{:.3f}"))
-    if args.curve:
+    if args.curve and report is None:
+        # (With --run-dir the CurveStream already printed each point as it
+        # was assembled.)
         print(format_series("F1", list(zip(result.costs(), result.f1_series())), 3))
         print(format_series("utility", list(zip(result.costs(), result.utility_series())), 2))
     return 0
@@ -220,7 +255,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     async def run() -> None:
         service = RefinementService(
-            runtime, pools=args.pools, max_pending=args.max_pending
+            runtime,
+            pools=args.pools,
+            max_pending=args.max_pending,
+            state_dir=args.state_dir,
+            max_sessions=args.max_sessions,
+            idle_ttl_s=args.idle_ttl_s,
         )
         server = await serve(service, host=args.host, port=args.port)
         workers = f", {args.workers} workers x {args.pools} pools" if args.workers else ""
@@ -344,6 +384,28 @@ def build_parser() -> argparse.ArgumentParser:
         "'reference' runs the uncompiled kernel bodies (debugging)",
     )
     experiment.add_argument("--curve", action="store_true", help="print the full quality curve")
+    experiment.add_argument(
+        "--run-dir", default=None, metavar="DIR",
+        help="run the sweep through the durable orchestrator: shard entity "
+        "trajectories across worker processes, journal every completed "
+        "entity to DIR and checkpoint atomically, so the sweep survives "
+        "kills and resumes with --resume",
+    )
+    experiment.add_argument(
+        "--resume", action="store_true",
+        help="continue a previous --run-dir sweep: replay its journal, keep "
+        "completed entities verbatim and re-run only the rest (curves are "
+        "bit-identical to an undisturbed run)",
+    )
+    experiment.add_argument(
+        "--shards", type=_positive_int, default=2, metavar="N",
+        help="orchestrator worker processes (with --run-dir; default 2)",
+    )
+    experiment.add_argument(
+        "--max-attempts", type=_positive_int, default=3, metavar="N",
+        help="attempts per entity before the orchestrator quarantines it "
+        "(with --run-dir; default 3)",
+    )
     experiment.set_defaults(handler=_cmd_experiment)
 
     serve = subparsers.add_parser(
@@ -388,6 +450,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-pending", type=_positive_int, default=8, metavar="N",
         help="per-session request-queue bound; further requests fail fast "
         "with a 429-style error",
+    )
+    serve.add_argument(
+        "--state-dir", default=None, metavar="DIR",
+        help="durable session snapshots: posterior, channel state and budget "
+        "are snapshotted to DIR (debounced after merges) and a restarted "
+        "server revives sessions on their next request",
+    )
+    serve.add_argument(
+        "--max-sessions", type=_positive_int, default=None, metavar="N",
+        help="LRU cap on resident sessions (requires --state-dir): creating "
+        "past the cap evicts the least-recently-used idle session to disk",
+    )
+    serve.add_argument(
+        "--idle-ttl-s", type=float, default=None, metavar="SECONDS",
+        help="evict sessions idle this long to disk (requires --state-dir); "
+        "their next request revives them transparently",
     )
     serve.set_defaults(handler=_cmd_serve)
 

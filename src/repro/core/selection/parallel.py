@@ -200,14 +200,46 @@ class WorkerCrashError(SelectionError):
 # ---------------------------------------------------------------------------------------
 
 _LIVE_RINGS: "weakref.WeakSet[_SnapshotRing]" = weakref.WeakSet()
+#: Objects with a ``reap_on_shutdown()`` method that must run alongside the
+#: ring reap — the experiment orchestrator registers its shard-process pool
+#: here, so a SIGTERM'd orchestrator leaks neither shard workers nor rings.
+_LIVE_REAPERS: "weakref.WeakSet" = weakref.WeakSet()
 _GUARD_PID: Optional[int] = None
 _PREV_SIGTERM = None
 
 
+def register_shutdown_reaper(reaper) -> None:
+    """Run ``reaper.reap_on_shutdown()`` at interpreter exit and on SIGTERM.
+
+    The same owner-pid-guarded lifecycle as the snapshot rings: only the
+    registering process ever runs the reap (fork children inherit the
+    registry but their pid check makes it a no-op), and the registry holds
+    weak references so a reaper that is garbage collected simply drops out.
+    Child-process supervisors (the orchestrator's shard pool) register here
+    so an abnormal parent exit cannot orphan their worker processes.
+    """
+    _ensure_ring_guard()
+    _LIVE_REAPERS.add(reaper)
+
+
+def unregister_shutdown_reaper(reaper) -> None:
+    """Remove ``reaper`` from the shutdown registry (idempotent)."""
+    _LIVE_REAPERS.discard(reaper)
+
+
 def _reap_live_rings() -> None:
-    """Unlink every still-live ring owned by this process (idempotent)."""
+    """Reap registered child supervisors, then unlink every still-live ring
+    owned by this process (idempotent)."""
     if os.getpid() != _GUARD_PID:
         return
+    # Child reapers first: a shard process may still hold an inherited ring
+    # mapping open, and terminating it before the unlink keeps the segment's
+    # refcount honest.
+    for reaper in list(_LIVE_REAPERS):
+        try:
+            reaper.reap_on_shutdown()
+        except Exception:  # pragma: no cover - best effort during shutdown
+            pass
     for ring in list(_LIVE_RINGS):
         try:
             ring.close()

@@ -418,6 +418,25 @@ class RefinementSession:
         if self._recalibrate:
             self._apply_recalibration()
 
+    def restore_rounds_merged(self, rounds: int) -> None:
+        """Declare that ``rounds`` merges happened before this session object.
+
+        Used when a session is rebuilt from a durable snapshot: the snapshot
+        stores the *posterior* (which becomes this session's prior), so the
+        arrays already reflect those merges — only the counter needs to catch
+        up for ``rounds_merged`` reporting to survive a restore.  Refuses to
+        run once this object has merged anything itself, and refuses to move
+        the counter backwards.
+        """
+        if self._rounds_merged > rounds:
+            raise SelectionError(
+                f"cannot restore rounds_merged to {rounds}: this session has "
+                f"already merged {self._rounds_merged} rounds"
+            )
+        if rounds < 0:
+            raise SelectionError(f"rounds_merged cannot be negative: {rounds}")
+        self._rounds_merged = rounds
+
     # -- adaptive channel re-calibration ----------------------------------------------
 
     def _observe_agreement(self, answers: AnswerSet) -> None:

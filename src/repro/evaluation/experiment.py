@@ -600,8 +600,8 @@ def run_quality_experiment(
 
 
 @dataclass
-class _TrajectoryRound:
-    """One entity round as recorded by a fan-out worker."""
+class TrajectoryRound:
+    """One entity round as recorded by a trajectory worker."""
 
     tasks_asked: int
     utility: float
@@ -609,36 +609,49 @@ class _TrajectoryRound:
 
 
 @dataclass
-class _EntityTrajectory:
-    """Everything the parent needs to splice one entity into the global curve."""
+class EntityTrajectory:
+    """Everything needed to splice one entity into the global curve.
+
+    Produced by :func:`run_entity_trajectory`; consumed by
+    :func:`assemble_curve`.  The fields are plain ints, floats and
+    string-keyed bool dicts on purpose — they serialise to JSON and back
+    without loss, which is what lets the durable orchestrator
+    (:mod:`repro.orchestration`) journal trajectories to disk and still
+    reassemble bit-identical curves on resume.
+    """
 
     initial_cost: int
     initial_utility: float
     initial_labels: Dict[str, bool]
-    rounds: List[_TrajectoryRound]
+    rounds: List[TrajectoryRound]
 
 
-#: Fan-out work published to the fork pool: ``(problems, config, overrides)``.
-#: Set immediately before the pool forks and cleared right after — workers
-#: inherit the tuple through copy-on-write memory, nothing is pickled out.
-_FANOUT_CONTEXT: Optional[Tuple[List[EntityProblem], ExperimentConfig, Dict[str, int]]] = None
+#: Backwards-compatible private aliases (pre-1.2 internal names).
+_TrajectoryRound = TrajectoryRound
+_EntityTrajectory = EntityTrajectory
 
 
-def _entity_trajectory(index: int) -> _EntityTrajectory:
-    """Fan-out worker: run entity ``index``'s complete refinement trajectory.
+def run_entity_trajectory(
+    problem: EntityProblem,
+    index: int,
+    config: ExperimentConfig,
+    budget_overrides: Optional[Mapping[str, int]] = None,
+) -> EntityTrajectory:
+    """Run entity ``index``'s complete refinement trajectory, serially.
 
     Entities are independent for the whole run (the lock-step interleaving
-    only matters for when curve points are *recorded*), so a worker can run
-    every round of one entity back to back and return the per-round records;
-    the parent reassembles pass-aligned curve points from them.  All
-    randomness derives from ``config.seed`` and ``index`` exactly as in the
-    serial loop, so the records are bit-for-bit what the serial loop would
-    have produced.
+    only matters for when curve points are *recorded*), so one entity's
+    rounds can run back to back in any process; the caller reassembles
+    pass-aligned curve points from the per-round records with
+    :func:`assemble_curve`.  All randomness derives from ``config.seed`` and
+    the entity's global ``index`` exactly as in the serial loop
+    (:func:`_prepare_entity`), so the records are bit-for-bit what the serial
+    loop would have produced — no matter which process, or which *run*, they
+    are computed in.  This is the unit of work shared by the in-memory
+    fan-out pool and the checkpointed orchestrator shards.
     """
-    problems, config, budget_overrides = _FANOUT_CONTEXT
-    problem = problems[index]
     platform, channel, selector, budget = _prepare_entity(
-        problem, index, config, budget_overrides
+        problem, index, config, dict(budget_overrides or {})
     )
     session = RefinementSession(
         problem.prior,
@@ -648,7 +661,7 @@ def _entity_trajectory(index: int) -> _EntityTrajectory:
             kernel=config.runtime_options.kernel,
         ),
     )
-    trajectory = _EntityTrajectory(
+    trajectory = EntityTrajectory(
         # Only calibration pre-tests have spent platform answers at this
         # point — the same spend the serial loop books into the cost-0 point.
         initial_cost=platform.stats().answers_collected,
@@ -666,13 +679,78 @@ def _entity_trajectory(index: int) -> _EntityTrajectory:
         session.merge(answers)
         remaining -= len(selection.task_ids)
         trajectory.rounds.append(
-            _TrajectoryRound(
+            TrajectoryRound(
                 tasks_asked=len(selection.task_ids),
                 utility=session.utility(),
                 labels=session.predicted_labels(),
             )
         )
     return trajectory
+
+
+def assemble_curve(
+    trajectories: Sequence[EntityTrajectory], gold: Mapping[str, bool]
+) -> List[QualityPoint]:
+    """Reassemble the global lock-step curve from per-entity trajectories.
+
+    The point after pass ``r`` aggregates every entity's state after its
+    ``min(r, rounds)``-th round, summing utilities and pooling labels in
+    entity order — the identical floats, in the identical order, the serial
+    loop produces.  Shared by the in-memory fan-out and the orchestrator's
+    resume path, which is what makes "resumed run ≡ undisturbed run" a
+    property of this one function rather than of two reimplementations.
+    """
+
+    def point(round_index: int, cost: int) -> QualityPoint:
+        utilities: List[float] = []
+        labels: Dict[str, bool] = {}
+        for trajectory in trajectories:
+            reached = min(round_index, len(trajectory.rounds))
+            if reached == 0:
+                utilities.append(trajectory.initial_utility)
+                labels.update(trajectory.initial_labels)
+            else:
+                record = trajectory.rounds[reached - 1]
+                utilities.append(record.utility)
+                labels.update(record.labels)
+        scores = classification_scores(labels, gold)
+        return QualityPoint(
+            cost=cost,
+            utility=float(sum(utilities)),
+            f1=scores.f1,
+            precision=scores.precision,
+            recall=scores.recall,
+            accuracy=scores.accuracy,
+        )
+
+    points: List[QualityPoint] = []
+    total_cost = sum(trajectory.initial_cost for trajectory in trajectories)
+    points.append(point(0, total_cost))
+    max_rounds = max((len(t.rounds) for t in trajectories), default=0)
+    for round_index in range(1, max_rounds + 1):
+        total_cost += sum(
+            trajectory.rounds[round_index - 1].tasks_asked
+            for trajectory in trajectories
+            if len(trajectory.rounds) >= round_index
+        )
+        points.append(point(round_index, total_cost))
+    return points
+
+
+#: Fan-out work published to the fork pool: ``(problems, config, overrides)``.
+#: Set immediately before the pool forks and cleared right after — workers
+#: inherit the tuple through copy-on-write memory, nothing is pickled out.
+_FANOUT_CONTEXT: Optional[Tuple[List[EntityProblem], ExperimentConfig, Dict[str, int]]] = None
+
+
+def _entity_trajectory(index: int) -> EntityTrajectory:
+    """Fan-out worker: run entity ``index``'s complete refinement trajectory.
+
+    A thin shim over :func:`run_entity_trajectory` reading the work tuple
+    from the fork-inherited module global.
+    """
+    problems, config, budget_overrides = _FANOUT_CONTEXT
+    return run_entity_trajectory(problems[index], index, config, budget_overrides)
 
 
 def _run_fanned_out(
@@ -705,37 +783,6 @@ def _run_fanned_out(
     for problem in problems:
         gold.update(problem.gold)
 
-    def point(round_index: int, cost: int) -> QualityPoint:
-        utilities: List[float] = []
-        labels: Dict[str, bool] = {}
-        for trajectory in trajectories:
-            reached = min(round_index, len(trajectory.rounds))
-            if reached == 0:
-                utilities.append(trajectory.initial_utility)
-                labels.update(trajectory.initial_labels)
-            else:
-                record = trajectory.rounds[reached - 1]
-                utilities.append(record.utility)
-                labels.update(record.labels)
-        scores = classification_scores(labels, gold)
-        return QualityPoint(
-            cost=cost,
-            utility=float(sum(utilities)),
-            f1=scores.f1,
-            precision=scores.precision,
-            recall=scores.recall,
-            accuracy=scores.accuracy,
-        )
-
     result = ExperimentResult(config=config)
-    total_cost = sum(trajectory.initial_cost for trajectory in trajectories)
-    result.points.append(point(0, total_cost))
-    max_rounds = max((len(t.rounds) for t in trajectories), default=0)
-    for round_index in range(1, max_rounds + 1):
-        total_cost += sum(
-            trajectory.rounds[round_index - 1].tasks_asked
-            for trajectory in trajectories
-            if len(trajectory.rounds) >= round_index
-        )
-        result.points.append(point(round_index, total_cost))
+    result.points.extend(assemble_curve(trajectories, gold))
     return result

@@ -2,12 +2,15 @@
 
 The benchmark harnesses print the same rows and series the paper reports;
 these helpers keep that output aligned and readable without any plotting
-dependency.
+dependency.  :class:`CurveStream` renders quality-vs-cost curve points
+incrementally — one line per point as it becomes available — so long sweeps
+(and the durable orchestrator's resume path) report progress without
+materialising the whole curve first.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence, Tuple
+from typing import IO, Iterable, List, Optional, Sequence, Tuple
 
 from repro.exceptions import CrowdFusionError
 
@@ -47,6 +50,59 @@ def format_table(
     lines = [render(list(headers)), render(["-" * width for width in widths])]
     lines.extend(render(row) for row in rendered_rows)
     return "\n".join(lines)
+
+
+class CurveStream:
+    """Incremental quality-curve reporter.
+
+    Feed it curve points one at a time (any object with ``cost``, ``utility``,
+    ``f1``, ``precision``, ``recall`` and ``accuracy`` attributes, i.e. a
+    :class:`~repro.evaluation.experiment.QualityPoint`); it prints a header
+    on the first point and one aligned row per point after that, flushing the
+    sink each time so the output survives an abrupt kill.  ``emit`` returns
+    the rendered line for callers that journal it elsewhere too.
+    """
+
+    HEADERS = ("point", "cost", "utility", "f1", "precision", "recall", "accuracy")
+    _WIDTHS = (5, 8, 12, 8, 9, 8, 8)
+
+    def __init__(self, sink: Optional[IO[str]] = None, precision: int = 4) -> None:
+        self._sink = sink
+        self._precision = precision
+        self._count = 0
+
+    @property
+    def count(self) -> int:
+        """Number of points emitted so far."""
+        return self._count
+
+    def _write(self, line: str) -> None:
+        if self._sink is not None:
+            self._sink.write(line + "\n")
+            self._sink.flush()
+
+    def emit(self, point: object) -> str:
+        """Render (and stream, when a sink is set) one curve point."""
+        if self._count == 0:
+            self._write(
+                "  ".join(
+                    header.rjust(width)
+                    for header, width in zip(self.HEADERS, self._WIDTHS)
+                )
+            )
+        cells = (
+            str(self._count),
+            str(point.cost),
+            f"{point.utility:.{self._precision}f}",
+            f"{point.f1:.{self._precision}f}",
+            f"{point.precision:.{self._precision}f}",
+            f"{point.recall:.{self._precision}f}",
+            f"{point.accuracy:.{self._precision}f}",
+        )
+        line = "  ".join(cell.rjust(width) for cell, width in zip(cells, self._WIDTHS))
+        self._write(line)
+        self._count += 1
+        return line
 
 
 def format_series(

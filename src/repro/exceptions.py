@@ -58,3 +58,12 @@ class PlatformError(CrowdFusionError):
 
 class DatasetError(CrowdFusionError):
     """A dataset generator or loader received invalid parameters."""
+
+
+class OrchestrationError(CrowdFusionError):
+    """A durable experiment run directory is unusable.
+
+    Examples: the run directory is locked by a live orchestrator process,
+    the manifest of an existing run does not match the sweep being resumed,
+    or the journal is corrupt beyond the tolerated torn trailing line.
+    """

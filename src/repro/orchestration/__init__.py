@@ -1,0 +1,49 @@
+"""Durable experiment orchestration: checkpointed sharded sweeps with resume.
+
+The paper's pay-as-you-go evaluation sweeps thousands of entity trajectories;
+this package makes those sweeps survivable.  A supervised pool of shard
+processes runs one entity trajectory at a time (the exact
+:func:`~repro.evaluation.experiment.run_entity_trajectory` unit the in-memory
+fan-out uses, with the same per-entity seed derivation), and every completed
+entity is journalled to an append-only JSON-lines file inside a per-run
+directory before the sweep moves on.  Checkpoints are written atomically
+(tmp file + fsync + rename), so a SIGKILL at any instruction leaves the run
+directory either at the previous durable state or the next — never in
+between — and ``crowdfusion experiment --run-dir D --resume`` replays the
+journal, skips completed entities, re-enqueues in-flight ones and produces a
+curve bit-identical to an undisturbed run.
+
+Layout of a run directory::
+
+    run.json        manifest: config fingerprint, entity ids, budgets
+    journal.jsonl   append-only event log (started / entity_done /
+                    entity_failed / quarantined), fsync'd per record
+    checkpoint.json atomic progress snapshot (completed / quarantined /
+                    pending), rewritten after every entity
+    curve.jsonl     streamed curve points of the finished sweep
+    lock            pid lock (stale locks from dead pids are taken over)
+"""
+
+from repro.orchestration.journal import (
+    JournalWriter,
+    RunLock,
+    atomic_write_json,
+    read_json,
+    read_records,
+)
+from repro.orchestration.orchestrator import (
+    OrchestratorConfig,
+    OrchestratorReport,
+    run_checkpointed_experiment,
+)
+
+__all__ = [
+    "JournalWriter",
+    "OrchestratorConfig",
+    "OrchestratorReport",
+    "RunLock",
+    "atomic_write_json",
+    "read_json",
+    "read_records",
+    "run_checkpointed_experiment",
+]

@@ -95,6 +95,7 @@ class ServiceMetrics:
         self,
         pools: Optional[Dict[str, Any]] = None,
         recovery: Optional[Dict[str, int]] = None,
+        durability: Optional[Dict[str, Any]] = None,
     ) -> Dict[str, Any]:
         """The metrics-endpoint payload (pool utilisation and crash/recovery
         counters spliced in by the server, which owns the evaluator-pool
@@ -132,4 +133,8 @@ class ServiceMetrics:
         }
         if pools is not None:
             payload["pools"] = pools
+        if durability is not None:
+            # Snapshot/eviction/revival counters, spliced in by the server
+            # when the registry runs with a durable snapshot store.
+            payload["durability"] = durability
         return payload

@@ -219,6 +219,21 @@ class RefinementService:
     executor_workers:
         Threads for compute offload.  Defaults to ``pools + 4`` so distinct
         tenants' scans and merges overlap without unbounded thread growth.
+    state_dir:
+        Directory for durable session snapshots.  With it set, every
+        session's posterior/channel/budget state is snapshotted (debounced
+        after merges, unconditionally on eviction and shutdown) and a
+        restarted service transparently revives sessions on their next
+        request — ``get_posterior`` after a restart matches the pre-restart
+        posterior to within float-serialisation exactness.
+    max_sessions:
+        LRU cap on resident sessions (requires ``state_dir``): creating or
+        reviving past the cap evicts the least-recently-used idle session to
+        disk instead of dropping it.
+    idle_ttl_s:
+        Idle timeout (requires ``state_dir``): a housekeeping task evicts
+        sessions untouched for this long to disk; their next request revives
+        them.
     """
 
     def __init__(
@@ -229,6 +244,10 @@ class RefinementService:
         max_pending: int = DEFAULT_MAX_PENDING,
         executor_workers: Optional[int] = None,
         latency_window: int = 1024,
+        state_dir: Optional[str] = None,
+        max_sessions: Optional[int] = None,
+        idle_ttl_s: Optional[float] = None,
+        snapshot_debounce_s: float = 1.0,
     ):
         if max_pending < 1:
             raise ValidationFailedError(
@@ -249,7 +268,12 @@ class RefinementService:
         policy = runtime.parallel_policy if runtime is not None else None
         self._group = EngineGroup(policy, pools=pools)
         self._registry = SessionRegistry(
-            self._group, kernel=runtime.kernel if runtime is not None else "auto"
+            self._group,
+            kernel=runtime.kernel if runtime is not None else "auto",
+            snapshot_dir=state_dir,
+            max_sessions=max_sessions,
+            idle_ttl_s=idle_ttl_s,
+            snapshot_debounce_s=snapshot_debounce_s,
         )
         self._metrics = ServiceMetrics(latency_window)
         self._max_pending = max_pending
@@ -260,6 +284,7 @@ class RefinementService:
             thread_name_prefix="refinement",
         )
         self._workers: Dict[str, _SessionWorker] = {}
+        self._housekeeper: "Optional[asyncio.Task]" = None
         self._closed = False
 
     # -- lifecycle ---------------------------------------------------------------------
@@ -282,11 +307,52 @@ class RefinementService:
         if self._closed:
             return
         self._closed = True
+        if self._housekeeper is not None:
+            self._housekeeper.cancel()
+            try:
+                await self._housekeeper
+            except asyncio.CancelledError:
+                pass
+            self._housekeeper = None
         for worker in list(self._workers.values()):
             await worker.stop()
         self._workers.clear()
+        # Registry close flushes every dirty session's snapshot first, so a
+        # graceful shutdown is always restorable.
         self._registry.close()
         self._executor.shutdown(wait=True)
+
+    # -- eviction housekeeping ---------------------------------------------------------
+
+    def _ensure_housekeeper(self) -> None:
+        """Start the idle-TTL sweeper lazily (needs a running loop)."""
+        if self._registry.idle_ttl_s is None or self._housekeeper is not None:
+            return
+        self._housekeeper = asyncio.get_running_loop().create_task(
+            self._housekeep()
+        )
+
+    async def _housekeep(self) -> None:
+        interval = max(0.05, min(self._registry.idle_ttl_s / 2.0, 5.0))
+        while not self._closed:
+            await asyncio.sleep(interval)
+            for session_id in self._registry.idle_candidates():
+                await self._evict_session(session_id)
+
+    async def _evict_session(self, session_id: str) -> bool:
+        """Evict one idle session to disk; refuses sessions with queued work."""
+        worker = self._workers.get(session_id)
+        if worker is not None:
+            if worker.closed or not worker.queue.empty():
+                return False
+            await worker.stop()
+            # Anything that raced into existence between the emptiness check
+            # and the stop was answered by the drainer before it ended.
+            self._workers.pop(session_id, None)
+        if self._registry.peek(session_id) is None:
+            return False
+        self._registry.evict(session_id)
+        return True
 
     # -- the session API ---------------------------------------------------------------
 
@@ -299,6 +365,15 @@ class RefinementService:
     ) -> SessionCreated:
         """Register a session and attach it to a shared evaluator pool."""
         self._ensure_open()
+        self._ensure_housekeeper()
+        while self._registry.at_capacity():
+            victim = self._registry.lru_candidate()
+            if victim is None or not await self._evict_session(victim):
+                raise SessionOverloadedError(
+                    f"the service is at max_sessions="
+                    f"{self._registry.max_sessions} and no idle session "
+                    "could be evicted; retry later"
+                )
         record = self._registry.create(distribution, channel, budget, selector)
         self._workers[record.session_id] = _SessionWorker(
             self, record, self._max_pending
@@ -372,9 +447,18 @@ class RefinementService:
 
     def metrics(self) -> Dict[str, Any]:
         """The metrics-endpoint payload, shared-pool utilisation included."""
+        durability = None
+        if self._registry.durable:
+            durability = {
+                **self._registry.counters,
+                "stored_sessions": len(self._registry.stored_ids()),
+                "max_sessions": self._registry.max_sessions,
+                "idle_ttl_s": self._registry.idle_ttl_s,
+            }
         return self._metrics.snapshot(
             pools=self._group.utilisation(),
             recovery=self._group.recovery_counters(),
+            durability=durability,
         )
 
     # -- request execution -------------------------------------------------------------
@@ -385,12 +469,18 @@ class RefinementService:
 
     def _worker(self, session_id: str) -> _SessionWorker:
         self._ensure_open()
-        self._registry.get(session_id)  # raises UnknownSessionError
+        # Raises UnknownSessionError for sessions that never existed; revives
+        # evicted/restarted sessions from their disk snapshot.
+        record = self._registry.get(session_id)
         worker = self._workers.get(session_id)
         if worker is None:
-            # A concurrent close already detached the worker; the registry
-            # entry is about to follow.
-            raise UnknownSessionError(f"session {session_id!r} is closing")
+            # No drainer for a live record: the session was just revived from
+            # disk (eviction pops the worker with no awaits between the pop
+            # and the registry removal, so a *closing* session can never be
+            # observed in this state).  Build it a fresh drainer.
+            self._ensure_housekeeper()
+            worker = _SessionWorker(self, record, self._max_pending)
+            self._workers[session_id] = worker
         return worker
 
     def _validate_answers(self, record: SessionRecord, answers: AnswerSet) -> None:
@@ -446,18 +536,26 @@ class RefinementService:
             # One merge per step with progress recorded after each, so a
             # failure partway through the batch tells the caller exactly
             # which merges applied, which job failed, and which never ran.
-            for job in accepted:
-                faults.fire("merge")
-                session.merge(job.payload)
-                completed.append(
-                    MergeReport(
-                        session_id=record.session_id,
-                        rounds_merged=session.rounds_merged,
-                        answers_merged=len(job.payload),
-                        budget_remaining=record.remaining,
-                        utility=session.utility(),
+            try:
+                for job in accepted:
+                    faults.fire("merge")
+                    session.merge(job.payload)
+                    completed.append(
+                        MergeReport(
+                            session_id=record.session_id,
+                            rounds_merged=session.rounds_merged,
+                            answers_merged=len(job.payload),
+                            budget_remaining=record.remaining,
+                            utility=session.utility(),
+                        )
                     )
-                )
+            finally:
+                # Snapshot the post-merge state (debounced) while still on
+                # the executor thread — durability I/O never blocks the
+                # event loop, and a partly-failed batch snapshots whatever
+                # actually merged.
+                if completed:
+                    self._registry.note_merged(record)
 
         started = time.perf_counter()
         failure: Optional[BaseException] = None

@@ -3,7 +3,10 @@
 The supervised parallel runtime and the refinement service both promise to
 recover from failures that are awkward to produce on demand: a fork worker
 OOM-killed mid-scan, a dispatch that never returns, a generation header
-corrupted in flight, a TCP connection dropped mid-response.  This module
+corrupted in flight, a TCP connection dropped mid-response — and, for the
+durable experiment orchestrator, a disk that fills up mid-journal-append, a
+checkpoint write torn in half by a SIGKILL, a run directory locked by a
+long-dead process, a shard killed mid-entity.  This module
 makes those failures *injectable* so the chaos suite can assert recovery —
 recovered trajectories equal to undisturbed serial runs — instead of hand
 waving about it.
@@ -104,6 +107,40 @@ class FaultPlan:
     drop_connection_after_responses: Optional[int] = None
     drop_limit: int = 1
 
+    #: Raise ``OSError(ENOSPC)`` out of the nth durable journal append (the
+    #: disk filled up mid-sweep).
+    enospc_at_journal_append: Optional[int] = None
+    enospc_limit: int = 1
+
+    #: Tear the nth atomic checkpoint write: only half the serialised bytes
+    #: reach the temporary file and the rename never happens — byte-for-byte
+    #: what a SIGKILL (or power loss) in the middle of the write leaves on
+    #: disk.  The writer raises :class:`FaultInjected` after tearing.
+    torn_write_at_checkpoint: Optional[int] = None
+    torn_limit: int = 1
+
+    #: Plant a lock file owned by a guaranteed-dead pid immediately before
+    #: the nth run-directory lock acquisition, exercising the stale-lock
+    #: takeover path deterministically.
+    stale_lock_at_acquire: Optional[int] = None
+    stale_limit: int = 1
+
+    #: Kill the orchestrator shard process executing the nth entity
+    #: trajectory (``os._exit`` — no cleanup, like an OOM kill mid-entity).
+    #: The entity sequence is global across every shard and every respawn.
+    kill_shard_at_entity: Optional[int] = None
+    shard_kill_limit: int = 1
+
+    #: Raise :class:`FaultInjected` inside the shard before running the nth
+    #: entity (an application-level entity failure: with a limit exceeding
+    #: the orchestrator's ``max_attempts`` this makes the entity poison).
+    fail_entity_at: Optional[int] = None
+    fail_entity_limit: int = 1
+
+    #: Stall every shard entity dispatch by this many seconds.  Chaos tests
+    #: use it to widen the window for killing an orchestrator mid-sweep.
+    delay_entity_seconds: float = 0.0
+
     def __post_init__(self) -> None:
         for name in (
             "kill_worker_at_dispatch",
@@ -111,14 +148,35 @@ class FaultPlan:
             "corrupt_header_at_dispatch",
             "fail_merge_at",
             "drop_connection_after_responses",
+            "enospc_at_journal_append",
+            "torn_write_at_checkpoint",
+            "stale_lock_at_acquire",
+            "kill_shard_at_entity",
+            "fail_entity_at",
         ):
             value = getattr(self, name)
             if value is not None and value < 1:
                 raise ValueError(f"{name} is 1-based, got {value}")
-        for name in ("kill_limit", "hang_limit", "corrupt_limit", "merge_limit", "drop_limit"):
+        for name in (
+            "kill_limit",
+            "hang_limit",
+            "corrupt_limit",
+            "merge_limit",
+            "drop_limit",
+            "enospc_limit",
+            "torn_limit",
+            "stale_limit",
+            "shard_kill_limit",
+            "fail_entity_limit",
+        ):
             if getattr(self, name) < 0:
                 raise ValueError(f"{name} must be non-negative, got {getattr(self, name)}")
-        for name in ("delay_dispatch_seconds", "delay_select_seconds", "hang_seconds"):
+        for name in (
+            "delay_dispatch_seconds",
+            "delay_select_seconds",
+            "delay_entity_seconds",
+            "hang_seconds",
+        ):
             if getattr(self, name) < 0.0:
                 raise ValueError(f"{name} must be non-negative, got {getattr(self, name)}")
 
@@ -141,6 +199,12 @@ class _FaultState:
         self._worker_dispatches = context.Value("i", 0)
         self._kills_left = context.Value("i", plan.kill_limit)
         self._hangs_left = context.Value("i", plan.hang_limit)
+        # Shard-side events run in orchestrator shard processes forked after
+        # install (or inheriting REPRO_FAULTS); the entity sequence and the
+        # kill/fail budgets must be one global ledger across all of them.
+        self._shard_entities = context.Value("i", 0)
+        self._shard_kills_left = context.Value("i", plan.shard_kill_limit)
+        self._entity_fails_left = context.Value("i", plan.fail_entity_limit)
         self.pool_dispatches = 0
         self.corrupts_done = 0
         self.merges_seen = 0
@@ -148,6 +212,12 @@ class _FaultState:
         self.selects_seen = 0
         self.responses_seen = 0
         self.drops_done = 0
+        self.journal_appends = 0
+        self.enospcs_done = 0
+        self.checkpoint_writes = 0
+        self.torn_done = 0
+        self.lock_acquires = 0
+        self.stale_done = 0
 
     # -- event handlers ----------------------------------------------------------------
 
@@ -167,8 +237,7 @@ class _FaultState:
 
     _LOCK_TIMEOUT = 1.0
 
-    def _bump_dispatch_sequence(self) -> int:
-        counter = self._worker_dispatches
+    def _bump_sequence(self, counter) -> int:
         if counter.get_lock().acquire(timeout=self._LOCK_TIMEOUT):
             try:
                 counter.value += 1
@@ -196,7 +265,7 @@ class _FaultState:
         plan = self.plan
         if plan.kill_worker_at_dispatch is None and plan.hang_worker_at_dispatch is None:
             return None
-        sequence = self._bump_dispatch_sequence()
+        sequence = self._bump_sequence(self._worker_dispatches)
         if plan.kill_worker_at_dispatch is not None and sequence >= plan.kill_worker_at_dispatch:
             if self._consume_budget(self._kills_left):
                 os._exit(plan.kill_exitcode)
@@ -237,6 +306,59 @@ class _FaultState:
         self.selects_seen += 1
         if self.plan.delay_select_seconds:
             time.sleep(self.plan.delay_select_seconds)
+        return None
+
+    def _on_shard_entity(self, ctx: Mapping[str, Any]) -> Optional[str]:
+        plan = self.plan
+        if plan.delay_entity_seconds:
+            time.sleep(plan.delay_entity_seconds)
+        if plan.kill_shard_at_entity is None and plan.fail_entity_at is None:
+            return None
+        sequence = self._bump_sequence(self._shard_entities)
+        if plan.kill_shard_at_entity is not None and sequence >= plan.kill_shard_at_entity:
+            if self._consume_budget(self._shard_kills_left):
+                os._exit(plan.kill_exitcode)
+        if plan.fail_entity_at is not None and sequence >= plan.fail_entity_at:
+            if self._consume_budget(self._entity_fails_left):
+                raise FaultInjected(
+                    f"injected entity failure (entity dispatch #{sequence})"
+                )
+        return None
+
+    def _on_journal_append(self, ctx: Mapping[str, Any]) -> Optional[str]:
+        plan = self.plan
+        self.journal_appends += 1
+        if (
+            plan.enospc_at_journal_append is not None
+            and self.journal_appends >= plan.enospc_at_journal_append
+            and self.enospcs_done < plan.enospc_limit
+        ):
+            self.enospcs_done += 1
+            return "enospc"
+        return None
+
+    def _on_checkpoint_write(self, ctx: Mapping[str, Any]) -> Optional[str]:
+        plan = self.plan
+        self.checkpoint_writes += 1
+        if (
+            plan.torn_write_at_checkpoint is not None
+            and self.checkpoint_writes >= plan.torn_write_at_checkpoint
+            and self.torn_done < plan.torn_limit
+        ):
+            self.torn_done += 1
+            return "torn"
+        return None
+
+    def _on_run_lock(self, ctx: Mapping[str, Any]) -> Optional[str]:
+        plan = self.plan
+        self.lock_acquires += 1
+        if (
+            plan.stale_lock_at_acquire is not None
+            and self.lock_acquires >= plan.stale_lock_at_acquire
+            and self.stale_done < plan.stale_limit
+        ):
+            self.stale_done += 1
+            return "stale_lock"
         return None
 
     def _on_transport_response(self, ctx: Mapping[str, Any]) -> Optional[str]:
