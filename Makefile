@@ -6,7 +6,7 @@
 PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test bench bench-smoke bench-compiled-smoke chaos-smoke serve-smoke orchestrate-smoke
+.PHONY: test bench bench-smoke bench-compiled-smoke chaos-smoke serve-smoke orchestrate-smoke cluster-smoke
 
 # Tier-1 suite: the fast default (excludes the slow 2^20-support scenarios).
 test:
@@ -74,3 +74,11 @@ orchestrate-smoke:
 # client, and asserts that no worker processes leaked.
 serve-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.service.smoke
+
+# Runs one sweep on the single-host durable orchestrator and again on the
+# lease-fenced cluster coordinator with two loopback shard workers — one
+# SIGKILLed mid-lease — and asserts the cluster's curve.jsonl comes out
+# byte-identical, the kill was fenced and reassigned, and no worker
+# processes leaked.
+cluster-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.orchestration.cluster_smoke

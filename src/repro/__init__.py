@@ -46,9 +46,12 @@ from repro.core.selection import (
 from repro.core.selection.parallel import ParallelPolicy
 from repro.exceptions import OrchestrationError
 from repro.orchestration import (
+    ClusterConfig,
+    ClusterReport,
     OrchestratorConfig,
     OrchestratorReport,
     run_checkpointed_experiment,
+    run_cluster_experiment,
 )
 from repro.service import (
     NO_RETRY,
@@ -62,7 +65,7 @@ from repro.service import (
     serve,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     # value types
@@ -100,10 +103,13 @@ __all__ = [
     "TransportError",
     "serve",
     # durable experiment orchestration
+    "ClusterConfig",
+    "ClusterReport",
     "OrchestrationError",
     "OrchestratorConfig",
     "OrchestratorReport",
     "run_checkpointed_experiment",
+    "run_cluster_experiment",
     # selection registry and utilities
     "available_selectors",
     "crowd_entropy",

@@ -17,6 +17,7 @@ Every batch command is deterministic given ``--seed``.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional, Sequence
 
@@ -78,6 +79,72 @@ def _add_corpus_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=7, help="corpus / experiment RNG seed")
 
 
+def _add_sweep_arguments(parser: argparse.ArgumentParser) -> None:
+    """Every flag that *defines* a sweep (fingerprint-relevant).
+
+    Shared between ``experiment`` and ``shard-worker``: a remote worker must
+    rebuild the exact same problems, config and budget allocation from these
+    flags, and the coordinator's fingerprint digest catches a mismatch.
+    """
+    _add_corpus_arguments(parser)
+    parser.add_argument(
+        "--selector", default="greedy_prune_pre", choices=available_selectors(),
+        help="task-selection algorithm",
+    )
+    parser.add_argument("--fusion", default="crh", choices=sorted(_FUSION_METHODS),
+                        help="machine-only initialiser")
+    parser.add_argument("--k", type=int, default=2, help="tasks per round")
+    parser.add_argument("--budget", type=int, default=20, help="tasks per book")
+    parser.add_argument("--pc", type=float, default=0.85, help="true worker accuracy")
+    parser.add_argument("--assumed-pc", type=float, default=None,
+                        help="accuracy assumed by the system (defaults to --pc)")
+    parser.add_argument("--max-facts", type=int, default=10,
+                        help="cap on facts per book")
+    parser.add_argument(
+        "--allocation", default="fixed", choices=["fixed", "uniform", "proportional", "entropy"],
+        help="how the global budget is distributed across books",
+    )
+    parser.add_argument(
+        "--crowd-model", default="uniform", choices=list(CROWD_MODEL_KINDS),
+        help="channel model assumed by selection and merging: one shared Pc, "
+        "per-fact difficulty-adjusted channels, or a calibrated pre-test estimate",
+    )
+    parser.add_argument(
+        "--recalibrate", action="store_true",
+        help="adaptively re-estimate per-fact channel accuracies from "
+        "answer/posterior agreement as rounds accumulate",
+    )
+    parser.add_argument(
+        "--workers", type=_positive_int, default=None, metavar="N",
+        help="shard candidate scans over N worker processes (greedy-family "
+        "selectors; default: no parallelism)",
+    )
+    parser.add_argument(
+        "--parallel-threshold", type=_nonnegative_int, default=None, metavar="WORK",
+        help="minimum scan size (candidates x support rows) before the worker "
+        "pool is used; smaller scans always run serially",
+    )
+    parser.add_argument(
+        "--persistent-pool", action="store_true",
+        help="keep one worker pool alive per entity for the whole run "
+        "(posteriors travel through a shared-memory snapshot ring instead of "
+        "re-forking after every merge); requires --workers and a platform "
+        "with the fork start method",
+    )
+    parser.add_argument(
+        "--parallel-entities", type=_positive_int, default=None, metavar="N",
+        help="fan whole entities out across N processes (each runs one "
+        "entity's complete refinement trajectory; curves are identical to "
+        "the serial loop); mutually exclusive with --workers",
+    )
+    parser.add_argument(
+        "--kernel", default="auto", choices=list(KERNEL_CHOICES),
+        help="entropy kernel tier: 'auto' uses the numba-compiled kernels "
+        "when numba is importable and falls back to numpy otherwise; "
+        "'reference' runs the uncompiled kernel bodies (debugging)",
+    )
+
+
 def _make_corpus(args: argparse.Namespace):
     return generate_book_corpus(
         BookCorpusConfig(
@@ -131,7 +198,26 @@ def _cmd_fusion(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_experiment(args: argparse.Namespace) -> int:
+def _parse_endpoint(text: str) -> tuple:
+    """Split a ``HOST:PORT`` flag value; loud on anything else."""
+    host, separator, port = text.rpartition(":")
+    if not separator or not host:
+        raise argparse.ArgumentTypeError(
+            f"{text!r} is not a HOST:PORT endpoint"
+        )
+    try:
+        return host, int(port)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{port!r} is not a port number")
+
+
+def _sweep_setup(args: argparse.Namespace):
+    """Problems, config and budget overrides of one sweep, from CLI flags.
+
+    Shared by ``experiment`` (in any mode) and ``shard-worker``: a remote
+    worker rebuilds the identical sweep from its own flags, and the
+    coordinator's fingerprint digest verifies it got them right.
+    """
     corpus = _make_corpus(args)
     problems = build_problems(
         corpus.database,
@@ -140,36 +226,82 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         difficulties=corpus.difficulties,
         max_facts_per_entity=args.max_facts,
     )
+    config = ExperimentConfig(
+        selector=args.selector,
+        k=args.k,
+        budget_per_entity=args.budget,
+        worker_accuracy=args.pc,
+        assumed_accuracy=args.assumed_pc,
+        use_difficulties=True,
+        seed=args.seed,
+        crowd_model=args.crowd_model,
+        runtime=RuntimeOptions(
+            workers=args.workers,
+            parallel_threshold=args.parallel_threshold,
+            persistent_pool=args.persistent_pool,
+            recalibrate=args.recalibrate,
+            parallel_entities=args.parallel_entities,
+            kernel=args.kernel,
+        ),
+    )
+    budgets = None
+    if args.allocation != "fixed":
+        total = args.budget * len(problems)
+        budgets = allocate_budget(problems, total, strategy=args.allocation)
+    return problems, config, budgets
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
     try:
-        config = ExperimentConfig(
-            selector=args.selector,
-            k=args.k,
-            budget_per_entity=args.budget,
-            worker_accuracy=args.pc,
-            assumed_accuracy=args.assumed_pc,
-            use_difficulties=True,
-            seed=args.seed,
-            crowd_model=args.crowd_model,
-            runtime=RuntimeOptions(
-                workers=args.workers,
-                parallel_threshold=args.parallel_threshold,
-                persistent_pool=args.persistent_pool,
-                recalibrate=args.recalibrate,
-                parallel_entities=args.parallel_entities,
-                kernel=args.kernel,
-            ),
-        )
+        problems, config, budgets = _sweep_setup(args)
     except CrowdFusionError as error:
         # Bad flag combinations and missing platform support surface as one
         # clear line; failures past this point keep their tracebacks.
         print(f"error: {error}", file=sys.stderr)
         return 2
-    budgets = None
-    if args.allocation != "fixed":
-        total = args.budget * len(problems)
-        budgets = allocate_budget(problems, total, strategy=args.allocation)
     report = None
-    if args.run_dir is not None:
+    if args.coordinator is not None:
+        # Multi-host mode: lease entity ranges to shard workers over TCP.
+        from repro.evaluation.reporting import CurveStream
+        from repro.orchestration.cluster import ClusterConfig, run_cluster_experiment
+
+        if args.run_dir is None:
+            print(
+                "error: --coordinator requires --run-dir (the lease ledger "
+                "and worker journals live there)",
+                file=sys.stderr,
+            )
+            return 2
+        host, port = args.coordinator
+
+        def announce(bound_port: int) -> None:
+            # The smoke harness and remote operators parse this line.
+            print(f"coordinator listening on {host}:{bound_port}", flush=True)
+
+        try:
+            report = run_cluster_experiment(
+                problems,
+                config,
+                ClusterConfig(
+                    run_dir=args.run_dir,
+                    host=host,
+                    port=port,
+                    lease_ttl_s=args.lease_ttl_s,
+                    heartbeat_s=args.heartbeat_s,
+                    lease_entities=args.lease_entities,
+                    max_attempts=args.max_attempts,
+                    resume=args.resume,
+                    local_workers=args.local_workers,
+                ),
+                budgets=budgets,
+                stream=CurveStream(sys.stdout) if args.curve else None,
+                on_listening=announce,
+            )
+        except CrowdFusionError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        result = report.result
+    elif args.run_dir is not None:
         # Durable orchestration: journalled, checkpointed, resumable.  Lazy
         # import keeps plain in-memory runs free of the orchestration stack.
         from repro.evaluation.reporting import CurveStream
@@ -213,6 +345,12 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         if report.quarantined:
             extras += f", {len(report.quarantined)} quarantined"
         extras += ")"
+        stats = getattr(report, "stats", None)
+        if stats is not None:
+            extras += (
+                f", cluster epoch {stats.epoch} ({stats.leases_granted} leases, "
+                f"{stats.leases_expired} expired, {stats.results_rejected} fenced)"
+            )
     print(
         f"Selector {args.selector}, k={args.k}, budget {args.budget}/book, "
         f"Pc={args.pc} (assumed {config.model_accuracy}), allocation {args.allocation}, "
@@ -230,6 +368,38 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         # was assembled.)
         print(format_series("F1", list(zip(result.costs(), result.f1_series())), 3))
         print(format_series("utility", list(zip(result.costs(), result.utility_series())), 2))
+    return 0
+
+
+def _cmd_shard_worker(args: argparse.Namespace) -> int:
+    # Imported lazily: plain batch commands never touch the cluster stack.
+    from repro.orchestration.cluster_worker import run_shard_worker
+
+    try:
+        problems, config, budgets = _sweep_setup(args)
+    except CrowdFusionError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    host, port = args.connect
+    worker_id = args.worker_id or f"worker-{os.getpid()}"
+    try:
+        summary = run_shard_worker(
+            problems,
+            config,
+            dict(budgets or {}),
+            host,
+            port,
+            worker_id,
+            reconnect_window_s=args.reconnect_window_s,
+        )
+    except CrowdFusionError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(
+        f"worker {summary.worker} done: {summary.entities_ok} entities ok, "
+        f"{summary.entities_failed} failed, {summary.leases_served} leases, "
+        f"{summary.reconnects} reconnects"
+    )
     return 0
 
 
@@ -326,63 +496,7 @@ def build_parser() -> argparse.ArgumentParser:
     fusion.set_defaults(handler=_cmd_fusion)
 
     experiment = subparsers.add_parser("experiment", help="run a crowd-refinement experiment")
-    _add_corpus_arguments(experiment)
-    experiment.add_argument(
-        "--selector", default="greedy_prune_pre", choices=available_selectors(),
-        help="task-selection algorithm",
-    )
-    experiment.add_argument("--fusion", default="crh", choices=sorted(_FUSION_METHODS),
-                            help="machine-only initialiser")
-    experiment.add_argument("--k", type=int, default=2, help="tasks per round")
-    experiment.add_argument("--budget", type=int, default=20, help="tasks per book")
-    experiment.add_argument("--pc", type=float, default=0.85, help="true worker accuracy")
-    experiment.add_argument("--assumed-pc", type=float, default=None,
-                            help="accuracy assumed by the system (defaults to --pc)")
-    experiment.add_argument("--max-facts", type=int, default=10,
-                            help="cap on facts per book")
-    experiment.add_argument(
-        "--allocation", default="fixed", choices=["fixed", "uniform", "proportional", "entropy"],
-        help="how the global budget is distributed across books",
-    )
-    experiment.add_argument(
-        "--crowd-model", default="uniform", choices=list(CROWD_MODEL_KINDS),
-        help="channel model assumed by selection and merging: one shared Pc, "
-        "per-fact difficulty-adjusted channels, or a calibrated pre-test estimate",
-    )
-    experiment.add_argument(
-        "--recalibrate", action="store_true",
-        help="adaptively re-estimate per-fact channel accuracies from "
-        "answer/posterior agreement as rounds accumulate",
-    )
-    experiment.add_argument(
-        "--workers", type=_positive_int, default=None, metavar="N",
-        help="shard candidate scans over N worker processes (greedy-family "
-        "selectors; default: no parallelism)",
-    )
-    experiment.add_argument(
-        "--parallel-threshold", type=_nonnegative_int, default=None, metavar="WORK",
-        help="minimum scan size (candidates x support rows) before the worker "
-        "pool is used; smaller scans always run serially",
-    )
-    experiment.add_argument(
-        "--persistent-pool", action="store_true",
-        help="keep one worker pool alive per entity for the whole run "
-        "(posteriors travel through a shared-memory snapshot ring instead of "
-        "re-forking after every merge); requires --workers and a platform "
-        "with the fork start method",
-    )
-    experiment.add_argument(
-        "--parallel-entities", type=_positive_int, default=None, metavar="N",
-        help="fan whole entities out across N processes (each runs one "
-        "entity's complete refinement trajectory; curves are identical to "
-        "the serial loop); mutually exclusive with --workers",
-    )
-    experiment.add_argument(
-        "--kernel", default="auto", choices=list(KERNEL_CHOICES),
-        help="entropy kernel tier: 'auto' uses the numba-compiled kernels "
-        "when numba is importable and falls back to numpy otherwise; "
-        "'reference' runs the uncompiled kernel bodies (debugging)",
-    )
+    _add_sweep_arguments(experiment)
     experiment.add_argument("--curve", action="store_true", help="print the full quality curve")
     experiment.add_argument(
         "--run-dir", default=None, metavar="DIR",
@@ -406,7 +520,61 @@ def build_parser() -> argparse.ArgumentParser:
         help="attempts per entity before the orchestrator quarantines it "
         "(with --run-dir; default 3)",
     )
+    experiment.add_argument(
+        "--coordinator", type=_parse_endpoint, default=None, metavar="HOST:PORT",
+        help="run as a multi-host cluster coordinator bound to HOST:PORT "
+        "(port 0 picks a free one, printed on startup): lease contiguous "
+        "entity ranges to shard workers over TCP with heartbeat expiry and "
+        "fencing epochs; requires --run-dir, honours --resume",
+    )
+    experiment.add_argument(
+        "--local-workers", type=_nonnegative_int, default=0, metavar="N",
+        help="with --coordinator: fork N loopback shard-worker subprocesses "
+        "so a single machine can run the whole cluster (default 0: wait "
+        "for remote workers)",
+    )
+    experiment.add_argument(
+        "--lease-ttl-s", type=float, default=10.0, metavar="SECONDS",
+        help="with --coordinator: fence a lease with no heartbeat for this "
+        "long and reassign its remaining entities (default 10)",
+    )
+    experiment.add_argument(
+        "--heartbeat-s", type=float, default=2.0, metavar="SECONDS",
+        help="with --coordinator: heartbeat interval handed to workers; "
+        "must be well under --lease-ttl-s (default 2)",
+    )
+    experiment.add_argument(
+        "--lease-entities", type=_positive_int, default=4, metavar="N",
+        help="with --coordinator: maximum contiguous entities per lease "
+        "grant (default 4)",
+    )
     experiment.set_defaults(handler=_cmd_experiment)
+
+    shard_worker = subparsers.add_parser(
+        "shard-worker",
+        help="join a cluster sweep as a remote shard worker",
+        description="Connect to a `crowdfusion experiment --coordinator` "
+        "process and serve leased entity ranges.  The sweep-defining flags "
+        "must match the coordinator's exactly (verified by fingerprint "
+        "digest at the handshake).",
+    )
+    _add_sweep_arguments(shard_worker)
+    shard_worker.add_argument(
+        "--connect", type=_parse_endpoint, required=True, metavar="HOST:PORT",
+        help="coordinator endpoint to join",
+    )
+    shard_worker.add_argument(
+        "--worker-id", default=None, metavar="NAME",
+        help="stable worker name (journals land in journal-NAME.jsonl on "
+        "the coordinator; default: worker-<pid>)",
+    )
+    shard_worker.add_argument(
+        "--reconnect-window-s", type=float, default=15.0, metavar="SECONDS",
+        help="keep retrying a lost coordinator connection this long — "
+        "rides out a coordinator restart (--resume) without leaking an "
+        "orphan forever (default 15)",
+    )
+    shard_worker.set_defaults(handler=_cmd_shard_worker)
 
     serve = subparsers.add_parser(
         "serve", help="run the multi-tenant refinement service"

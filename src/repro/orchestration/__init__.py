@@ -22,14 +22,33 @@ Layout of a run directory::
                     pending), rewritten after every entity
     curve.jsonl     streamed curve points of the finished sweep
     lock            pid lock (stale locks from dead pids are taken over)
+
+A sweep can also span hosts: :func:`run_cluster_experiment` runs the same
+run directory through a TCP coordinator that leases contiguous entity
+ranges to shard workers (``crowdfusion shard-worker --connect``), fences
+dead or zombie leases with monotonically increasing epochs, and adds::
+
+    leases.json           atomic epoch + active-lease snapshot
+    journal-<worker>.jsonl  accepted entity_done records, per worker
+
+Worker journals are merged deterministically on resume and assembly
+(:func:`merge_journals`), so a migrated or reassigned sweep's curve stays
+bit-identical to an undisturbed single-host run.
 """
 
 from repro.orchestration.journal import (
     JournalWriter,
     RunLock,
     atomic_write_json,
+    merge_journals,
     read_json,
     read_records,
+)
+from repro.orchestration.cluster import (
+    ClusterConfig,
+    ClusterReport,
+    ClusterStats,
+    run_cluster_experiment,
 )
 from repro.orchestration.orchestrator import (
     OrchestratorConfig,
@@ -38,12 +57,17 @@ from repro.orchestration.orchestrator import (
 )
 
 __all__ = [
+    "ClusterConfig",
+    "ClusterReport",
+    "ClusterStats",
     "JournalWriter",
     "OrchestratorConfig",
     "OrchestratorReport",
     "RunLock",
     "atomic_write_json",
+    "merge_journals",
     "read_json",
     "read_records",
     "run_checkpointed_experiment",
+    "run_cluster_experiment",
 ]

@@ -31,7 +31,8 @@ from __future__ import annotations
 import errno
 import json
 import os
-from typing import Any, Dict, Iterator, List, Optional
+import time
+from typing import Any, Dict, Iterator, List, Optional, Sequence
 
 from repro.exceptions import OrchestrationError
 from repro.testing import faults
@@ -123,6 +124,45 @@ def iter_records(path: str) -> Iterator[Dict[str, Any]]:
     yield from read_records(path)
 
 
+def merge_journals(paths: Sequence[str]) -> List[Dict[str, Any]]:
+    """Merge per-worker journals into one deterministic record stream.
+
+    Each journal is read with :func:`read_records` independently, so the
+    one-torn-trailing-line tolerance applies **per journal**: a shard worker
+    SIGKILLed mid-append leaves a torn tail in *its* file, and that file is
+    not the last one in merge order — the tolerance must travel with the
+    file, not with the concatenation.  Records are ordered deterministically
+    (sorted journal path, then in-file position).
+
+    ``entity_done`` records are deduplicated by entity index — duplicated
+    delivery is legal at this layer (a retransmit racing its original, a
+    reassigned range completed twice) as long as the payloads agree; the
+    first copy in merge order wins.  Conflicting payloads for the same
+    entity mean the bit-identity guarantee is already broken upstream and
+    raise :class:`OrchestrationError` rather than silently assembling a
+    curve from diverging trajectories.
+    """
+    merged: List[Dict[str, Any]] = []
+    done: Dict[int, Dict[str, Any]] = {}
+    for path in sorted(paths):
+        for record in read_records(path):
+            if record.get("type") == "entity_done":
+                index = int(record["index"])
+                previous = done.get(index)
+                if previous is not None:
+                    if previous.get("payload") != record.get("payload"):
+                        raise OrchestrationError(
+                            f"conflicting entity_done payloads for entity "
+                            f"{index} across merged journals (second copy in "
+                            f"{path}); the per-entity seed derivation should "
+                            "make duplicates identical — refusing to merge"
+                        )
+                    continue
+                done[index] = record
+            merged.append(record)
+    return merged
+
+
 def atomic_write_json(path: str, payload: Dict[str, Any]) -> None:
     """Write ``payload`` to ``path`` atomically (tmp + fsync + rename).
 
@@ -162,13 +202,23 @@ def read_json(path: str) -> Optional[Dict[str, Any]]:
         return json.loads(handle.read())
 
 
+#: Bounded retries for the in-flux windows of a racing acquire: a lock file
+#: observed empty (holder mid-write) or vanishing (holder mid-takeover).
+_ACQUIRE_ATTEMPTS = 50
+_ACQUIRE_BACKOFF_S = 0.01
+
+
 class RunLock:
     """Pid lock file guarding a run directory against concurrent writers.
 
     ``acquire`` refuses when the recorded pid is alive, takes over when it is
     dead (a crashed orchestrator must not brick its run directory), and
-    writes its own pid atomically.  ``release`` only removes the lock when it
-    still belongs to this process.
+    creates its own lock with ``O_CREAT|O_EXCL`` so two racing acquirers
+    serialize in the kernel: exactly one creation succeeds.  Stale-lock
+    takeover is an ``os.rename`` to a per-acquirer graveyard name — again
+    exactly one racer's rename succeeds; the loser re-reads the winner's
+    fresh lock and refuses with a clear error.  ``release`` only removes the
+    lock when it still belongs to this process.
     """
 
     def __init__(self, path: str) -> None:
@@ -181,16 +231,66 @@ class RunLock:
             # Plant a lock from a guaranteed-dead pid so the takeover path
             # runs deterministically under test.
             atomic_write_json(self.path, {"pid": _dead_pid()})
-        holder = read_json(self.path)
-        if holder is not None:
-            pid = int(holder.get("pid", -1))
-            if pid > 0 and pid != os.getpid() and _pid_alive(pid):
+        unreadable = 0
+        for attempt in range(_ACQUIRE_ATTEMPTS):
+            if self._try_create():
+                return
+            holder_pid = self._holder_pid()
+            if holder_pid is None:
+                # The lock vanished (a racing takeover in flight) or its
+                # creator is between open and write; back off briefly and
+                # look again.  A lock that stays unreadable for half the
+                # retry budget is the debris of a crash inside that window —
+                # fall through and treat it as stale.
+                unreadable += 1
+                if unreadable < _ACQUIRE_ATTEMPTS // 2:
+                    time.sleep(_ACQUIRE_BACKOFF_S)
+                    continue
+                holder_pid = -1
+            if holder_pid == os.getpid():
+                self._owned = True  # re-entrant acquire by the same process
+                return
+            if holder_pid > 0 and _pid_alive(holder_pid):
                 raise OrchestrationError(
-                    f"run directory is locked by live process {pid} "
+                    f"run directory is locked by live process {holder_pid} "
                     f"({self.path}); refusing concurrent access"
                 )
-        atomic_write_json(self.path, {"pid": os.getpid()})
+            grave = f"{self.path}.stale.{os.getpid()}.{attempt}"
+            try:
+                os.rename(self.path, grave)
+            except FileNotFoundError:
+                continue  # another racer already renamed it away
+            try:
+                os.unlink(grave)
+            except OSError:  # pragma: no cover - already reaped
+                pass
+        raise OrchestrationError(
+            f"could not acquire run lock {self.path}: the lock file kept "
+            f"changing hands for {_ACQUIRE_ATTEMPTS} attempts"
+        )
+
+    def _try_create(self) -> bool:
+        """Atomically create the lock file; ``True`` when this process now owns it."""
+        try:
+            fd = os.open(self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
+        except FileExistsError:
+            return False
+        try:
+            os.write(fd, (_encode({"pid": os.getpid()}) + "\n").encode("utf-8"))
+            os.fsync(fd)
+        finally:
+            os.close(fd)
         self._owned = True
+        return True
+
+    def _holder_pid(self) -> Optional[int]:
+        """The pid recorded in the lock file; ``None`` when missing or unreadable."""
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                payload = json.loads(handle.read())
+            return int(payload.get("pid", -1))
+        except (OSError, ValueError):
+            return None
 
     def release(self) -> None:
         if not self._owned:

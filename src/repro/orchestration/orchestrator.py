@@ -155,6 +155,110 @@ def _fingerprint(
     }
 
 
+def check_manifest(
+    run_dir: str, fingerprint: Dict[str, Any], resume: bool
+) -> None:
+    """Verify (or create) the run manifest; refuse mixing two sweeps.
+
+    Shared by the single-host orchestrator and the cluster coordinator —
+    both must refuse to resume a directory created for a different sweep.
+    """
+    manifest_path = os.path.join(run_dir, MANIFEST_NAME)
+    existing = read_json(manifest_path)
+    if existing is not None:
+        if not resume:
+            raise OrchestrationError(
+                f"run directory {run_dir} already holds a run; pass "
+                "resume=True (--resume) to continue it"
+            )
+        if existing != fingerprint:
+            raise OrchestrationError(
+                f"run directory {run_dir} was created for a different "
+                "sweep (manifest fingerprint mismatch); refusing to mix"
+            )
+    else:
+        atomic_write_json(manifest_path, fingerprint)
+
+
+def entity_done_record(
+    problems: Sequence[EntityProblem],
+    config: ExperimentConfig,
+    index: int,
+    attempt: int,
+    payload: Dict[str, Any],
+) -> Dict[str, Any]:
+    """The journal record of one completed entity, RNG provenance included."""
+    return {
+        "type": "entity_done",
+        "index": index,
+        "entity": problems[index].entity,
+        "attempt": attempt,
+        "seeds": {
+            "worker_seed": config.seed * 7919 + index,
+            "selector_seed": (
+                config.seed * 104729 + index
+                if config.selector in ("random", "Random")
+                else None
+            ),
+        },
+        "trajectory": payload,
+    }
+
+
+def assemble_result(
+    state: "_RunState",
+    problems: Sequence[EntityProblem],
+    config: ExperimentConfig,
+    run_dir: str,
+    stream: Optional[CurveStream],
+) -> Tuple[ExperimentResult, Tuple[Tuple[str, str], ...]]:
+    """Assemble the curve from every completed entity and stream it to disk.
+
+    The single code path that turns a set of journalled trajectories into
+    ``curve.jsonl`` — single-host sweeps, resumed sweeps and merged
+    multi-host sweeps all converge here, which is what makes the
+    bit-identity guarantee assertable on the curve file.
+    """
+    trajectories: List[EntityTrajectory] = []
+    gold: Dict[str, bool] = {}
+    for index in sorted(state.completed):
+        record = state.completed[index]
+        trajectories.append(
+            _worker_module.trajectory_from_payload(record["trajectory"])
+        )
+        gold.update(problems[index].gold)
+    if not trajectories:
+        raise OrchestrationError(
+            "every entity was quarantined; no curve can be assembled "
+            f"(see {os.path.join(run_dir, JOURNAL_NAME)})"
+        )
+    result = ExperimentResult(config=config)
+    curve_path = os.path.join(run_dir, CURVE_NAME)
+    if os.path.exists(curve_path):
+        os.unlink(curve_path)
+    with JournalWriter(curve_path) as curve_journal:
+        for position, point in enumerate(assemble_curve(trajectories, gold)):
+            result.points.append(point)
+            curve_journal.append(
+                {
+                    "point": position,
+                    "cost": point.cost,
+                    "utility": point.utility,
+                    "f1": point.f1,
+                    "precision": point.precision,
+                    "recall": point.recall,
+                    "accuracy": point.accuracy,
+                }
+            )
+            if stream is not None:
+                stream.emit(point)
+    quarantined = tuple(
+        (record["entity"], record["error"])
+        for _, record in sorted(state.quarantined.items())
+    )
+    return result, quarantined
+
+
 @dataclass
 class _Shard:
     """One supervised worker process and its command pipe."""
@@ -301,22 +405,8 @@ def run_checkpointed_experiment(
     os.makedirs(run_dir, exist_ok=True)
 
     with RunLock(os.path.join(run_dir, LOCK_NAME)):
-        manifest_path = os.path.join(run_dir, MANIFEST_NAME)
         fingerprint = _fingerprint(problems, config, budget_overrides)
-        existing = read_json(manifest_path)
-        if existing is not None:
-            if not orchestrator.resume:
-                raise OrchestrationError(
-                    f"run directory {run_dir} already holds a run; pass "
-                    "resume=True (--resume) to continue it"
-                )
-            if existing != fingerprint:
-                raise OrchestrationError(
-                    f"run directory {run_dir} was created for a different "
-                    "sweep (manifest fingerprint mismatch); refusing to mix"
-                )
-        else:
-            atomic_write_json(manifest_path, fingerprint)
+        check_manifest(run_dir, fingerprint, orchestrator.resume)
 
         state = _RunState(problems)
         state.replay(read_records(os.path.join(run_dir, JOURNAL_NAME)))
@@ -335,43 +425,8 @@ def run_checkpointed_experiment(
         # Assemble the curve from every completed entity, in index order —
         # the same code path as the in-memory fan-out.  Quarantined entities
         # are excluded (their gold too, so scores stay comparable).
-        trajectories: List[EntityTrajectory] = []
-        gold: Dict[str, bool] = {}
-        for index in sorted(state.completed):
-            record = state.completed[index]
-            trajectories.append(
-                _worker_module.trajectory_from_payload(record["trajectory"])
-            )
-            gold.update(problems[index].gold)
-        if not trajectories:
-            raise OrchestrationError(
-                "every entity was quarantined; no curve can be assembled "
-                f"(see {os.path.join(run_dir, JOURNAL_NAME)})"
-            )
-        result = ExperimentResult(config=config)
-        curve_path = os.path.join(run_dir, CURVE_NAME)
-        if os.path.exists(curve_path):
-            os.unlink(curve_path)
-        with JournalWriter(curve_path) as curve_journal:
-            for position, point in enumerate(assemble_curve(trajectories, gold)):
-                result.points.append(point)
-                curve_journal.append(
-                    {
-                        "point": position,
-                        "cost": point.cost,
-                        "utility": point.utility,
-                        "f1": point.f1,
-                        "precision": point.precision,
-                        "recall": point.recall,
-                        "accuracy": point.accuracy,
-                    }
-                )
-                if stream is not None:
-                    stream.emit(point)
-
-        quarantined = tuple(
-            (record["entity"], record["error"])
-            for _, record in sorted(state.quarantined.items())
+        result, quarantined = assemble_result(
+            state, problems, config, run_dir, stream
         )
         return OrchestratorReport(
             result=result,
@@ -426,22 +481,7 @@ def _run_pending(
             queue.append((index, attempt + 1, not_before))
 
     def handle_done(index: int, attempt: int, payload: Dict[str, Any]) -> None:
-        entity = problems[index].entity
-        record = {
-            "type": "entity_done",
-            "index": index,
-            "entity": entity,
-            "attempt": attempt,
-            "seeds": {
-                "worker_seed": config.seed * 7919 + index,
-                "selector_seed": (
-                    config.seed * 104729 + index
-                    if config.selector in ("random", "Random")
-                    else None
-                ),
-            },
-            "trajectory": payload,
-        }
+        record = entity_done_record(problems, config, index, attempt, payload)
         journal.append(record)
         state.completed[index] = record
         atomic_write_json(checkpoint_path, state.checkpoint_payload("running"))

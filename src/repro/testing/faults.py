@@ -141,6 +141,32 @@ class FaultPlan:
     #: use it to widen the window for killing an orchestrator mid-sweep.
     delay_entity_seconds: float = 0.0
 
+    #: Abort the cluster connection midway through sending the nth wire
+    #: record (a torn prefix reaches the peer, then the socket dies — what a
+    #: cut network or a crashed host looks like from the other side).  The
+    #: record sequence is global across every worker process.
+    drop_connection_at_record: Optional[int] = None
+    drop_record_limit: int = 1
+
+    #: Stall every shard-worker heartbeat by this many seconds before it is
+    #: sent (a congested or partitioned network path: heartbeats arrive, but
+    #: late enough that a tight lease TTL expires between them).
+    delay_heartbeat_s: float = 0.0
+
+    #: Send the nth entity result twice (duplicated delivery: a retransmit
+    #: racing its original, or a zombie double-submitting after a timeout).
+    #: The result sequence is global across every worker process.
+    duplicate_entity_result: Optional[int] = None
+    duplicate_limit: int = 1
+
+    #: Turn one shard worker into a *zombie*: it suppresses every heartbeat
+    #: for this many seconds (while computing and submitting results
+    #: normally), so its lease expires and its late submissions hit the
+    #: coordinator's fencing epoch.  ``zombie_limit`` bounds how many worker
+    #: processes go zombie (fork-shared budget, claimed at first heartbeat).
+    zombie_hold_lease_s: float = 0.0
+    zombie_limit: int = 1
+
     def __post_init__(self) -> None:
         for name in (
             "kill_worker_at_dispatch",
@@ -153,6 +179,8 @@ class FaultPlan:
             "stale_lock_at_acquire",
             "kill_shard_at_entity",
             "fail_entity_at",
+            "drop_connection_at_record",
+            "duplicate_entity_result",
         ):
             value = getattr(self, name)
             if value is not None and value < 1:
@@ -168,6 +196,9 @@ class FaultPlan:
             "stale_limit",
             "shard_kill_limit",
             "fail_entity_limit",
+            "drop_record_limit",
+            "duplicate_limit",
+            "zombie_limit",
         ):
             if getattr(self, name) < 0:
                 raise ValueError(f"{name} must be non-negative, got {getattr(self, name)}")
@@ -175,6 +206,8 @@ class FaultPlan:
             "delay_dispatch_seconds",
             "delay_select_seconds",
             "delay_entity_seconds",
+            "delay_heartbeat_s",
+            "zombie_hold_lease_s",
             "hang_seconds",
         ):
             if getattr(self, name) < 0.0:
@@ -205,6 +238,19 @@ class _FaultState:
         self._shard_entities = context.Value("i", 0)
         self._shard_kills_left = context.Value("i", plan.shard_kill_limit)
         self._entity_fails_left = context.Value("i", plan.fail_entity_limit)
+        # Cluster wire events fire in coordinator-forked local workers and in
+        # REPRO_FAULTS-armed remote worker processes alike; the record/result
+        # sequences and the drop/duplicate/zombie budgets are one global
+        # ledger so "the nth record" means the nth across the whole cluster.
+        self._wire_sends = context.Value("i", 0)
+        self._record_drops_left = context.Value("i", plan.drop_record_limit)
+        self._result_sends = context.Value("i", 0)
+        self._duplicates_left = context.Value("i", plan.duplicate_limit)
+        self._zombies_left = context.Value("i", plan.zombie_limit)
+        #: Monotonic timestamp at which *this process* went zombie (claimed a
+        #: slot from the fork-shared budget) — process-local on purpose: the
+        #: zombie window is a property of one worker, not of the cluster.
+        self._zombie_since: Optional[float] = None
         self.pool_dispatches = 0
         self.corrupts_done = 0
         self.merges_seen = 0
@@ -359,6 +405,40 @@ class _FaultState:
         ):
             self.stale_done += 1
             return "stale_lock"
+        return None
+
+    def _on_wire_send(self, ctx: Mapping[str, Any]) -> Optional[str]:
+        plan = self.plan
+        if plan.drop_connection_at_record is None:
+            return None
+        sequence = self._bump_sequence(self._wire_sends)
+        if sequence >= plan.drop_connection_at_record:
+            if self._consume_budget(self._record_drops_left):
+                return "drop"
+        return None
+
+    def _on_heartbeat(self, ctx: Mapping[str, Any]) -> Optional[str]:
+        plan = self.plan
+        if plan.delay_heartbeat_s:
+            time.sleep(plan.delay_heartbeat_s)
+        if not plan.zombie_hold_lease_s:
+            return None
+        if self._zombie_since is None:
+            if not self._consume_budget(self._zombies_left):
+                return None
+            self._zombie_since = time.monotonic()
+        if time.monotonic() - self._zombie_since < plan.zombie_hold_lease_s:
+            return "suppress"
+        return None
+
+    def _on_entity_result_send(self, ctx: Mapping[str, Any]) -> Optional[str]:
+        plan = self.plan
+        if plan.duplicate_entity_result is None:
+            return None
+        sequence = self._bump_sequence(self._result_sends)
+        if sequence >= plan.duplicate_entity_result:
+            if self._consume_budget(self._duplicates_left):
+                return "duplicate"
         return None
 
     def _on_transport_response(self, ctx: Mapping[str, Any]) -> Optional[str]:

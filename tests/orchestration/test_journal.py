@@ -10,7 +10,9 @@ through the same ``REPRO_FAULTS``-style plans the chaos suite uses.
 
 import errno
 import json
+import multiprocessing
 import os
+import time
 
 import pytest
 
@@ -19,6 +21,7 @@ from repro.orchestration.journal import (
     JournalWriter,
     RunLock,
     atomic_write_json,
+    merge_journals,
     read_json,
     read_records,
 )
@@ -74,6 +77,77 @@ class TestJournal:
             # Budgeted: the next append succeeds (the disk "recovered").
             journal.append({"type": "c"})
         assert [r["type"] for r in read_records(path)] == ["a", "c"]
+
+
+def _write_journal(path, records, torn_tail=None):
+    with JournalWriter(str(path)) as journal:
+        for record in records:
+            journal.append(record)
+    if torn_tail is not None:
+        with open(str(path), "a", encoding="utf-8") as handle:
+            handle.write(torn_tail)
+
+
+class TestMergeJournals:
+    def test_merges_in_deterministic_path_order(self, tmp_path):
+        _write_journal(tmp_path / "journal-b.jsonl", [{"type": "x", "who": "b"}])
+        _write_journal(tmp_path / "journal-a.jsonl", [{"type": "x", "who": "a"}])
+        merged = merge_journals(
+            [str(tmp_path / "journal-b.jsonl"), str(tmp_path / "journal-a.jsonl")]
+        )
+        assert [record["who"] for record in merged] == ["a", "b"]
+
+    def test_torn_tail_in_a_non_final_journal_is_tolerated(self, tmp_path):
+        # The regression this pins: the one-torn-trailing-line rule must be
+        # *per journal*.  A worker SIGKILLed mid-append tears the tail of
+        # journal-a; journal-b sorting after it must not turn that tail into
+        # "mid-file corruption" of the merged stream.
+        _write_journal(
+            tmp_path / "journal-a.jsonl",
+            [{"type": "entity_done", "index": 0, "payload": {"v": 1}}],
+            torn_tail='{"type": "entity_done", "ind',
+        )
+        _write_journal(
+            tmp_path / "journal-b.jsonl",
+            [{"type": "entity_done", "index": 1, "payload": {"v": 2}}],
+        )
+        merged = merge_journals(
+            [str(tmp_path / "journal-a.jsonl"), str(tmp_path / "journal-b.jsonl")]
+        )
+        assert [record["index"] for record in merged] == [0, 1]
+
+    def test_mid_file_corruption_still_raises(self, tmp_path):
+        path = tmp_path / "journal-a.jsonl"
+        with open(str(path), "w", encoding="utf-8") as handle:
+            handle.write('{"type": "a"}\ngarbage\n{"type": "b"}\n')
+        with pytest.raises(OrchestrationError, match="corrupt at line 2"):
+            merge_journals([str(path)])
+
+    def test_identical_duplicate_entity_done_is_deduplicated(self, tmp_path):
+        record = {"type": "entity_done", "index": 3, "payload": {"u": 0.5}}
+        _write_journal(tmp_path / "journal-a.jsonl", [record])
+        _write_journal(tmp_path / "journal-b.jsonl", [record])
+        merged = merge_journals(
+            [str(tmp_path / "journal-a.jsonl"), str(tmp_path / "journal-b.jsonl")]
+        )
+        assert merged == [record]
+
+    def test_conflicting_duplicate_payloads_refuse_loudly(self, tmp_path):
+        _write_journal(
+            tmp_path / "journal-a.jsonl",
+            [{"type": "entity_done", "index": 3, "payload": {"u": 0.5}}],
+        )
+        _write_journal(
+            tmp_path / "journal-b.jsonl",
+            [{"type": "entity_done", "index": 3, "payload": {"u": 0.75}}],
+        )
+        with pytest.raises(OrchestrationError, match="conflicting entity_done"):
+            merge_journals(
+                [str(tmp_path / "journal-a.jsonl"), str(tmp_path / "journal-b.jsonl")]
+            )
+
+    def test_missing_journals_merge_empty(self, tmp_path):
+        assert merge_journals([str(tmp_path / "nope.jsonl")]) == []
 
 
 class TestAtomicCheckpoint:
@@ -138,3 +212,63 @@ class TestRunLock:
         atomic_write_json(lock_path, {"pid": 1})
         lock.release()
         assert read_json(lock_path) == {"pid": 1}
+
+    def test_same_process_reacquire_is_allowed(self, tmp_path):
+        lock_path = str(tmp_path / "lock")
+        first = RunLock(lock_path)
+        first.acquire()
+        second = RunLock(lock_path)
+        second.acquire()  # same pid: re-entry, not a conflict
+        assert read_json(lock_path)["pid"] == os.getpid()
+        second.release()
+
+
+def _race_for_lock(lock_path, barrier, results):
+    """Child body of the stale-takeover race: one winner, one loud loser."""
+    barrier.wait()
+    lock = RunLock(lock_path)
+    try:
+        lock.acquire()
+    except OrchestrationError as error:
+        results.put(("refused", str(error)))
+    else:
+        results.put(("acquired", os.getpid()))
+        # Stay alive long enough for the loser's liveness probe to see us.
+        time.sleep(1.0)
+        lock.release()
+
+
+@pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="the race needs fork children",
+)
+class TestRunLockTakeoverRace:
+    def test_two_resumers_racing_a_dead_pid_lock_serialize(self, tmp_path):
+        # A dead-pid lock (the crashed previous orchestrator) with two
+        # resumers arriving at once: the rename-based takeover must let
+        # exactly one win; the other must refuse with the live-process
+        # error, never clobber the winner's fresh lock.
+        lock_path = str(tmp_path / "lock")
+        context = multiprocessing.get_context("fork")
+        dead = context.Process(target=lambda: None)
+        dead.start()
+        dead.join()
+        atomic_write_json(lock_path, {"pid": dead.pid})
+
+        barrier = context.Barrier(2)
+        results = context.Queue()
+        racers = [
+            context.Process(target=_race_for_lock, args=(lock_path, barrier, results))
+            for _ in range(2)
+        ]
+        for racer in racers:
+            racer.start()
+        reports = sorted(results.get(timeout=15.0) for _ in racers)
+        for racer in racers:
+            racer.join(timeout=15.0)
+        assert [kind for kind, _ in reports] == ["acquired", "refused"]
+        (_, winner_pid), (_, refusal) = reports
+        # The loser's error names the live winner, not the dead pid both
+        # racers displaced — proof it observed the winner's fresh lock.
+        assert f"locked by live process {winner_pid}" in refusal
+        assert not os.path.exists(lock_path), "winner released cleanly"

@@ -1,0 +1,204 @@
+"""Wire protocol of the cluster coordinator: codec, framing, fault drops.
+
+The coordinator and its shard workers trust :mod:`repro.orchestration.wire`
+to refuse anything it cannot interpret — an orchestration layer that guesses
+at malformed messages would corrupt sweeps silently.  This suite pins the
+codec round trip for every message type, the loud failure modes (unknown
+types, unknown fields, missing fields, torn lines), the handshake digest's
+stability, and the ``wire_send`` injected-drop behaviour both ends rely on
+in the chaos suite.
+"""
+
+import socket
+import threading
+
+import pytest
+
+from repro.orchestration import wire
+from repro.orchestration.wire import (
+    ConnectionLost,
+    EntityResult,
+    Heartbeat,
+    Hello,
+    LeaseGrant,
+    LeaseRevoked,
+    MessageStream,
+    Shutdown,
+    Welcome,
+    WireError,
+    WireProtocolError,
+    decode_message,
+    encode_message,
+    fingerprint_digest,
+)
+from repro.testing import faults
+from repro.testing.faults import FaultPlan
+
+
+@pytest.fixture(autouse=True)
+def disarm():
+    faults.uninstall()
+    yield
+    faults.uninstall()
+
+
+ONE_OF_EACH = [
+    Hello(worker="w1", fingerprint="abc123"),
+    Welcome(epoch=3, heartbeat_s=2.0, lease_ttl_s=10.0),
+    LeaseGrant(lease="lease-0-deadbeef", epoch=3, start=4, stop=8),
+    Heartbeat(worker="w1", lease="lease-0-deadbeef", epoch=3),
+    EntityResult(
+        worker="w1",
+        lease="lease-0-deadbeef",
+        epoch=3,
+        index=5,
+        ok=True,
+        payload={"curve": [0.1 + 0.2]},
+    ),
+    EntityResult(
+        worker="w1", lease="lease-0-deadbeef", epoch=3, index=6, ok=False,
+        error="boom",
+    ),
+    LeaseRevoked(lease="lease-0-deadbeef", epoch=3, reason="no heartbeat"),
+    Shutdown(reason="sweep complete"),
+    WireError(code="fingerprint_mismatch", message="wrong sweep", retry_safe=False),
+]
+
+
+class TestCodec:
+    @pytest.mark.parametrize(
+        "message", ONE_OF_EACH, ids=lambda m: type(m).__name__
+    )
+    def test_every_message_round_trips(self, message):
+        line = encode_message(message)
+        assert line.endswith(b"\n")
+        assert decode_message(line) == message
+
+    def test_floats_round_trip_bit_exact(self):
+        # The payload carries curve floats; the codec must not perturb them.
+        message = EntityResult(
+            worker="w", lease="l", epoch=1, index=0, ok=True,
+            payload={"value": 0.1 + 0.2},
+        )
+        assert decode_message(encode_message(message)).payload["value"] == 0.1 + 0.2
+
+    def test_non_message_refuses_to_encode(self):
+        with pytest.raises(WireProtocolError, match="not a wire message"):
+            encode_message({"type": "hello"})
+
+    def test_unknown_type_is_refused(self):
+        with pytest.raises(WireProtocolError, match="unknown wire message type"):
+            decode_message(b'{"type": "teleport", "to": "mars"}\n')
+
+    def test_unknown_fields_are_refused(self):
+        with pytest.raises(WireProtocolError, match=r"unknown fields \['shoe_size'\]"):
+            decode_message(b'{"type": "shutdown", "reason": "x", "shoe_size": 9}\n')
+
+    def test_missing_fields_are_refused(self):
+        with pytest.raises(WireProtocolError, match="incomplete wire message"):
+            decode_message(b'{"type": "lease_grant", "lease": "l"}\n')
+
+    def test_malformed_json_is_refused(self):
+        with pytest.raises(WireProtocolError, match="malformed wire line"):
+            decode_message(b'{"type": "hello", "worker"\n')
+
+    def test_non_object_is_refused(self):
+        with pytest.raises(WireProtocolError, match="must be a JSON object"):
+            decode_message(b'["hello"]\n')
+
+
+class TestFingerprintDigest:
+    def test_digest_is_stable_and_order_insensitive(self):
+        a = fingerprint_digest({"selector": "greedy", "k": 3, "seed": 11})
+        b = fingerprint_digest({"seed": 11, "k": 3, "selector": "greedy"})
+        assert a == b
+        assert len(a) == 64  # sha256 hex
+
+    def test_digest_distinguishes_sweeps(self):
+        a = fingerprint_digest({"selector": "greedy", "seed": 11})
+        b = fingerprint_digest({"selector": "greedy", "seed": 12})
+        assert a != b
+
+
+def _stream_pair():
+    left, right = socket.socketpair()
+    return MessageStream(left), MessageStream(right)
+
+
+class TestMessageStream:
+    def test_send_and_recv(self):
+        ours, theirs = _stream_pair()
+        try:
+            ours.send(Heartbeat(worker="w", lease="l", epoch=2))
+            assert theirs.recv() == Heartbeat(worker="w", lease="l", epoch=2)
+        finally:
+            ours.close()
+            theirs.close()
+
+    def test_messages_keep_order(self):
+        ours, theirs = _stream_pair()
+        try:
+            for index in range(5):
+                ours.send(Heartbeat(worker="w", lease="l", epoch=index))
+            epochs = [theirs.recv().epoch for _ in range(5)]
+            assert epochs == [0, 1, 2, 3, 4]
+        finally:
+            ours.close()
+            theirs.close()
+
+    def test_peer_close_raises_connection_lost(self):
+        ours, theirs = _stream_pair()
+        ours.close()
+        with pytest.raises(ConnectionLost, match="closed by peer"):
+            theirs.recv()
+        theirs.close()
+
+    def test_torn_line_raises_connection_lost(self):
+        left, right = socket.socketpair()
+        stream = MessageStream(right)
+        left.sendall(b'{"type": "heartbeat", "wor')  # died mid-line
+        left.close()
+        with pytest.raises(ConnectionLost, match="torn or oversized"):
+            stream.recv()
+        stream.close()
+
+    def test_send_after_close_raises(self):
+        ours, theirs = _stream_pair()
+        ours.close()
+        with pytest.raises(ConnectionLost, match="already closed"):
+            ours.send(Shutdown(reason="x"))
+        theirs.close()
+
+    def test_concurrent_senders_never_interleave_lines(self):
+        # The worker's heartbeat pump and main loop share one socket; the
+        # send lock must keep their lines whole.
+        ours, theirs = _stream_pair()
+        try:
+            def beat():
+                for _ in range(50):
+                    ours.send(Heartbeat(worker="pump", lease="", epoch=0))
+
+            threads = [threading.Thread(target=beat) for _ in range(3)]
+            for thread in threads:
+                thread.start()
+            received = [theirs.recv() for _ in range(150)]
+            for thread in threads:
+                thread.join()
+            assert all(m == Heartbeat(worker="pump", lease="", epoch=0)
+                       for m in received)
+        finally:
+            ours.close()
+            theirs.close()
+
+    def test_injected_drop_tears_the_line_for_the_peer(self):
+        # The chaos suite's partition primitive: the sender dies with
+        # ConnectionLost, the peer sees a torn line (not a clean EOF after
+        # a whole message) — exactly what a cut network looks like.
+        ours, theirs = _stream_pair()
+        faults.install(FaultPlan(drop_connection_at_record=1))
+        with pytest.raises(ConnectionLost, match="dropped"):
+            ours.send(Heartbeat(worker="w", lease="l", epoch=1))
+        assert ours.closed
+        with pytest.raises(ConnectionLost):
+            theirs.recv()
+        theirs.close()

@@ -124,6 +124,79 @@ class TestBudgetsAndDirectives:
             assert state._worker_dispatches.value == 0
 
 
+class TestNetworkInjectors:
+    """The cluster-facing injectors added for multi-host orchestration."""
+
+    def test_new_fields_are_validated(self):
+        with pytest.raises(ValueError, match="1-based"):
+            FaultPlan(drop_connection_at_record=0)
+        with pytest.raises(ValueError, match="1-based"):
+            FaultPlan(duplicate_entity_result=0)
+        with pytest.raises(ValueError, match="non-negative"):
+            FaultPlan(drop_record_limit=-1)
+        with pytest.raises(ValueError, match="non-negative"):
+            FaultPlan(zombie_limit=-1)
+        with pytest.raises(ValueError, match="non-negative"):
+            FaultPlan(delay_heartbeat_s=-0.5)
+        with pytest.raises(ValueError, match="non-negative"):
+            FaultPlan(zombie_hold_lease_s=-1.0)
+
+    def test_wire_send_drop_respects_position_and_budget(self):
+        plan = FaultPlan(drop_connection_at_record=2, drop_record_limit=1)
+        with faults.injected(plan) as state:
+            assert faults.fire("wire_send") is None
+            assert faults.fire("wire_send") == "drop"
+            assert faults.fire("wire_send") is None
+            assert state._wire_sends.value == 3
+            assert state._record_drops_left.value == 0
+
+    def test_wire_send_is_inert_without_a_drop_position(self):
+        with faults.injected(FaultPlan(fail_merge_at=1)) as state:
+            assert faults.fire("wire_send") is None
+            assert state._wire_sends.value == 0  # no lock round trip paid
+
+    def test_duplicate_entity_result_directive(self):
+        plan = FaultPlan(duplicate_entity_result=1, duplicate_limit=2)
+        with faults.injected(plan):
+            assert faults.fire("entity_result_send") == "duplicate"
+            assert faults.fire("entity_result_send") == "duplicate"
+            assert faults.fire("entity_result_send") is None  # budget spent
+
+    def test_heartbeat_is_inert_by_default(self):
+        with faults.injected(FaultPlan()):
+            assert faults.fire("heartbeat") is None
+
+    def test_zombie_suppresses_heartbeats_for_the_hold_window(self):
+        plan = FaultPlan(zombie_hold_lease_s=0.15, zombie_limit=1)
+        with faults.injected(plan) as state:
+            # This process claims the zombie budget at its first beat and
+            # suppresses until the window elapses.
+            assert faults.fire("heartbeat") == "suppress"
+            assert state._zombies_left.value == 0
+            assert faults.fire("heartbeat") == "suppress"
+            import time
+
+            time.sleep(0.2)
+            assert faults.fire("heartbeat") is None  # window over: beats again
+
+    def test_zombie_budget_bounds_claims(self):
+        plan = FaultPlan(zombie_hold_lease_s=10.0, zombie_limit=0)
+        with faults.injected(plan):
+            # Zero budget: nobody goes zombie even with a hold window set.
+            assert faults.fire("heartbeat") is None
+
+    def test_env_spec_parses_the_network_fields(self):
+        plan = faults.plan_from_env(
+            "drop_connection_at_record=3,delay_heartbeat_s=0.5,"
+            "duplicate_entity_result=2,zombie_hold_lease_s=1.5,zombie_limit=2"
+        )
+        assert plan.drop_connection_at_record == 3
+        assert plan.delay_heartbeat_s == 0.5
+        assert plan.duplicate_entity_result == 2
+        assert plan.zombie_hold_lease_s == 1.5
+        assert plan.zombie_limit == 2
+
+
 class TestEnvSpecParsing:
     def test_empty_specs_mean_no_plan(self):
         assert faults.plan_from_env("") is None
